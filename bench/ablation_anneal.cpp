@@ -1,0 +1,67 @@
+// Ablation: greedy refinement (the paper's Algorithm 1) vs simulated
+// annealing over the same move set, both seeded with the same stage-1
+// coloring solution. The question the paper leaves open ("better
+// heuristics exist"): does stochastic search buy anything?
+#include <chrono>
+#include <iostream>
+
+#include "benchgen/ilt_synth.h"
+#include "extensions/anneal.h"
+#include "fracture/coloring_fracturer.h"
+#include "fracture/refiner.h"
+#include "io/table.h"
+
+int main() {
+  using namespace mbf;
+
+  std::cout << "=== Ablation: greedy refinement vs simulated annealing ===\n"
+            << "(same coloring-stage seed; SA has no structural moves, so "
+               "greedy's add/remove/merge\nis its built-in advantage -- "
+               "also shown with structural ops disabled)\n\n";
+
+  Table table({"clip", "seed shots", "greedy", "fail", "s",
+               "greedy-edges-only", "fail", "SA 30k", "fail", "s"});
+
+  const auto suite = iltSuiteConfigs();
+  for (const std::size_t idx : {1u, 3u, 4u, 6u}) {
+    const IltSynthConfig& cfg = suite[idx];
+    const Problem problem(makeIltShape(cfg), FractureParams{});
+    const ColoringArtifacts art =
+        ColoringFracturer{}.fractureWithArtifacts(problem);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    Refiner greedy(problem);
+    const Solution g = greedy.refine(art.shots);
+    const double gSec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    // Greedy restricted to the SA move set (edge moves only).
+    FractureParams edgesOnly = problem.params();
+    edgesOnly.enableAddRemove = false;
+    edgesOnly.enableMerge = false;
+    edgesOnly.enableBias = false;
+    const Problem problemEdges(problem.target(), edgesOnly);
+    Refiner greedyEdges(problemEdges);
+    const Solution ge = greedyEdges.refine(art.shots);
+
+    const auto t1 = std::chrono::steady_clock::now();
+    const Solution sa = AnnealRefiner(problem).refine(art.shots);
+    const double saSec =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t1)
+            .count();
+
+    table.addRow({cfg.name(), Table::fmt(std::int64_t(art.shots.size())),
+                  Table::fmt(g.shotCount()), Table::fmt(g.failingPixels()),
+                  Table::fmt(gSec, 2), Table::fmt(ge.shotCount()),
+                  Table::fmt(ge.failingPixels()), Table::fmt(sa.shotCount()),
+                  Table::fmt(sa.failingPixels()), Table::fmt(saSec, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading guide: against the same move set (edges only), "
+               "SA and greedy land close;\nthe paper's structural ops "
+               "(add/remove/merge) are where the real shot savings come\n"
+               "from -- supporting its choice of a simple greedy core.\n";
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Ablation: the proximity model itself. The paper uses a single forward-
+// scattering Gaussian; production PEC models add a backscatter term
+// ((1-eta) G(sigma) + eta G(sigma_back)). This bench sweeps eta and shows
+// how shot count and feasibility respond when the same fracturing flow
+// faces a softer, longer-range PSF.
+#include <iostream>
+
+#include "benchgen/ilt_synth.h"
+#include "fracture/model_based_fracturer.h"
+#include "io/table.h"
+
+int main() {
+  using namespace mbf;
+
+  std::cout << "=== Ablation: two-Gaussian PSF (backscatter) ===\n"
+            << "(sigma_back = 3 * sigma; suite of 5 mid-complexity clips)\n\n";
+
+  Table table({"eta", "Lth (nm)", "shots", "fail px", "avg s"});
+  for (const double eta : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+    FractureParams params;
+    params.backscatterEta = eta;
+    params.backscatterSigma = 3.0 * params.sigma;
+
+    int shots = 0;
+    std::int64_t fail = 0;
+    double seconds = 0.0;
+    double lth = 0.0;
+    const auto suite = iltSuiteConfigs();
+    for (std::size_t i = 2; i < 7; ++i) {
+      const Problem problem(makeIltShape(suite[i]), params);
+      lth = problem.lth();
+      const Solution sol = ModelBasedFracturer{}.fracture(problem);
+      shots += sol.shotCount();
+      fail += sol.failingPixels();
+      seconds += sol.runtimeSeconds;
+    }
+    table.addRow({Table::fmt(eta, 2), Table::fmt(lth, 1), Table::fmt(shots),
+                  Table::fmt(fail), Table::fmt(seconds / 5.0, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nBackscatter lengthens Lth (softer corners print longer "
+               "45-degree runs -- fewer corner\nshots) but floods Poff with "
+               "long-range dose, making tight tolerances harder to meet;\n"
+               "the paper's single-Gaussian setup is the eta = 0 row.\n";
+  return 0;
+}

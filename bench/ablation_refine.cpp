@@ -1,0 +1,74 @@
+// Ablation of the refinement operations (DESIGN.md experiment index):
+// disables bias / add-remove / merge individually and varies N_H and
+// N_max, reporting shot count and failing pixels over the ILT suite.
+// Shows each operation of Algorithm 1 earns its keep.
+#include <iostream>
+
+#include "benchgen/ilt_synth.h"
+#include "fracture/coloring_fracturer.h"
+#include "fracture/refiner.h"
+#include "io/table.h"
+
+namespace {
+
+struct Variant {
+  const char* name;
+  void (*tweak)(mbf::FractureParams&);
+};
+
+}  // namespace
+
+int main() {
+  using namespace mbf;
+
+  std::cout << "=== Ablation: refinement operations (sum over 10 ILT clips) "
+               "===\n\n";
+
+  const Variant variants[] = {
+      {"full (paper)", [](FractureParams&) {}},
+      {"no bias", [](FractureParams& p) { p.enableBias = false; }},
+      {"no add/remove",
+       [](FractureParams& p) { p.enableAddRemove = false; }},
+      {"no merge", [](FractureParams& p) { p.enableMerge = false; }},
+      {"NH=2", [](FractureParams& p) { p.nh = 2; }},
+      {"NH=20", [](FractureParams& p) { p.nh = 20; }},
+      {"Nmax=100", [](FractureParams& p) { p.nmax = 100; }},
+      {"Nmax=800", [](FractureParams& p) { p.nmax = 800; }},
+      {"coloring only", [](FractureParams& p) { p.nmax = 0; }},
+  };
+
+  Table table({"variant", "shots", "fail px", "iters", "edge moves", "adds",
+               "removes", "merges"});
+
+  for (const Variant& variant : variants) {
+    int shots = 0;
+    std::int64_t fail = 0;
+    RefinerStats agg;
+    for (const IltSynthConfig& cfg : iltSuiteConfigs()) {
+      FractureParams params;
+      variant.tweak(params);
+      const Problem problem(makeIltShape(cfg), params);
+      ColoringArtifacts art =
+          ColoringFracturer{}.fractureWithArtifacts(problem);
+      Refiner refiner(problem);
+      const Solution sol = refiner.refine(std::move(art.shots));
+      shots += sol.shotCount();
+      fail += sol.failingPixels();
+      agg.iterations += refiner.stats().iterations;
+      agg.edgeMoves += refiner.stats().edgeMoves;
+      agg.shotsAdded += refiner.stats().shotsAdded;
+      agg.shotsRemoved += refiner.stats().shotsRemoved;
+      agg.mergeEvents += refiner.stats().mergeEvents;
+    }
+    table.addRow({variant.name, Table::fmt(shots), Table::fmt(fail),
+                  Table::fmt(agg.iterations), Table::fmt(agg.edgeMoves),
+                  Table::fmt(agg.shotsAdded), Table::fmt(agg.shotsRemoved),
+                  Table::fmt(agg.mergeEvents)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpectations: removing add/remove leaves CD violations "
+               "unfixable (higher fail px);\nremoving merge inflates shot "
+               "count; 'coloring only' shows stage-1 quality alone.\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Print-fidelity analysis across methods: shot count alone is the
+// paper's metric, but a mask shop also reviews edge placement. This
+// bench reports EPE statistics and dose sensitivity of every method's
+// solution over the ILT suite -- showing the shot savings of the
+// model-based method do not come at the price of contour fidelity.
+#include <iostream>
+
+#include "analysis/epe.h"
+#include "baselines/eda_proxy.h"
+#include "baselines/greedy_set_cover.h"
+#include "benchgen/ilt_synth.h"
+#include "fracture/model_based_fracturer.h"
+#include "io/table.h"
+
+namespace {
+
+struct Agg {
+  double maxEpe = 0.0;
+  double sumMean = 0.0;
+  int outOfTol = 0;
+  int unprinted = 0;
+  int shots = 0;
+  double sumSens = 0.0;
+  int clips = 0;
+
+  void add(const mbf::EpeReport& r, int shotCount) {
+    maxEpe = std::max(maxEpe, r.maxAbsEpe);
+    sumMean += r.meanAbsEpe;
+    outOfTol += r.outOfToleranceCount;
+    unprinted += r.unprintedCount;
+    shots += shotCount;
+    sumSens += r.medianDoseSensitivity;
+    ++clips;
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace mbf;
+
+  std::cout << "=== Print fidelity (EPE) across methods, ILT suite ===\n\n";
+
+  Agg gsc, proxy, ours;
+  for (const IltSynthConfig& cfg : iltSuiteConfigs()) {
+    const Problem problem(makeIltShape(cfg), FractureParams{});
+    {
+      const Solution s = GreedySetCover{}.fracture(problem);
+      gsc.add(analyzeEpe(problem, s.shots), s.shotCount());
+    }
+    {
+      const Solution s = EdaProxy{}.fracture(problem);
+      proxy.add(analyzeEpe(problem, s.shots), s.shotCount());
+    }
+    {
+      const Solution s = ModelBasedFracturer{}.fracture(problem);
+      ours.add(analyzeEpe(problem, s.shots), s.shotCount());
+    }
+  }
+
+  Table table({"method", "shots", "mean |EPE| nm", "max |EPE| nm",
+               "samples > gamma", "unprinted", "dose sens nm/5%"});
+  auto row = [&](const char* name, const Agg& a) {
+    table.addRow({name, Table::fmt(a.shots), Table::fmt(a.sumMean / a.clips, 2),
+                  Table::fmt(a.maxEpe, 1), Table::fmt(a.outOfTol),
+                  Table::fmt(a.unprinted), Table::fmt(a.sumSens / a.clips, 2)});
+  };
+  row("GSC", gsc);
+  row("EDA-PROXY", proxy);
+  row("ours", ours);
+  table.print(std::cout);
+
+  std::cout << "\nReading guide: 'samples > gamma' counts boundary samples "
+               "whose printed contour\nlands more than the CD tolerance "
+               "away; 'unprinted' counts samples with no contour\ncrossing "
+               "within 8 nm (gross defects). Dose sensitivity is the median "
+               "contour shift\nfor a +5% dose error -- smaller is more "
+               "robust.\n";
+  return 0;
+}

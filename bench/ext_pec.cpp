@@ -1,0 +1,59 @@
+// Extension experiment: proximity-effect correction under a two-Gaussian
+// PSF. A dense bar array is exposed (a) uncorrected at unit dose and
+// (b) with PEC dose assignment, across a sweep of backscatter strengths.
+// The textbook result: PEC eliminates the density-driven gap overexposure
+// at the cost of some extra edge/corner underdose (a geometry problem the
+// fracturer, not the dose, has to solve).
+#include <iostream>
+
+#include "extensions/pec.h"
+#include "io/table.h"
+
+namespace {
+
+std::vector<mbf::Polygon> barArray(int count, int width, int pitch,
+                                   int height) {
+  std::vector<mbf::Polygon> bars;
+  for (int i = 0; i < count; ++i) {
+    const int x0 = i * pitch;
+    bars.push_back(mbf::Polygon(
+        {{x0, 0}, {x0 + width, 0}, {x0 + width, height}, {x0, height}}));
+  }
+  return bars;
+}
+
+}  // namespace
+
+int main() {
+  using namespace mbf;
+
+  std::cout << "=== Extension: proximity-effect correction (dose "
+               "assignment) ===\n"
+            << "(7-bar array, 26 nm bars at 34 nm pitch, sigma_back = 5 "
+               "sigma)\n\n";
+
+  Table table({"eta", "fail off (raw)", "fail on (raw)", "fail off (PEC)",
+               "fail on (PEC)", "dose range"});
+  for (const double eta : {0.0, 0.1, 0.2, 0.3, 0.4}) {
+    FractureParams params;
+    params.backscatterEta = eta;
+    params.backscatterSigma = 5.0 * params.sigma;
+    Problem p(barArray(7, 26, 34, 160), params);
+    std::vector<Rect> shots;
+    for (int i = 0; i < 7; ++i) {
+      shots.push_back({i * 34, 0, i * 34 + 26, 160});
+    }
+    const PecReport r = runPec(p, shots);
+    table.addRow({Table::fmt(eta, 2), Table::fmt(r.before.failOff),
+                  Table::fmt(r.before.failOn), Table::fmt(r.after.failOff),
+                  Table::fmt(r.after.failOn),
+                  Table::fmt(r.doseMin, 2) + ".." + Table::fmt(r.doseMax, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nPEC trades long-range overexposure (fail off) for local "
+               "underdose (fail on) that the\nmodel-based fracturer then "
+               "fixes geometrically -- which is why production flows run\n"
+               "PEC and model-based fracturing together.\n";
+  return 0;
+}

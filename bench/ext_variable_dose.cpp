@@ -1,0 +1,58 @@
+// Extension experiment: fixed-dose vs variable-dose fracturing (the
+// Elayat et al. assessment the paper cites when restricting itself to
+// fixed dose). For each ILT clip, the paper's fixed-dose solution is
+// lifted to dosed shots and the variable-dose refiner tries to remove
+// shots while re-establishing feasibility through dose freedom.
+#include <iostream>
+
+#include "benchgen/ilt_synth.h"
+#include "extensions/variable_dose.h"
+#include "fracture/model_based_fracturer.h"
+#include "io/table.h"
+
+int main() {
+  using namespace mbf;
+
+  std::cout << "=== Extension: fixed-dose vs variable-dose shot count ===\n"
+            << "(variable dose in [0.6, 1.6], step 0.05)\n\n";
+
+  Table table({"clip", "fixed shots", "fixed feas", "var shots", "var feas",
+               "saved", "dose min", "dose max"});
+  int fixedTotal = 0;
+  int varTotal = 0;
+  for (const IltSynthConfig& cfg : iltSuiteConfigs()) {
+    const Problem problem(makeIltShape(cfg), FractureParams{});
+    const Solution fixed = ModelBasedFracturer{}.fracture(problem);
+
+    VariableDoseRefiner refiner(problem);
+    const VariableDoseResult var =
+        refiner.reduceShots(withUnitDose(fixed.shots));
+
+    double doseMin = 10.0;
+    double doseMax = 0.0;
+    for (const DosedShot& s : var.shots) {
+      doseMin = std::min(doseMin, s.dose);
+      doseMax = std::max(doseMax, s.dose);
+    }
+    fixedTotal += fixed.shotCount();
+    varTotal += static_cast<int>(var.shots.size());
+
+    table.addRow({cfg.name(), Table::fmt(fixed.shotCount()),
+                  fixed.feasible() ? "yes" : "no",
+                  Table::fmt(std::int64_t(var.shots.size())),
+                  var.feasible() ? "yes" : "no",
+                  Table::fmt(fixed.shotCount() -
+                             static_cast<int>(var.shots.size())),
+                  Table::fmt(doseMin, 2), Table::fmt(doseMax, 2)});
+  }
+  table.addSeparator();
+  table.addRow({"Sum", Table::fmt(fixedTotal), "", Table::fmt(varTotal), "",
+                Table::fmt(fixedTotal - varTotal), "", ""});
+  table.print(std::cout);
+
+  std::cout << "\nDose freedom can substitute for some shots, at the price "
+               "of per-shot dose control in\nthe writer -- exactly the "
+               "trade-off that led Elayat et al. (and the paper) to favor\n"
+               "fixed-dose fracturing with better geometry optimization.\n";
+  return 0;
+}

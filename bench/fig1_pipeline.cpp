@@ -1,0 +1,53 @@
+// Reproduces the Figure 1 / Figure 3 pipeline as stage-by-stage
+// statistics: boundary vertex counts before/after RDP simplification,
+// raw vs clustered shot corner points, compatibility graph size, colors
+// used, and the shot count before and after refinement, for every ILT
+// clip. (The figures themselves are illustrations; examples/visualize
+// renders the SVG equivalents.)
+#include <iostream>
+
+#include "benchgen/ilt_synth.h"
+#include "fracture/coloring_fracturer.h"
+#include "fracture/refiner.h"
+#include "io/table.h"
+
+int main() {
+  using namespace mbf;
+
+  std::cout << "=== Figures 1 & 3: coloring pipeline stage statistics ===\n\n";
+
+  Table table({"Clip", "verts", "RDP verts", "raw pts", "clustered",
+               "G edges", "colors", "shots0", "fail0", "shots*", "fail*"});
+
+  for (const IltSynthConfig& cfg : iltSuiteConfigs()) {
+    const Polygon shape = makeIltShape(cfg);
+    const Problem problem(shape, FractureParams{});
+
+    const ColoringArtifacts art =
+        ColoringFracturer{}.fractureWithArtifacts(problem);
+    Verifier v(problem);
+    v.setShots(art.shots);
+    const Violations before = v.violations();
+
+    Refiner refiner(problem);
+    const Solution refined = refiner.refine(art.shots);
+
+    table.addRow({cfg.name(), Table::fmt(std::int64_t(shape.size())),
+                  Table::fmt(std::int64_t(art.extraction.totalSimplifiedVertices())),
+                  Table::fmt(std::int64_t(art.extraction.raw.size())),
+                  Table::fmt(std::int64_t(art.extraction.corners.size())),
+                  Table::fmt(art.compatibility.numEdges()),
+                  Table::fmt(art.coloring.numColors),
+                  Table::fmt(std::int64_t(art.shots.size())),
+                  Table::fmt(before.total()), Table::fmt(refined.shotCount()),
+                  Table::fmt(refined.failingPixels())});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading guide: RDP collapses the wavy traced boundary by "
+               ">10x; clustering merges\nsame-type corner points within "
+               "Lth; one graph color == one shot; refinement fixes\nthe "
+               "remaining CD violations while holding or lowering shot "
+               "count.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// The paper's premise, quantified: conventional partition-based
+// fracturing (minimum rectangular partition, no overlaps, no proximity
+// model) vs model-based covering (the full method). Partition counts
+// explode on curvilinear ILT shapes because every staircase step becomes
+// geometry to tile; model-based covering prints 45-degree-ish boundary
+// from corner rounding instead.
+#include <iostream>
+
+#include "baselines/eda_proxy.h"
+#include "baselines/rect_partition.h"
+#include "benchgen/ilt_synth.h"
+#include "fracture/model_based_fracturer.h"
+#include "geometry/rdp.h"
+#include "io/table.h"
+
+int main() {
+  using namespace mbf;
+
+  std::cout << "=== Conventional partition vs model-based covering ===\n\n";
+
+  Table table({"clip", "raw verts", "partition (raw)", "partition (RDP)",
+               "model-based", "ratio"});
+  int sumRaw = 0;
+  int sumRdp = 0;
+  int sumOurs = 0;
+  for (const IltSynthConfig& cfg : iltSuiteConfigs()) {
+    const Polygon shape = makeIltShape(cfg);
+    const Problem problem(shape, FractureParams{});
+
+    // Conventional flow A: partition the traced staircase directly.
+    const PartitionResult raw = minRectPartition(shape);
+
+    // Conventional flow B: simplify, staircase at Lth, then partition
+    // (what a partition tool with smoothing pre-processing would do).
+    const std::vector<Vec2> ring =
+        simplifyRing(shape, problem.params().gamma);
+    const Polygon rectPoly =
+        rectilinearize(shape, ring, std::max(2.0, problem.lth()));
+    const PartitionResult rdp = minRectPartition(rectPoly);
+
+    const Solution ours = ModelBasedFracturer{}.fracture(problem);
+
+    sumRaw += static_cast<int>(raw.rects.size());
+    sumRdp += static_cast<int>(rdp.rects.size());
+    sumOurs += ours.shotCount();
+    table.addRow({cfg.name(), Table::fmt(std::int64_t(shape.size())),
+                  Table::fmt(std::int64_t(raw.rects.size())),
+                  Table::fmt(std::int64_t(rdp.rects.size())),
+                  Table::fmt(ours.shotCount()),
+                  Table::fmt(double(rdp.rects.size()) /
+                                 std::max(1, ours.shotCount()),
+                             1)});
+  }
+  table.addSeparator();
+  table.addRow({"Sum", "", Table::fmt(sumRaw), Table::fmt(sumRdp),
+                Table::fmt(sumOurs),
+                Table::fmt(double(sumRdp) / std::max(1, sumOurs), 1)});
+  table.print(std::cout);
+
+  std::cout << "\nThis is why mask makers moved to model-based fracturing "
+               "(paper section 1):\npartitioning curvilinear shapes costs "
+               "several times more shots than covering\nwith overlap + "
+               "proximity-aware corner rounding.\n";
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Reproduces Table 3: shot count and runtime on ten benchmark shapes
+// with a known reference shot count -- AGB-1..5 snake-of-abutting-shots
+// shapes and RGB-1..5 bounded-overlap random shapes, both irreducible by
+// construction -- plus the sum-of-normalized-shot-count summary and the
+// failing-pixel caveats the paper reports for the hardest shapes.
+//
+// Reference ("Opt") per shape = min(K, best feasible heuristic count):
+// the paper proved optimality with a 12 h ILP; irreducible generators are
+// the honest surrogate, and any heuristic that legitimately beats K
+// becomes the reference instead.
+#include <algorithm>
+#include <iostream>
+#include <limits>
+
+#include "baselines/eda_proxy.h"
+#include "baselines/greedy_set_cover.h"
+#include "baselines/matching_pursuit.h"
+#include "benchgen/known_opt_gen.h"
+#include "fracture/model_based_fracturer.h"
+#include "io/table.h"
+
+namespace {
+
+int feasibleCount(const mbf::Solution& s) {
+  return s.feasible() ? s.shotCount() : std::numeric_limits<int>::max();
+}
+
+std::string failStr(const mbf::Solution& s) {
+  return s.feasible() ? "-" : std::to_string(s.failingPixels());
+}
+
+}  // namespace
+
+int main() {
+  using namespace mbf;
+
+  std::cout << "=== Table 3: benchmark shapes with known reference shot "
+               "count ===\n"
+            << "(fail = CD-violating pixels; '-' = feasible)\n\n";
+
+  Table table({"Clip-ID", "Opt", "GSC", "fail", "s", "MP", "fail", "s",
+               "PROXY", "fail", "Ours", "fail", "s"});
+
+  double normGsc = 0.0;
+  double normMp = 0.0;
+  double normProxy = 0.0;
+  double normOurs = 0.0;
+
+  const ProximityModel model;
+  for (const KnownOptShape& shape : knownOptSuite(model)) {
+    const Problem problem(shape.target, FractureParams{});
+
+    const Solution gsc = GreedySetCover{}.fracture(problem);
+    const Solution mp = MatchingPursuit{}.fracture(problem);
+    const Solution proxy = EdaProxy{}.fracture(problem);
+    const Solution ours = ModelBasedFracturer{}.fracture(problem);
+
+    const int opt = std::min({shape.optimal(), feasibleCount(gsc),
+                              feasibleCount(mp), feasibleCount(proxy),
+                              feasibleCount(ours)});
+
+    normGsc += static_cast<double>(gsc.shotCount()) / opt;
+    normMp += static_cast<double>(mp.shotCount()) / opt;
+    normProxy += static_cast<double>(proxy.shotCount()) / opt;
+    normOurs += static_cast<double>(ours.shotCount()) / opt;
+
+    table.addRow({shape.name, Table::fmt(opt), Table::fmt(gsc.shotCount()),
+                  failStr(gsc), Table::fmt(gsc.runtimeSeconds, 1),
+                  Table::fmt(mp.shotCount()), failStr(mp),
+                  Table::fmt(mp.runtimeSeconds, 1),
+                  Table::fmt(proxy.shotCount()), failStr(proxy),
+                  Table::fmt(ours.shotCount()), failStr(ours),
+                  Table::fmt(ours.runtimeSeconds, 1)});
+  }
+
+  table.addSeparator();
+  table.addRow({"Norm vs Opt", "10.00", Table::fmt(normGsc, 2), "", "",
+                Table::fmt(normMp, 2), "", "", Table::fmt(normProxy, 2), "",
+                Table::fmt(normOurs, 2), "", ""});
+  table.print(std::cout);
+
+  std::cout << "\nPaper reference (normalized sums): GSC 33.42, MP 26.91, "
+               "PROTO-EDA 22.31, ours 14.12.\n"
+            << "Expected shape: ours lowest, PROTO-EDA between ours and "
+               "GSC/MP; hard wavy shapes may\nleave a few failing pixels "
+               "(the paper reports the same caveat for AGB-2/3, RGB-3).\n";
+  return 0;
+}

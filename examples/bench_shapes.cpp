@@ -1,0 +1,50 @@
+// Exports the two benchmark suites (10 ILT-like clips, 10 known-optimal
+// AGB/RGB shapes) as .poly files plus an SVG gallery -- the library's
+// replacement for downloading the paper's benchmark archive.
+//
+//   $ ./bench_shapes [outdir-prefix]
+//
+#include <iostream>
+#include <string>
+
+#include "benchgen/ilt_synth.h"
+#include "benchgen/known_opt_gen.h"
+#include "io/poly_io.h"
+#include "io/svg.h"
+
+int main(int argc, char** argv) {
+  using namespace mbf;
+
+  const std::string prefix = argc > 1 ? argv[1] : "";
+
+  int written = 0;
+  for (const IltSynthConfig& cfg : iltSuiteConfigs()) {
+    const Polygon shape = makeIltShape(cfg);
+    const Polygon polys[] = {shape};
+    savePolygons(prefix + cfg.name() + ".poly", polys);
+    SvgWriter svg(shape.bbox().inflated(15));
+    svg.addPolygon(shape, "#cfe3f7", "#1b5ea6", 0.4);
+    svg.save(prefix + cfg.name() + ".svg");
+    std::cout << cfg.name() << ": " << shape.size() << " vertices, area "
+              << shape.area() << " nm^2\n";
+    ++written;
+  }
+
+  const ProximityModel model;
+  for (const KnownOptShape& shape : knownOptSuite(model)) {
+    const Polygon polys[] = {shape.target};
+    savePolygons(prefix + shape.name + ".poly", polys);
+    SvgWriter svg(shape.target.bbox().inflated(15));
+    svg.addPolygon(shape.target, "#e7d4f5", "#5e2a8c", 0.4);
+    for (const Rect& s : shape.generatorShots) {
+      svg.addRect(s, "none", "#d62728", 0.3, 0.0);
+    }
+    svg.save(prefix + shape.name + ".svg");
+    std::cout << shape.name << ": optimal " << shape.optimal() << " shots, "
+              << shape.target.size() << " vertices\n";
+    ++written;
+  }
+
+  std::cout << "Wrote " << written << " shapes (.poly + .svg).\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Mask-data-prep flow on a batch of ILT-like clips: generate shapes,
+// fracture each with every method, and print a comparison summary --
+// the downstream-user view of the library (think: per-clip MDP loop).
+//
+//   $ ./ilt_flow [numClips] [seedBase]
+//
+#include <cstdlib>
+#include <iostream>
+
+#include "baselines/eda_proxy.h"
+#include "baselines/greedy_set_cover.h"
+#include "benchgen/ilt_synth.h"
+#include "fracture/model_based_fracturer.h"
+#include "io/poly_io.h"
+#include "io/table.h"
+
+int main(int argc, char** argv) {
+  using namespace mbf;
+
+  const int numClips = argc > 1 ? std::atoi(argv[1]) : 4;
+  const unsigned seedBase = argc > 2 ? unsigned(std::atoi(argv[2])) : 500;
+
+  Table table({"clip", "verts", "GSC", "PROXY", "ours", "ours fail",
+               "ours s"});
+  int totalShotsSaved = 0;
+
+  for (int i = 0; i < numClips; ++i) {
+    IltSynthConfig cfg;
+    cfg.seed = seedBase + unsigned(i);
+    cfg.numFeatures = 3 + i % 6;
+    const Polygon shape = makeIltShape(cfg);
+
+    const Problem problem(shape, FractureParams{});
+    const Solution gsc = GreedySetCover{}.fracture(problem);
+    const Solution proxy = EdaProxy{}.fracture(problem);
+    const Solution ours = ModelBasedFracturer{}.fracture(problem);
+    totalShotsSaved += proxy.shotCount() - ours.shotCount();
+
+    // Persist the shot list, as a real MDP flow would hand it to the
+    // e-beam writer.
+    saveShots("clip_" + std::to_string(i) + ".shots", ours.shots);
+
+    table.addRow({std::to_string(i), Table::fmt(std::int64_t(shape.size())),
+                  Table::fmt(gsc.shotCount()), Table::fmt(proxy.shotCount()),
+                  Table::fmt(ours.shotCount()),
+                  Table::fmt(ours.failingPixels()),
+                  Table::fmt(ours.runtimeSeconds, 2)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nShots saved vs partition-based proxy: " << totalShotsSaved
+            << " across " << numClips << " clips.\n"
+            << "Mask write time is proportional to shot count; at ~20% of "
+               "mask cost, every shot counts.\n"
+            << "Shot lists written to clip_<i>.shots.\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+#include "analysis/epe.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/rdp.h"
+
+namespace mbf {
+namespace {
+
+double totalIntensity(const ProximityModel& model,
+                      std::span<const Rect> shots, Vec2 p) {
+  double acc = 0.0;
+  for (const Rect& s : shots) {
+    // Skip far shots cheaply; shotIntensity itself is exact.
+    if (s.distanceTo(p.x, p.y) <= model.influenceRadius()) {
+      acc += model.shotIntensity(s, p.x, p.y);
+    }
+  }
+  return acc;
+}
+
+}  // namespace
+
+EpeReport analyzeEpe(const Problem& problem, std::span<const Rect> shots,
+                     const EpeConfig& config) {
+  const ProximityModel& model = problem.model();
+  const double rho = model.rho();
+  const double tol = config.simplifyTolerance > 0.0
+                         ? config.simplifyTolerance
+                         : problem.params().gamma;
+
+  EpeReport report;
+  std::vector<double> sensitivities;
+
+  for (const Polygon& ringPoly : problem.rings()) {
+    const std::vector<Vec2> ring = simplifyRing(ringPoly, tol);
+    const std::size_t n = ring.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec2 a = ring[i];
+      const Vec2 b = ring[(i + 1) % n];
+      const double len = dist(a, b);
+      if (len < 1e-9) continue;
+      const Vec2 dir = (1.0 / len) * (b - a);
+      // Problem canonicalizes rings so the interior is on the left;
+      // outward normal is the right-hand side.
+      const Vec2 outward{dir.y, -dir.x};
+
+      const int k = std::max(1, static_cast<int>(len / config.sampleSpacing));
+      const double spacing = len / k;
+      for (int s = 0; s < k; ++s) {
+        const Vec2 p = a + ((s + 0.5) * spacing) * dir;
+        EpeSample sample;
+        sample.pos = p;
+        sample.normal = outward;
+
+        // The printed contour crossing: I(p + t*outward) = rho, t in
+        // [-range, range]. Inside (negative t) the dose is high, outside
+        // low; bisect if the bracket holds.
+        const double range = config.searchRange;
+        auto intensityAt = [&](double t) {
+          return totalIntensity(model, shots, p + t * outward);
+        };
+        double lo = -range;
+        double hi = range;
+        double iLo = intensityAt(lo);
+        double iHi = intensityAt(hi);
+        if (iLo < rho || iHi >= rho) {
+          // No clean crossing in range: scan for a bracket.
+          bool found = false;
+          double prevT = -range;
+          double prevI = iLo;
+          for (double t = -range + 0.5; t <= range + 1e-9; t += 0.5) {
+            const double it = intensityAt(t);
+            if (prevI >= rho && it < rho) {
+              lo = prevT;
+              hi = t;
+              found = true;
+              break;
+            }
+            prevT = t;
+            prevI = it;
+          }
+          if (!found) {
+            sample.printed = false;
+            sample.epe = iLo < rho ? -range : range;  // sign hints direction
+            sample.slope = 0.0;
+            ++report.unprintedCount;
+            report.samples.push_back(sample);
+            continue;
+          }
+        }
+        for (int it = 0; it < 40; ++it) {
+          const double mid = 0.5 * (lo + hi);
+          if (intensityAt(mid) >= rho) {
+            lo = mid;
+          } else {
+            hi = mid;
+          }
+        }
+        const double t = 0.5 * (lo + hi);
+        sample.printed = true;
+        sample.epe = t;
+        const double h = 0.25;
+        sample.slope =
+            std::abs(intensityAt(t + h) - intensityAt(t - h)) / (2.0 * h);
+        if (sample.slope > 1e-9) {
+          sensitivities.push_back(0.05 * rho / sample.slope);
+        }
+        report.samples.push_back(sample);
+      }
+    }
+  }
+
+  double sumAbs = 0.0;
+  double sumSq = 0.0;
+  int printedCount = 0;
+  for (const EpeSample& s : report.samples) {
+    if (!s.printed) continue;
+    ++printedCount;
+    sumAbs += std::abs(s.epe);
+    sumSq += s.epe * s.epe;
+    report.maxAbsEpe = std::max(report.maxAbsEpe, std::abs(s.epe));
+    if (std::abs(s.epe) > problem.params().gamma) {
+      ++report.outOfToleranceCount;
+    }
+  }
+  if (printedCount > 0) {
+    report.meanAbsEpe = sumAbs / printedCount;
+    report.rmsEpe = std::sqrt(sumSq / printedCount);
+  }
+  if (!sensitivities.empty()) {
+    std::nth_element(sensitivities.begin(),
+                     sensitivities.begin() + sensitivities.size() / 2,
+                     sensitivities.end());
+    report.medianDoseSensitivity = sensitivities[sensitivities.size() / 2];
+  }
+  return report;
+}
+
+}  // namespace mbf

@@ -1,0 +1,54 @@
+// Edge-placement-error (EPE) and dose-latitude analysis of a fracturing
+// solution: beyond the pass/fail pixel constraints of Eq. 4, this module
+// measures *where* the printed rho-contour actually lands relative to the
+// target boundary, and how much it moves under dose variation -- the
+// quality metrics a mask shop reviews before committing a shot list.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fracture/problem.h"
+#include "geometry/rect.h"
+
+namespace mbf {
+
+struct EpeSample {
+  Vec2 pos;        ///< boundary sample point (on the simplified target)
+  Vec2 normal;     ///< outward unit normal at the sample
+  double epe;      ///< signed contour offset along the normal, nm
+                   ///< (positive = printed contour outside the target)
+  double slope;    ///< |dI/dn| at the crossing, 1/nm (0 if no crossing)
+  bool printed;    ///< false when no rho-crossing was found within range
+};
+
+struct EpeReport {
+  std::vector<EpeSample> samples;
+  double maxAbsEpe = 0.0;
+  double meanAbsEpe = 0.0;
+  double rmsEpe = 0.0;
+  /// Samples with |EPE| > the CD tolerance gamma.
+  int outOfToleranceCount = 0;
+  /// Samples where the contour never crosses rho within the search range
+  /// (unprinted boundary -- a gross defect).
+  int unprintedCount = 0;
+  /// Median contour displacement for a +5 % dose error, nm (dose
+  /// latitude proxy: 0.05 * rho / slope).
+  double medianDoseSensitivity = 0.0;
+};
+
+struct EpeConfig {
+  double sampleSpacing = 4.0;   ///< nm along the boundary
+  double searchRange = 8.0;     ///< nm along the normal, each direction
+  /// Boundary-simplification tolerance for sampling (traced targets are
+  /// 1 nm staircases whose raw normals are meaningless); defaults to the
+  /// problem's gamma when <= 0.
+  double simplifyTolerance = 0.0;
+};
+
+/// Analyses `shots` against the target of `problem`. Intensity is the
+/// exact model sum over shots at each probe point.
+EpeReport analyzeEpe(const Problem& problem, std::span<const Rect> shots,
+                     const EpeConfig& config = {});
+
+}  // namespace mbf

@@ -1,0 +1,35 @@
+#include "analysis/shot_stats.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace mbf {
+
+ShotStats computeShotStats(std::span<const Rect> shots, int sliverThreshold) {
+  ShotStats stats;
+  stats.count = static_cast<int>(shots.size());
+  if (shots.empty()) return stats;
+
+  stats.minDimension = std::numeric_limits<int>::max();
+  std::int64_t overlap = 0;
+  for (std::size_t i = 0; i < shots.size(); ++i) {
+    const Rect& s = shots[i];
+    const int small = std::min(s.width(), s.height());
+    const int large = std::max(s.width(), s.height());
+    stats.minDimension = std::min(stats.minDimension, small);
+    stats.maxDimension = std::max(stats.maxDimension, large);
+    if (small < sliverThreshold) ++stats.sliverCount;
+    stats.totalShotArea += s.area();
+    for (std::size_t j = i + 1; j < shots.size(); ++j) {
+      overlap += s.intersection(shots[j]).area();
+    }
+  }
+  stats.meanArea = static_cast<double>(stats.totalShotArea) / stats.count;
+  stats.overlapFraction =
+      stats.totalShotArea > 0
+          ? static_cast<double>(overlap) / static_cast<double>(stats.totalShotArea)
+          : 0.0;
+  return stats;
+}
+
+}  // namespace mbf

@@ -1,0 +1,84 @@
+#include "baselines/candidate_gen.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "grid/prefix_sum.h"
+
+namespace mbf {
+namespace {
+
+struct RectHash {
+  std::size_t operator()(const Rect& r) const noexcept {
+    std::size_t h = std::hash<std::int32_t>{}(r.x0);
+    h = h * 1000003 ^ std::hash<std::int32_t>{}(r.y0);
+    h = h * 1000003 ^ std::hash<std::int32_t>{}(r.x1);
+    h = h * 1000003 ^ std::hash<std::int32_t>{}(r.y1);
+    return h;
+  }
+};
+
+}  // namespace
+
+std::vector<Rect> generateCandidateShots(const Problem& problem,
+                                         const CandidateGenConfig& config) {
+  const MaskGrid& inside = problem.insideMask();
+  const PrefixSum2D sum(inside);
+  const int w = inside.width();
+  const int h = inside.height();
+  const int lmin = problem.params().lmin;
+
+  std::unordered_set<Rect, RectHash> pool;
+
+  // Horizontal runs extended vertically.
+  for (int y = 0; y < h; ++y) {
+    int x = 0;
+    while (x < w) {
+      if (!inside.at(x, y)) {
+        ++x;
+        continue;
+      }
+      int x1 = x;
+      while (x1 < w && inside.at(x1, y)) ++x1;
+      // Extend [x, x1) up and down while the strip stays fully inside.
+      int yLo = y;
+      int yHi = y + 1;
+      while (yLo > 0 && sum.sum(x, yLo - 1, x1, yLo) == x1 - x) --yLo;
+      while (yHi < h && sum.sum(x, yHi, x1, yHi + 1) == x1 - x) ++yHi;
+      Rect r = problem.gridToWorld({x, yLo, x1, yHi});
+      enforceMinSize(r, lmin);
+      pool.insert(r);
+      x = x1;
+    }
+  }
+  // Vertical runs extended horizontally.
+  for (int x = 0; x < w; ++x) {
+    int y = 0;
+    while (y < h) {
+      if (!inside.at(x, y)) {
+        ++y;
+        continue;
+      }
+      int y1 = y;
+      while (y1 < h && inside.at(x, y1)) ++y1;
+      int xLo = x;
+      int xHi = x + 1;
+      while (xLo > 0 && sum.sum(xLo - 1, y, xLo, y1) == y1 - y) --xLo;
+      while (xHi < w && sum.sum(xHi, y, xHi + 1, y1) == y1 - y) ++xHi;
+      Rect r = problem.gridToWorld({xLo, y, xHi, y1});
+      enforceMinSize(r, lmin);
+      pool.insert(r);
+      y = y1;
+    }
+  }
+
+  std::vector<Rect> out(pool.begin(), pool.end());
+  std::sort(out.begin(), out.end(), [](const Rect& a, const Rect& b) {
+    if (a.area() != b.area()) return a.area() > b.area();
+    return std::tie(a.x0, a.y0, a.x1, a.y1) < std::tie(b.x0, b.y0, b.x1, b.y1);
+  });
+  if (out.size() > config.maxCandidates) out.resize(config.maxCandidates);
+  return out;
+}
+
+}  // namespace mbf

@@ -1,0 +1,25 @@
+// Candidate shot pool shared by the GSC and MP baselines (Jiang & Zakhor
+// style): maximal axis-parallel rectangles inscribed in the target's
+// inside mask, found by extending every maximal horizontal and vertical
+// pixel run as far as it stays inside. Sub-minimum candidates are
+// inflated to the minimum shot size (slightly overhanging the boundary,
+// which the don't-care band mostly absorbs).
+#pragma once
+
+#include <vector>
+
+#include "fracture/problem.h"
+#include "geometry/rect.h"
+
+namespace mbf {
+
+struct CandidateGenConfig {
+  /// Hard cap on pool size; largest-area candidates win ties.
+  std::size_t maxCandidates = 4000;
+};
+
+/// World-coordinate candidate shots, deduplicated, all >= Lmin.
+std::vector<Rect> generateCandidateShots(const Problem& problem,
+                                         const CandidateGenConfig& config = {});
+
+}  // namespace mbf

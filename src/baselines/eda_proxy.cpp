@@ -1,0 +1,119 @@
+#include "baselines/eda_proxy.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "baselines/greedy_set_cover.h"
+#include "fracture/refiner.h"
+#include "fracture/verifier.h"
+
+namespace mbf {
+namespace {
+
+int roundNm(double v) { return static_cast<int>(std::lround(v)); }
+
+// Appends `p` unless it duplicates the back of `out`.
+void push(std::vector<Point>& out, Point p) {
+  if (out.empty() || !(out.back() == p)) out.push_back(p);
+}
+
+}  // namespace
+
+Polygon rectilinearize(const Polygon& original, std::span<const Vec2> ring,
+                       double stepNm) {
+  std::vector<Point> out;
+  const std::size_t n = ring.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = ring[i];
+    const Vec2 b = ring[(i + 1) % n];
+    const Point pa{roundNm(a.x), roundNm(a.y)};
+    const Point pb{roundNm(b.x), roundNm(b.y)};
+    push(out, pa);
+    if (pa.x == pb.x || pa.y == pb.y) continue;
+
+    // Staircase along the diagonal: intermediate knots every ~stepNm,
+    // each pair of consecutive knots joined through the corner that lies
+    // outside the target (preserves coverage).
+    const double len = dist(a, b);
+    const int k = std::max(1, static_cast<int>(std::lround(len / stepNm)));
+    Point prev = pa;
+    for (int s = 1; s <= k; ++s) {
+      const double t = static_cast<double>(s) / k;
+      const Point knot{roundNm(a.x + t * (b.x - a.x)),
+                       roundNm(a.y + t * (b.y - a.y))};
+      if (knot.x != prev.x && knot.y != prev.y) {
+        const Vec2 c1{static_cast<double>(prev.x),
+                      static_cast<double>(knot.y)};
+        const Vec2 c2{static_cast<double>(knot.x),
+                      static_cast<double>(prev.y)};
+        // Prefer the corner outside the original polygon.
+        const Vec2 corner = original.contains(c1) ? c2 : c1;
+        push(out, {roundNm(corner.x), roundNm(corner.y)});
+      }
+      push(out, knot);
+      prev = knot;
+    }
+  }
+  Polygon poly(std::move(out));
+  poly.normalize();
+  return poly;
+}
+
+Solution EdaProxy::fracture(const Problem& problem) const {
+  const auto start = std::chrono::steady_clock::now();
+
+  // 1. Model-verified greedy covering core.
+  Solution sol = GreedySetCover{}.fracture(problem);
+  sol.method = "EDA-PROXY";
+
+  // 2-3. Model-based cleanup: merge, then bounded polish (edge moves and
+  // bias only; shot addition/removal is the full method's edge).
+  Verifier verifier(problem);
+  verifier.setShots(sol.shots);
+  Refiner ops(problem);
+  ops.mergeShots(verifier);
+
+  std::vector<Rect> bestShots = verifier.shots();
+  Violations bestV = verifier.violations();
+  for (int iter = 0; iter < config_.postIterations; ++iter) {
+    const Violations v = verifier.violations();
+    const bool better =
+        v.total() < bestV.total() ||
+        (v.total() == bestV.total() &&
+         verifier.shots().size() < bestShots.size());
+    if (better) {
+      bestShots = verifier.shots();
+      bestV = v;
+    }
+    if (v.total() == 0) {
+      if (ops.mergeShots(verifier) == 0) break;
+      continue;
+    }
+    const int moved = ops.greedyShotEdgeAdjustment(verifier);
+    if (moved == 0) {
+      if (ops.biasAllShots(verifier, /*expand=*/v.failOn >= v.failOff) == 0) {
+        break;
+      }
+    }
+  }
+  {
+    const Violations v = verifier.violations();
+    if (v.total() < bestV.total() ||
+        (v.total() == bestV.total() &&
+         verifier.shots().size() < bestShots.size())) {
+      bestShots = verifier.shots();
+      bestV = v;
+    }
+  }
+  sol.shots = std::move(bestShots);
+
+  Verifier finalCheck(problem);
+  finalCheck.setShots(sol.shots);
+  finalCheck.writeStats(sol);
+  sol.runtimeSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return sol;
+}
+
+}  // namespace mbf

@@ -1,0 +1,44 @@
+// PROTO-EDA stand-in (see DESIGN.md section 4: the paper's comparison
+// point is a prototype of a commercial model-based MDP tool, which is
+// closed source). The proxy mirrors the architecture such a prototype
+// plausibly has -- a solid model-aware covering core plus local
+// model-based cleanup, but without the paper's structural moves:
+//
+//   1. greedy model-verified cover (the GSC core),
+//   2. merge pass (aligned extension + containment),
+//   3. a bounded number of greedy edge-adjustment / bias iterations
+//      (no shot addition/removal -- that is the full method's edge).
+//
+// Expected ordering, as in the paper's Table 2: ours < PROTO-EDA < GSC.
+//
+// The conventional partition-based fracturer lives separately in
+// rect_partition.h and is compared in bench/partition_vs_cover.
+#pragma once
+
+#include "fracture/problem.h"
+#include "fracture/solution.h"
+
+namespace mbf {
+
+struct EdaProxyConfig {
+  int postIterations = 80;  ///< cap on post-pass polish iterations
+};
+
+class EdaProxy {
+ public:
+  explicit EdaProxy(EdaProxyConfig config = {}) : config_(config) {}
+
+  Solution fracture(const Problem& problem) const;
+
+ private:
+  EdaProxyConfig config_;
+};
+
+/// Converts a simplified ring (which may contain diagonal segments) into
+/// a rectilinear polygon, replacing each diagonal run by a staircase with
+/// step ~stepNm whose corners lie outside the original target (so
+/// coverage is preserved). Used by the conventional partition flow.
+Polygon rectilinearize(const Polygon& original, std::span<const Vec2> ring,
+                       double stepNm);
+
+}  // namespace mbf

@@ -1,0 +1,47 @@
+#include "baselines/greedy_set_cover.h"
+
+#include <chrono>
+
+#include "fracture/verifier.h"
+#include "grid/prefix_sum.h"
+
+namespace mbf {
+
+Solution GreedySetCover::fracture(const Problem& problem) const {
+  const auto start = std::chrono::steady_clock::now();
+
+  const std::vector<Rect> candidates =
+      generateCandidateShots(problem, config_.candidates);
+  Verifier verifier(problem);
+
+  while (static_cast<int>(verifier.shots().size()) < config_.maxShots) {
+    const Violations v = verifier.violations();
+    if (v.failOn == 0) break;
+
+    const PrefixSum2D failSum(verifier.failingOnMask());
+    const Rect* best = nullptr;
+    std::int64_t bestScore = 0;
+    for (const Rect& c : candidates) {
+      const Rect core = c.inflated(-config_.coverMargin);
+      if (core.empty()) continue;
+      const std::int64_t score = failSum.sum(problem.worldToGrid(core));
+      if (score > bestScore) {
+        bestScore = score;
+        best = &c;
+      }
+    }
+    if (!best) break;  // no candidate makes progress
+    verifier.addShot(*best);
+  }
+
+  Solution sol;
+  sol.method = "GSC";
+  sol.shots = verifier.shots();
+  verifier.writeStats(sol);
+  sol.runtimeSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return sol;
+}
+
+}  // namespace mbf

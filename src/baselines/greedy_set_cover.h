@@ -1,0 +1,34 @@
+// Greedy set cover baseline (GSC), after Jiang & Zakhor's greedy
+// approximation covering method for OPC shapes. Each round picks the
+// candidate shot whose reliably-printed core covers the most currently
+// failing Pon pixels; the dose map is re-verified after every pick, so
+// the greedy choice is model-aware without any shot refinement.
+#pragma once
+
+#include "baselines/candidate_gen.h"
+#include "fracture/problem.h"
+#include "fracture/solution.h"
+
+namespace mbf {
+
+struct GreedySetCoverConfig {
+  CandidateGenConfig candidates;
+  /// A pixel counts as covered by a shot when it is at least this far
+  /// inside the shot's geometric boundary (an isolated edge prints at
+  /// F(margin) there; 3 nm gives ~0.68 for sigma = 6.25).
+  int coverMargin = 3;
+  int maxShots = 300;
+};
+
+class GreedySetCover {
+ public:
+  explicit GreedySetCover(GreedySetCoverConfig config = {})
+      : config_(config) {}
+
+  Solution fracture(const Problem& problem) const;
+
+ private:
+  GreedySetCoverConfig config_;
+};
+
+}  // namespace mbf

@@ -1,0 +1,34 @@
+// Matching pursuit baseline (MP), after Jiang & Zakhor's signal-
+// reconstruction formulation: the target indicator image is approximated
+// by greedily adding the candidate shot with the highest normalized
+// correlation against the current residual. Correlations are maintained
+// incrementally using the separability of the shot kernel, which is what
+// makes the method tractable — it is still the slowest baseline, as in
+// the paper.
+#pragma once
+
+#include "baselines/candidate_gen.h"
+#include "fracture/problem.h"
+#include "fracture/solution.h"
+
+namespace mbf {
+
+struct MatchingPursuitConfig {
+  CandidateGenConfig candidates;
+  int maxShots = 200;
+  /// Stop when the best normalized correlation falls below this.
+  double minCorrelation = 1e-3;
+};
+
+class MatchingPursuit {
+ public:
+  explicit MatchingPursuit(MatchingPursuitConfig config = {})
+      : config_(config) {}
+
+  Solution fracture(const Problem& problem) const;
+
+ private:
+  MatchingPursuitConfig config_;
+};
+
+}  // namespace mbf

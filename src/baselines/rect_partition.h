@@ -1,0 +1,34 @@
+// Conventional (partition-based) mask fracturing: minimum rectangular
+// partition of a hole-free rectilinear polygon, per the classical
+// Ohtsuki / Imai-Asano construction the paper cites as prior art:
+//
+//   #rects = #concave vertices - |max independent chord set| + 1,
+//
+// where chords join co-horizontal / co-vertical concave vertex pairs
+// through the interior, and the maximum independent set in the chord
+// intersection graph comes from maximum bipartite matching via König's
+// theorem (graph/matching.h). Remaining concave vertices are resolved by
+// extending their incident vertical edge through the interior. The cuts
+// are materialised on a unit grid ("walls"), so every face is recovered
+// as a connected component and checked to be a rectangle.
+#pragma once
+
+#include <vector>
+
+#include "geometry/polygon.h"
+#include "geometry/rect.h"
+
+namespace mbf {
+
+struct PartitionResult {
+  std::vector<Rect> rects;
+  int concaveVertices = 0;
+  int independentChords = 0;
+};
+
+/// Partitions a hole-free rectilinear polygon into axis-parallel
+/// rectangles using the minimum number of pieces. The polygon must be
+/// rectilinear; orientation does not matter.
+PartitionResult minRectPartition(const Polygon& polygon);
+
+}  // namespace mbf

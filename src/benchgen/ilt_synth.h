@@ -1,0 +1,72 @@
+// Synthesized ILT-like mask shapes. The paper's ten real ILT clips came
+// from the (now offline) UC benchmarking site, so the Table-2 workload is
+// regenerated here: a union of randomly placed, mutually overlapping
+// rectangles is blurred and re-thresholded, then contour-traced back into
+// a dense, wavy polygon — the characteristic curvilinear geometry of
+// inverse-lithography masks. Fully deterministic per seed.
+// (DESIGN.md section 5 documents the substitution.)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/polygon.h"
+#include "geometry/rect.h"
+
+namespace mbf {
+
+struct IltSynthConfig {
+  std::uint32_t seed = 1;
+  int numFeatures = 4;     ///< elongated rectangles unioned before blurring
+  int minWidth = 14;       ///< nm, narrow dimension range
+  int maxWidth = 26;
+  int minLength = 30;      ///< nm, long dimension range (arms)
+  int maxLength = 90;
+  /// Diagonal features: chains of overlapping square shots stepped by
+  /// (diagStep, +-diagStep), printing 45-degree boundary runs -- the
+  /// signature geometry of ILT masks and the reason model-based
+  /// fracturing exists. diagStep should stay below Lth/sqrt(2) so the
+  /// printed diagonal edge ripples less than the CD tolerance.
+  int numDiagonals = 0;
+  int diagSteps = 6;     ///< shots per chain
+  int diagWidth = 16;    ///< square shot side in a chain
+  int diagStep = 7;      ///< per-shot diagonal offset, nm
+  /// Proximity model used to print the generator arms into a contour.
+  /// Matching the fracturing model guarantees the generator arms are a
+  /// feasible solution of the generated problem (an honest UB).
+  double sigma = 6.25;
+  double rho = 0.5;
+
+  std::string name() const { return "ILT-" + std::to_string(seed); }
+};
+
+struct IltShape {
+  Polygon target;
+  std::vector<Rect> generatorArms;  ///< feasible by construction
+};
+
+/// Generates one connected, wavy ILT-like polygon: the printed
+/// rho-contour of a union of elongated arm rectangles exposed under the
+/// config's proximity model.
+IltShape makeIltShapeWithArms(const IltSynthConfig& config);
+
+/// Convenience: just the polygon.
+Polygon makeIltShape(const IltSynthConfig& config);
+
+/// A frame/donut-style clip: four arm rectangles forming a closed ring,
+/// printed through the proximity model. The traced result has an outer
+/// boundary and a hole -- the multi-ring test workload for targets with
+/// holes. generatorArms are feasible by construction.
+struct FrameShape {
+  std::vector<Polygon> rings;       ///< [0] outer (CCW), [1] hole (CW)
+  std::vector<Rect> generatorArms;  ///< feasible by construction
+};
+FrameShape makeFrameShape(std::uint32_t seed, int outerSize = 90,
+                          int armWidth = 20);
+
+/// The ten Table-2 stand-in clips, with complexity ramping from simple
+/// blobs (few features) to elaborate multi-lobe shapes.
+std::vector<IltSynthConfig> iltSuiteConfigs();
+
+}  // namespace mbf

@@ -1,0 +1,45 @@
+// Benchmark shapes with a known reference shot count (Table 3 stand-ins
+// for the paper's AGB / RGB suites, see DESIGN.md section 5). Each shape
+// is the printed rho-contour of K generator shots, so those K shots are a
+// feasible solution by construction and K serves as the reference
+// "optimal". AGB shapes aggregate abutting, axis-aligned rectangles into
+// glyph-like rectilinear unions; RGB shapes use randomly overlapping
+// rectangles, which produces the wavier boundaries the paper notes are
+// hard for every heuristic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ebeam/proximity_model.h"
+#include "geometry/polygon.h"
+#include "geometry/rect.h"
+
+namespace mbf {
+
+struct KnownOptShape {
+  std::string name;
+  Polygon target;
+  std::vector<Rect> generatorShots;  ///< feasible by construction
+  int optimal() const { return static_cast<int>(generatorShots.size()); }
+};
+
+struct KnownOptConfig {
+  std::uint32_t seed = 1;
+  int numShots = 5;
+  int minShotSize = 14;  ///< nm, >= Lmin so the reference is admissible
+  int maxShotSize = 60;  ///< nm
+  bool abutting = false; ///< true = AGB style, false = RGB style
+};
+
+/// Generates the shape printed by `config.numShots` random shots under
+/// `model` (pixel size 1 nm, threshold model.rho()).
+KnownOptShape makeKnownOptShape(const KnownOptConfig& config,
+                                const ProximityModel& model);
+
+/// The ten Table-3 stand-ins: AGB-1..5 then RGB-1..5, with the paper's
+/// reference shot counts (3, 16, 17, 7, 3, 5, 7, 5, 9, 6).
+std::vector<KnownOptShape> knownOptSuite(const ProximityModel& model);
+
+}  // namespace mbf

@@ -1,0 +1,93 @@
+#include "benchgen/opc_synth.h"
+
+#include <algorithm>
+#include <random>
+
+#include "geometry/contour.h"
+#include "grid/grid.h"
+
+namespace mbf {
+namespace {
+
+void fillRect(MaskGrid& mask, Rect r, Point origin, std::uint8_t value) {
+  for (int y = std::max(0, r.y0 - origin.y);
+       y < std::min(mask.height(), r.y1 - origin.y); ++y) {
+    for (int x = std::max(0, r.x0 - origin.x);
+         x < std::min(mask.width(), r.x1 - origin.x); ++x) {
+      mask.at(x, y) = value;
+    }
+  }
+}
+
+}  // namespace
+
+Polygon makeOpcShape(const OpcSynthConfig& config) {
+  std::mt19937 rng(config.seed);
+  std::uniform_int_distribution<int> jog(1, config.maxJog);
+  std::uniform_int_distribution<int> coin(0, 1);
+
+  const int w = config.width;
+  const int h = config.height;
+  const int pad = config.maxJog + h + 4;  // room for jogs and a stub
+  const Rect box = Rect{0, 0, w, h}.inflated(pad);
+  MaskGrid mask(box.width(), box.height(), 0);
+  const Point origin = box.bl();
+
+  fillRect(mask, {0, 0, w, h}, origin, 1);
+
+  // Edge decoration per segment pitch along the two long edges: small
+  // jogs at or below the CD tolerance (the step detail OPC emits; deeper
+  // steps would demand sub-resolution contrast no dose profile delivers
+  // at sigma = 6.25 -- printable features enter via the stub/hammerhead).
+  std::uniform_int_distribution<int> decoration(0, 9);
+  const int pitch = config.segmentLength;
+  for (int x = 0; x + pitch <= w; x += pitch) {
+    const int x1 = std::min(w, x + pitch);
+    for (const bool top : {true, false}) {
+      if (decoration(rng) < 4) continue;  // plain edge
+      const int d = jog(rng);
+      const bool outward = coin(rng) != 0;
+      if (top) {
+        if (outward) {
+          fillRect(mask, {x, h, x1, h + d}, origin, 1);
+        } else {
+          fillRect(mask, {x, h - d, x1, h}, origin, 0);
+        }
+      } else {
+        if (outward) {
+          fillRect(mask, {x, -d, x1, 0}, origin, 1);
+        } else {
+          fillRect(mask, {x, 0, x1, d}, origin, 0);
+        }
+      }
+    }
+  }
+
+  if (config.tShaped) {
+    // A perpendicular stub with a hammerhead (classic line-end OPC).
+    const int sx = w / 2 - 8;
+    fillRect(mask, {sx, h, sx + 16, h + h}, origin, 1);
+    fillRect(mask, {sx - 5, h + h - 12, sx + 21, h + h}, origin, 1);
+  }
+
+  return largestOuterContour(mask, origin);
+}
+
+std::vector<OpcSynthConfig> opcSuiteConfigs() {
+  std::vector<OpcSynthConfig> suite;
+  for (int i = 1; i <= 10; ++i) {
+    OpcSynthConfig c;
+    c.seed = static_cast<std::uint32_t>(2000 + i);
+    c.width = 90 + 14 * i;
+    c.height = 34 + 3 * (i % 4);
+    c.segmentLength = 22 + 2 * (i % 5);
+    // Jogs stay near the CD tolerance: deeper steps would demand
+    // sub-resolution detail no e-beam dose profile can print at sigma=6.25.
+    c.maxJog = 2;
+    c.tShaped = (i % 3) == 0;
+    suite.push_back(c);
+  }
+  return suite;
+}
+
+}  // namespace mbf

@@ -1,0 +1,33 @@
+// OPC-style rectilinear test shapes: Manhattan polygons with small edge
+// jogs, the "simpler OPC shapes" workload of Jiang & Zakhor's greedy
+// covering paper (paper reference [14]). Unlike the ILT suite these are
+// built directly as polygons (OPC output is the target, not a printed
+// contour), so no feasible reference solution is implied.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/polygon.h"
+
+namespace mbf {
+
+struct OpcSynthConfig {
+  std::uint32_t seed = 1;
+  int width = 120;        ///< base rectangle, nm
+  int height = 45;
+  int segmentLength = 22; ///< jog pitch along each edge, nm
+  int maxJog = 3;         ///< max jog depth, nm (keep near gamma)
+  bool tShaped = false;   ///< add a perpendicular stub (line-end + hammer)
+
+  std::string name() const { return "OPC-" + std::to_string(seed); }
+};
+
+/// Generates one jogged Manhattan polygon.
+Polygon makeOpcShape(const OpcSynthConfig& config);
+
+/// Ten deterministic OPC-style clips of ramping size/jogginess.
+std::vector<OpcSynthConfig> opcSuiteConfigs();
+
+}  // namespace mbf

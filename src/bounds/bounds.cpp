@@ -1,0 +1,41 @@
+#include "bounds/bounds.h"
+
+#include <algorithm>
+
+#include "baselines/candidate_gen.h"
+#include "fracture/corner_extraction.h"
+#include "fracture/shot_graph.h"
+#include "graph/clique.h"
+
+namespace mbf {
+
+BoundsEstimate estimateLowerBound(const Problem& problem) {
+  BoundsEstimate est;
+
+  // (a) Pairwise-incompatible corner features: a clique in the complement
+  // of the compatibility graph. No single shot can supply two corners of
+  // such a clique, so its size bounds the count of distinct shots that
+  // touch corner features (heuristic: shots without a corner role could
+  // in principle cover a feature too).
+  const CornerExtraction extraction = extractCornerPoints(problem);
+  if (!extraction.corners.empty()) {
+    const Graph g = buildShotGraph(problem, extraction.corners);
+    const Graph inv = g.complement();
+    est.cliqueBound = std::max<int>(
+        1, static_cast<int>(greedyMaxClique(inv).size()));
+  }
+
+  // (b) Area bound: Pon pixels divided by the largest inscribed
+  // admissible shot (every shot covers at most that much target area).
+  const std::vector<Rect> candidates =
+      generateCandidateShots(problem, {.maxCandidates = 1});
+  if (!candidates.empty()) {
+    const std::int64_t maxCover =
+        std::max<std::int64_t>(1, problem.onArea(candidates.front()));
+    est.areaBound = static_cast<int>(
+        (problem.numOnPixels() + maxCover - 1) / maxCover);
+  }
+  return est;
+}
+
+}  // namespace mbf

@@ -1,0 +1,25 @@
+// Heuristic shot-count bounds (Table 2's LB/UB columns). The paper's
+// bounds came from a 12-hour ILP benchmarking run (Chan et al., ICCAD'14)
+// that is not reproducible here; these are honest, cheap surrogates:
+//
+//   LB: the larger of (a) a clique in the complement of the shot-corner
+//       compatibility graph (pairwise-incompatible corner features, each
+//       needing its own shot corner) and (b) an area bound against the
+//       largest admissible inscribed shot. Heuristic, not a certificate.
+//   UB: the best feasible heuristic solution (taken by the caller).
+#pragma once
+
+#include "fracture/problem.h"
+
+namespace mbf {
+
+struct BoundsEstimate {
+  int cliqueBound = 1;
+  int areaBound = 1;
+
+  int lower() const { return cliqueBound > areaBound ? cliqueBound : areaBound; }
+};
+
+BoundsEstimate estimateLowerBound(const Problem& problem);
+
+}  // namespace mbf

@@ -1,0 +1,23 @@
+#include "cost/write_time.h"
+
+namespace mbf {
+
+double WriteTimeModel::writeTimeSeconds(std::int64_t shots) const {
+  const double perShotUs = shotExposureUs + shotSettleUs;
+  return static_cast<double>(shots) * perShotUs * 1e-6 +
+         static_cast<double>(shots) * 1e-6 * overheadPerMShotSeconds;
+}
+
+double WriteTimeModel::writeTimeHours(std::int64_t shots) const {
+  return writeTimeSeconds(shots) / 3600.0;
+}
+
+double MaskCostModel::costSavingDollars(std::int64_t before,
+                                        std::int64_t after) const {
+  if (before <= 0) return 0.0;
+  const double reduction =
+      static_cast<double>(before - after) / static_cast<double>(before);
+  return maskCostDollars * costSavingFraction(reduction);
+}
+
+}  // namespace mbf

@@ -1,0 +1,49 @@
+// Mask write time and cost model (paper section 1, citing Zhang et al.'s
+// "Mask cost analysis via write time estimation"). Variable-shaped-beam
+// write time is dominated by per-shot work, so
+//
+//   T_write ~ N_shots * (t_exposure + t_settle) + overheads,
+//
+// and, with mask write ~20 % of mask manufacturing cost and write cost
+// proportional to write time (e-beam tool depreciation), a shot-count
+// reduction of r translates to roughly 0.2 * r of mask cost -- the
+// paper's "10 % fewer shots ~ 2 % cheaper mask" arithmetic.
+#pragma once
+
+#include <cstdint>
+
+namespace mbf {
+
+struct WriteTimeModel {
+  /// Per-shot beam-on time, microseconds (dose / current density).
+  double shotExposureUs = 1.0;
+  /// Per-shot blanking/settling time, microseconds.
+  double shotSettleUs = 0.6;
+  /// Stage/subfield overhead added per million shots, seconds.
+  double overheadPerMShotSeconds = 120.0;
+
+  /// Write time for a shot count, in seconds.
+  double writeTimeSeconds(std::int64_t shots) const;
+  /// Same, in hours.
+  double writeTimeHours(std::int64_t shots) const;
+};
+
+struct MaskCostModel {
+  /// Cost of one critical mask, dollars (the paper: a modern mask *set*
+  /// exceeds $1M; a single critical EUV/193i mask runs $100k-$300k).
+  double maskCostDollars = 250000.0;
+  /// Fraction of mask manufacturing cost attributable to mask write
+  /// (paper: ~20 %).
+  double writeCostFraction = 0.2;
+
+  /// Relative mask-cost saving for a relative shot-count reduction
+  /// (paper footnote 1: proportionality through e-beam depreciation).
+  double costSavingFraction(double shotReductionFraction) const {
+    return writeCostFraction * shotReductionFraction;
+  }
+  /// Dollar saving per mask for a shot reduction from `before` to
+  /// `after` shots (same workload).
+  double costSavingDollars(std::int64_t before, std::int64_t after) const;
+};
+
+}  // namespace mbf

@@ -1,0 +1,26 @@
+#include "ebeam/corner_rounding.h"
+
+namespace mbf {
+
+std::vector<LthSample> sweepLthVsGamma(const ProximityModel& model,
+                                       double gammaMin, double gammaMax,
+                                       double step) {
+  std::vector<LthSample> out;
+  for (double g = gammaMin; g <= gammaMax + 1e-9; g += step) {
+    out.push_back({g, model.computeLth(g)});
+  }
+  return out;
+}
+
+std::vector<LthSample> sweepLthVsSigma(double rho, double gamma,
+                                       double sigmaMin, double sigmaMax,
+                                       double step) {
+  std::vector<LthSample> out;
+  for (double s = sigmaMin; s <= sigmaMax + 1e-9; s += step) {
+    const ProximityModel model(s, rho);
+    out.push_back({s, model.computeLth(gamma)});
+  }
+  return out;
+}
+
+}  // namespace mbf

@@ -1,0 +1,29 @@
+// Figure-2 utilities: sweep helpers around the corner-rounding behaviour
+// of the proximity model. The heavy lifting lives in ProximityModel
+// (cornerContour / computeLth / cornerErosionDepth); this header adds the
+// sweep used by bench/fig2_lth and a convenience sample struct.
+#pragma once
+
+#include <vector>
+
+#include "ebeam/proximity_model.h"
+
+namespace mbf {
+
+struct LthSample {
+  double param = 0.0;  // the swept quantity (gamma or sigma), nm
+  double lth = 0.0;    // longest printable 45-degree segment, nm
+};
+
+/// Lth as a function of CD tolerance for a fixed model (figure 2's
+/// definition swept over gamma).
+std::vector<LthSample> sweepLthVsGamma(const ProximityModel& model,
+                                       double gammaMin, double gammaMax,
+                                       double step);
+
+/// Lth as a function of sigma for a fixed gamma.
+std::vector<LthSample> sweepLthVsSigma(double rho, double gamma,
+                                       double sigmaMin, double sigmaMax,
+                                       double step);
+
+}  // namespace mbf

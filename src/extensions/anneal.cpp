@@ -1,0 +1,87 @@
+#include "extensions/anneal.h"
+
+#include <cmath>
+#include <random>
+
+#include "fracture/verifier.h"
+
+namespace mbf {
+
+AnnealRefiner::AnnealRefiner(const Problem& problem, AnnealConfig config)
+    : problem_(&problem), config_(config) {}
+
+Solution AnnealRefiner::refine(std::vector<Rect> initialShots) const {
+  Verifier verifier(*problem_);
+  verifier.setShots(initialShots);
+
+  std::mt19937 rng(config_.seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  Violations current = verifier.violations();
+  std::vector<Rect> bestShots = verifier.shots();
+  Violations bestV = current;
+  double cost = current.cost;
+
+  const int lmin = problem_->params().lmin;
+  const double coolRate =
+      config_.iterations > 1
+          ? std::pow(config_.endTemperature / config_.startTemperature,
+                     1.0 / config_.iterations)
+          : 1.0;
+
+  double temperature = config_.startTemperature;
+  int sinceResync = 0;
+  for (int iter = 0; iter < config_.iterations; ++iter) {
+    temperature *= coolRate;
+    if (verifier.shots().empty()) break;
+
+    const std::size_t shotIdx = std::uniform_int_distribution<std::size_t>(
+        0, verifier.shots().size() - 1)(rng);
+    const int edge = std::uniform_int_distribution<int>(0, 3)(rng);
+    const int dir = std::uniform_int_distribution<int>(0, 1)(rng) ? 1 : -1;
+
+    Rect cand = verifier.shots()[shotIdx];
+    switch (edge) {
+      case 0: cand.x0 += dir; break;
+      case 1: cand.x1 += dir; break;
+      case 2: cand.y0 += dir; break;
+      default: cand.y1 += dir; break;
+    }
+    if (cand.width() < lmin || cand.height() < lmin) continue;
+
+    const double delta = verifier.costDeltaForReplace(shotIdx, cand);
+    if (delta <= 0.0 || unit(rng) < std::exp(-delta / temperature)) {
+      verifier.replaceShot(shotIdx, cand);
+      cost += delta;
+      if (++sinceResync >= config_.resyncInterval || cost <= 0.0) {
+        sinceResync = 0;
+        current = verifier.violations();
+        cost = current.cost;
+        if (current.total() < bestV.total() ||
+            (current.total() == bestV.total() && current.cost < bestV.cost)) {
+          bestV = current;
+          bestShots = verifier.shots();
+        }
+        if (current.total() == 0) break;
+      }
+    }
+  }
+
+  // Final exact check of the end state.
+  current = verifier.violations();
+  if (current.total() < bestV.total() ||
+      (current.total() == bestV.total() && current.cost < bestV.cost)) {
+    bestV = current;
+    bestShots = verifier.shots();
+  }
+
+  Solution sol;
+  sol.method = "anneal";
+  sol.shots = std::move(bestShots);
+  Verifier finalCheck(*problem_);
+  finalCheck.setShots(sol.shots);
+  finalCheck.writeStats(sol);
+  return sol;
+}
+
+}  // namespace mbf

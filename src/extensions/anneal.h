@@ -1,0 +1,40 @@
+// Simulated-annealing shot refinement -- an alternative to the paper's
+// greedy edge adjustment (the paper notes "better heuristics exist" for
+// both of its stages). Same move set (single shot edge +-1 nm), same
+// cost (Eq. 5), but Metropolis acceptance with a geometric cooling
+// schedule instead of sorted greedy passes. bench/ablation_anneal
+// measures whether the stochastic search earns its extra runtime.
+#pragma once
+
+#include <vector>
+
+#include "fracture/problem.h"
+#include "fracture/solution.h"
+
+namespace mbf {
+
+struct AnnealConfig {
+  int iterations = 30000;
+  double startTemperature = 0.3;
+  double endTemperature = 1e-4;
+  unsigned seed = 1;
+  /// Re-evaluate the exact violation state every this many accepted
+  /// moves (incremental cost accumulates float drift).
+  int resyncInterval = 512;
+};
+
+class AnnealRefiner {
+ public:
+  AnnealRefiner(const Problem& problem, AnnealConfig config = {});
+
+  /// Anneals from `initialShots`; returns the best visited state by
+  /// (failing pixels, cost). Shot count never changes (no structural
+  /// moves -- pair with the paper's add/remove/merge if needed).
+  Solution refine(std::vector<Rect> initialShots) const;
+
+ private:
+  const Problem* problem_;
+  AnnealConfig config_;
+};
+
+}  // namespace mbf

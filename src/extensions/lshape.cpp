@@ -1,0 +1,126 @@
+#include "extensions/lshape.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "baselines/rect_partition.h"
+
+namespace mbf {
+namespace {
+
+bool overlapPositive(int a0, int a1, int b0, int b1) {
+  return std::max(a0, b0) < std::min(a1, b1);
+}
+
+}  // namespace
+
+bool canFormLShot(const Rect& a, const Rect& b) {
+  if (a.empty() || b.empty() || a.intersects(b)) return false;
+  // Vertical abutment (shared vertical segment).
+  if (a.x1 == b.x0 || b.x1 == a.x0) {
+    if (!overlapPositive(a.y0, a.y1, b.y0, b.y1)) return false;
+    // Union is a rect or an L exactly when the y-extents share an end.
+    return a.y0 == b.y0 || a.y1 == b.y1;
+  }
+  // Horizontal abutment.
+  if (a.y1 == b.y0 || b.y1 == a.y0) {
+    if (!overlapPositive(a.x0, a.x1, b.x0, b.x1)) return false;
+    return a.x0 == b.x0 || a.x1 == b.x1;
+  }
+  return false;
+}
+
+LShapeResult lShapeFracture(const Polygon& rectilinearPolygon) {
+  const PartitionResult part = minRectPartition(rectilinearPolygon);
+  const std::vector<Rect>& rects = part.rects;
+  const std::size_t n = rects.size();
+
+  std::vector<std::vector<int>> adj(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (canFormLShot(rects[i], rects[j])) {
+        adj[i].push_back(static_cast<int>(j));
+        adj[j].push_back(static_cast<int>(i));
+      }
+    }
+  }
+
+  // Greedy maximal matching, lowest-degree vertices first (classic
+  // heuristic: constrained rects pair up before their partners are taken).
+  std::vector<int> mate(n, -1);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return adj[x].size() < adj[y].size();
+  });
+  auto tryMatch = [&](std::size_t u) {
+    if (mate[u] >= 0) return;
+    int best = -1;
+    std::size_t bestDegree = SIZE_MAX;
+    for (const int v : adj[u]) {
+      if (mate[static_cast<std::size_t>(v)] < 0 &&
+          adj[static_cast<std::size_t>(v)].size() < bestDegree) {
+        bestDegree = adj[static_cast<std::size_t>(v)].size();
+        best = v;
+      }
+    }
+    if (best >= 0) {
+      mate[u] = best;
+      mate[static_cast<std::size_t>(best)] = static_cast<int>(u);
+    }
+  };
+  for (const std::size_t u : order) tryMatch(u);
+
+  // One augmenting pass (paths of length 3): free u -- v matched to w,
+  // and w has another free neighbour x: rewire to (u,v) and (w,x).
+  for (std::size_t u = 0; u < n; ++u) {
+    if (mate[u] >= 0) continue;
+    bool augmented = false;
+    for (const int v : adj[u]) {
+      const int w = mate[static_cast<std::size_t>(v)];
+      if (w < 0) continue;  // shouldn't happen after greedy, but be safe
+      for (const int x : adj[static_cast<std::size_t>(w)]) {
+        if (x != v && mate[static_cast<std::size_t>(x)] < 0 &&
+            static_cast<std::size_t>(x) != u) {
+          mate[u] = v;
+          mate[static_cast<std::size_t>(v)] = static_cast<int>(u);
+          mate[static_cast<std::size_t>(w)] = x;
+          mate[static_cast<std::size_t>(x)] = w;
+          augmented = true;
+          break;
+        }
+      }
+      if (augmented) break;
+    }
+  }
+
+  LShapeResult result;
+  result.rectanglesBeforePairing = static_cast<int>(n);
+  std::vector<char> used(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (used[i]) continue;
+    used[i] = 1;
+    LShot shot;
+    shot.a = rects[i];
+    if (mate[i] >= 0) {
+      const std::size_t j = static_cast<std::size_t>(mate[i]);
+      used[j] = 1;
+      shot.b = rects[j];
+      ++result.pairsMatched;
+    }
+    result.shots.push_back(shot);
+  }
+  return result;
+}
+
+std::vector<Rect> flattenLShots(const std::vector<LShot>& shots) {
+  std::vector<Rect> out;
+  out.reserve(shots.size() * 2);
+  for (const LShot& s : shots) {
+    out.push_back(s.a);
+    if (!s.isRectangular()) out.push_back(s.b);
+  }
+  return out;
+}
+
+}  // namespace mbf

@@ -1,0 +1,61 @@
+// L-shaped shot extension. The paper's related work (Yu, Gao & Pan,
+// ASP-DAC'13) reduces shot count by letting the writer expose L-shaped
+// apertures: two abutting rectangles whose union is an L-polygon count
+// as ONE shot. This module implements the classic flow on top of our
+// conventional partition baseline:
+//
+//   1. minimum rectangular partition (baselines/rect_partition.h),
+//   2. adjacency graph over partition rectangles: an edge when two
+//      rectangles abut along a shared segment and their union is an
+//      L-shape (or a plain rectangle),
+//   3. maximum matching on that graph -- every matched pair becomes one
+//      L-shot, so shots = rects - |matching|.
+//
+// Exposure-wise an L aperture is exactly the sum of its two disjoint
+// rectangles, so dose verification reuses the rectangular machinery; only
+// the *count* changes.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fracture/problem.h"
+#include "fracture/solution.h"
+#include "geometry/polygon.h"
+#include "geometry/rect.h"
+
+namespace mbf {
+
+/// One L-shot: two disjoint abutting rectangles exposed as one aperture.
+/// `b.empty()` means a plain rectangular shot.
+struct LShot {
+  Rect a;
+  Rect b;
+
+  bool isRectangular() const { return b.empty(); }
+};
+
+/// True when `a` and `b` abut along a shared boundary segment of positive
+/// length and their union is writable as one L/rect aperture (union is a
+/// rectangle or an L-polygon -- i.e. the pair is aligned at one end of
+/// the shared axis or spans it fully).
+bool canFormLShot(const Rect& a, const Rect& b);
+
+struct LShapeResult {
+  std::vector<LShot> shots;
+  int rectanglesBeforePairing = 0;
+  int pairsMatched = 0;
+
+  int shotCount() const { return static_cast<int>(shots.size()); }
+};
+
+/// Runs the partition + pairing flow on a rectilinear polygon. Uses
+/// greedy maximal matching with a single augmenting improvement pass
+/// (optimal matching needs Blossom; the graphs here are small and sparse,
+/// and greedy+1 is within one of optimal in practice).
+LShapeResult lShapeFracture(const Polygon& rectilinearPolygon);
+
+/// Flattens L-shots to plain rectangles (for dose verification).
+std::vector<Rect> flattenLShots(const std::vector<LShot>& shots);
+
+}  // namespace mbf

@@ -1,0 +1,95 @@
+// Variable-dose fracturing extension. The paper restricts itself to the
+// fixed-dose model (following Elayat et al.'s conclusion that fixed dose
+// is the most tool-friendly choice) but cites per-shot dose modulation
+// (Galler et al.) as the alternative design point. This module implements
+// that alternative so the trade-off can be measured:
+//
+//   - DosedShot: a rectangular shot with a dose multiplier,
+//   - DoseVerifier: Eq. 4 / Eq. 5 evaluation for dosed shot sets,
+//   - VariableDoseRefiner: greedy coordinate descent over shot edges
+//     (+-1 nm) AND shot doses (+-doseStep), same blocking/stagnation
+//     machinery as the paper's refiner,
+//   - reduceShots: removes shots one at a time, re-optimizing after each
+//     removal, for as long as feasibility can be re-established -- the
+//     "how many shots does dose freedom save?" experiment
+//     (bench/ext_variable_dose).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ebeam/intensity_map.h"
+#include "fracture/problem.h"
+#include "fracture/verifier.h"
+
+namespace mbf {
+
+struct DosedShot {
+  Rect rect;
+  double dose = 1.0;
+
+  friend bool operator==(const DosedShot&, const DosedShot&) = default;
+};
+
+/// Dose-aware analogue of Verifier (fracture/verifier.h).
+class DoseVerifier {
+ public:
+  explicit DoseVerifier(const Problem& problem);
+
+  void setShots(std::span<const DosedShot> shots);
+  void addShot(const DosedShot& shot);
+  void removeShot(std::size_t index);
+  void replaceShot(std::size_t index, const DosedShot& replacement);
+
+  const std::vector<DosedShot>& shots() const { return shots_; }
+  const Problem& problem() const { return *problem_; }
+
+  Violations violations() const;
+
+  /// Cost change if shot `index` were replaced (rect and/or dose),
+  /// without mutating anything.
+  double costDeltaForReplace(std::size_t index,
+                             const DosedShot& replacement) const;
+
+ private:
+  const Problem* problem_;
+  IntensityMap map_;
+  std::vector<DosedShot> shots_;
+};
+
+struct VariableDoseConfig {
+  double doseMin = 0.6;
+  double doseMax = 1.6;
+  double doseStep = 0.05;
+  int nmax = 400;  ///< optimization iterations per refine() call
+};
+
+struct VariableDoseResult {
+  std::vector<DosedShot> shots;
+  Violations violations;
+  bool feasible() const { return violations.total() == 0; }
+};
+
+class VariableDoseRefiner {
+ public:
+  VariableDoseRefiner(const Problem& problem, VariableDoseConfig config = {});
+
+  /// Greedy edge+dose descent from `initial`; returns the best visited
+  /// state (fewest failing pixels, then lowest cost).
+  VariableDoseResult refine(std::vector<DosedShot> initial) const;
+
+  /// Starting from a (typically fixed-dose) solution, repeatedly removes
+  /// the shot whose removal hurts least and re-optimizes; keeps going
+  /// while feasibility can be restored. Returns the smallest feasible
+  /// dosed solution found (or the refined input if nothing can go).
+  VariableDoseResult reduceShots(std::vector<DosedShot> initial) const;
+
+ private:
+  const Problem* problem_;
+  VariableDoseConfig config_;
+};
+
+/// Convenience: lift a fixed-dose shot list to DosedShots at dose 1.
+std::vector<DosedShot> withUnitDose(std::span<const Rect> shots);
+
+}  // namespace mbf

@@ -1,0 +1,24 @@
+#include "fracture/model_based_fracturer.h"
+
+#include <chrono>
+#include <utility>
+
+namespace mbf {
+
+Solution ModelBasedFracturer::fracture(const Problem& problem) const {
+  const auto start = std::chrono::steady_clock::now();
+
+  ColoringArtifacts art =
+      ColoringFracturer{}.fractureWithArtifacts(problem);
+  Refiner refiner(problem);
+  Solution sol = refiner.refine(std::move(art.shots));
+  lastStats_ = refiner.stats();
+
+  sol.method = "ours";
+  sol.runtimeSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return sol;
+}
+
+}  // namespace mbf

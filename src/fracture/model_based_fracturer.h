@@ -1,0 +1,28 @@
+// The paper's complete method: graph-coloring-based approximate
+// fracturing (section 3) followed by iterative shot refinement
+// (section 4). This is the library's headline entry point.
+//
+//   Problem problem(polygon, FractureParams{});
+//   Solution sol = ModelBasedFracturer{}.fracture(problem);
+//
+#pragma once
+
+#include "fracture/coloring_fracturer.h"
+#include "fracture/problem.h"
+#include "fracture/refiner.h"
+#include "fracture/solution.h"
+
+namespace mbf {
+
+class ModelBasedFracturer {
+ public:
+  Solution fracture(const Problem& problem) const;
+
+  /// Stats of the refinement stage of the last fracture() call.
+  const RefinerStats& lastRefinerStats() const { return lastStats_; }
+
+ private:
+  mutable RefinerStats lastStats_;
+};
+
+}  // namespace mbf

@@ -1,0 +1,5 @@
+#include "fracture/params.h"
+
+// FractureParams is a plain aggregate; this translation unit exists so the
+// header has a home in the library and future out-of-line helpers (e.g.
+// parameter-file parsing) have somewhere to live.

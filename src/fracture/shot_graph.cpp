@@ -1,0 +1,121 @@
+#include "fracture/shot_graph.h"
+
+#include <cmath>
+
+#include "fracture/coloring_fracturer.h"
+
+namespace mbf {
+namespace {
+
+int roundNm(double v) { return static_cast<int>(std::lround(v)); }
+
+bool isLeftType(CornerType t) {
+  return t == CornerType::kBottomLeft || t == CornerType::kTopLeft;
+}
+bool isBottomType(CornerType t) {
+  return t == CornerType::kBottomLeft || t == CornerType::kBottomRight;
+}
+
+}  // namespace
+
+std::optional<Rect> testShot(const CornerPoint& a, const CornerPoint& b,
+                             int lmin) {
+  if (a.type == b.type) return std::nullopt;
+
+  const bool aLeft = isLeftType(a.type);
+  const bool bLeft = isLeftType(b.type);
+  const bool aBottom = isBottomType(a.type);
+  const bool bBottom = isBottomType(b.type);
+
+  if (aLeft != bLeft && aBottom != bBottom) {
+    // Diagonal pair: the shot is unique. Orientation must be consistent:
+    // the left point left of the right one, the bottom point below the
+    // top one.
+    const CornerPoint& left = aLeft ? a : b;
+    const CornerPoint& right = aLeft ? b : a;
+    const CornerPoint& bottom = aBottom ? a : b;
+    const CornerPoint& top = aBottom ? b : a;
+    if (left.pos.x >= right.pos.x || bottom.pos.y >= top.pos.y) {
+      return std::nullopt;
+    }
+    Rect r{roundNm(left.pos.x), roundNm(bottom.pos.y), roundNm(right.pos.x),
+           roundNm(top.pos.y)};
+    if (r.width() < lmin || r.height() < lmin) return std::nullopt;
+    return r;
+  }
+
+  if (aLeft == bLeft && aBottom != bBottom) {
+    // Same vertical shot edge (both left or both right): minimum width.
+    const CornerPoint& bottom = aBottom ? a : b;
+    const CornerPoint& top = aBottom ? b : a;
+    if (bottom.pos.y >= top.pos.y) return std::nullopt;
+    const double x = 0.5 * (a.pos.x + b.pos.x);
+    Rect r;
+    if (aLeft) {
+      r = {roundNm(x), roundNm(bottom.pos.y), roundNm(x) + lmin,
+           roundNm(top.pos.y)};
+    } else {
+      r = {roundNm(x) - lmin, roundNm(bottom.pos.y), roundNm(x),
+           roundNm(top.pos.y)};
+    }
+    if (r.height() < lmin) return std::nullopt;
+    return r;
+  }
+
+  // Same horizontal shot edge (both bottom or both top): minimum height.
+  const CornerPoint& left = aLeft ? a : b;
+  const CornerPoint& right = aLeft ? b : a;
+  if (left.pos.x >= right.pos.x) return std::nullopt;
+  const double y = 0.5 * (a.pos.y + b.pos.y);
+  Rect r;
+  if (aBottom) {
+    r = {roundNm(left.pos.x), roundNm(y), roundNm(right.pos.x),
+         roundNm(y) + lmin};
+  } else {
+    r = {roundNm(left.pos.x), roundNm(y) - lmin, roundNm(right.pos.x),
+         roundNm(y)};
+  }
+  if (r.width() < lmin) return std::nullopt;
+  return r;
+}
+
+bool shotAdmissible(const Problem& problem, const Rect& shot) {
+  const FractureParams& p = problem.params();
+  if (shot.width() < p.lmin || shot.height() < p.lmin) return false;
+  // Corner points are deliberately shifted ~Lth/(2 sqrt 2) outside the
+  // target to pre-compensate corner rounding, so the overlap test is run
+  // on the shot with that overshoot removed; otherwise even a perfect
+  // single-shot square would fail the 80 % criterion.
+  const int comp =
+      static_cast<int>(std::lround(problem.lth() / (2.0 * std::sqrt(2.0))));
+  Rect core = shot.inflated(-comp);
+  if (core.empty()) core = shot;
+  const std::int64_t inside = problem.insideArea(core);
+  return static_cast<double>(inside) >=
+         p.overlapFraction * static_cast<double>(core.area());
+}
+
+Graph buildShotGraph(const Problem& problem,
+                     const std::vector<CornerPoint>& corners) {
+  const int n = static_cast<int>(corners.size());
+  Graph g(n);
+  const int lmin = problem.params().lmin;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      const CornerPoint& a = corners[static_cast<std::size_t>(i)];
+      const CornerPoint& b = corners[static_cast<std::size_t>(j)];
+      // testShot screens type compatibility and orientation; the overlap
+      // admission runs on the shot the coloring stage would actually
+      // place for this pair (same-edge pairs extend to the opposite
+      // target boundary, figure 4), because the minimum-width proxy shot
+      // sits half outside the target whenever corner points carry their
+      // rounding-compensation overshoot.
+      if (!testShot(a, b, lmin).has_value()) continue;
+      const Rect placed = placeShotForClass(problem, {a, b});
+      if (shotAdmissible(problem, placed)) g.addEdge(i, j);
+    }
+  }
+  return g;
+}
+
+}  // namespace mbf

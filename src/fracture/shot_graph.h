@@ -1,0 +1,33 @@
+// The shot-corner compatibility graph (paper section 3): vertices are
+// clustered corner points; an edge connects two points of different
+// corner types whose implied "test shot" meets the minimum size and
+// overlaps the target by at least the configured fraction. Every clique
+// is a placeable shot, so minimum clique partition = coloring of the
+// complement graph.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "fracture/corner_extraction.h"
+#include "fracture/problem.h"
+#include "graph/graph.h"
+
+namespace mbf {
+
+/// Test shot implied by a pair of corner points, or nullopt when the pair
+/// is geometrically inconsistent (e.g. a bottom-left point that is not
+/// left of and below a top-right point). Diagonal pairs determine the
+/// shot uniquely; same-edge pairs get the minimum allowed extent in the
+/// free direction (paper section 3). No overlap test here.
+std::optional<Rect> testShot(const CornerPoint& a, const CornerPoint& b,
+                             int lmin);
+
+/// True when `shot` passes the size + target-overlap admission test.
+bool shotAdmissible(const Problem& problem, const Rect& shot);
+
+/// Builds the compatibility graph over `corners`.
+Graph buildShotGraph(const Problem& problem,
+                     const std::vector<CornerPoint>& corners);
+
+}  // namespace mbf

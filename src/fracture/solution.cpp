@@ -1,0 +1,3 @@
+#include "fracture/solution.h"
+
+// Solution is a plain aggregate; see solution.h.

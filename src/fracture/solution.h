@@ -1,0 +1,28 @@
+// A fracturing solution: the shot list plus the quality statistics every
+// fracturer reports (shot count, failing pixels, refinement cost,
+// runtime). Shots are world-coordinate rectangles.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geometry/rect.h"
+
+namespace mbf {
+
+struct Solution {
+  std::vector<Rect> shots;
+
+  std::int64_t failOn = 0;   ///< Pon pixels below rho
+  std::int64_t failOff = 0;  ///< Poff pixels at or above rho
+  double cost = 0.0;         ///< sum of |Itot - rho| over failing pixels
+  double runtimeSeconds = 0.0;
+  std::string method;
+
+  int shotCount() const { return static_cast<int>(shots.size()); }
+  std::int64_t failingPixels() const { return failOn + failOff; }
+  bool feasible() const { return failingPixels() == 0; }
+};
+
+}  // namespace mbf

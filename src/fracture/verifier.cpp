@@ -1,0 +1,206 @@
+#include "fracture/verifier.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace mbf {
+
+Verifier::Verifier(const Problem& problem)
+    : problem_(&problem),
+      map_(problem.model(), problem.origin(), problem.gridWidth(),
+           problem.gridHeight()) {}
+
+void Verifier::setShots(std::span<const Rect> shots) {
+  map_.clear();
+  shots_.assign(shots.begin(), shots.end());
+  for (const Rect& s : shots_) map_.addShot(s);
+}
+
+void Verifier::addShot(const Rect& shot) {
+  shots_.push_back(shot);
+  map_.addShot(shot);
+}
+
+void Verifier::removeShot(std::size_t index) {
+  assert(index < shots_.size());
+  map_.removeShot(shots_[index]);
+  shots_.erase(shots_.begin() + static_cast<std::ptrdiff_t>(index));
+}
+
+void Verifier::replaceShot(std::size_t index, const Rect& replacement) {
+  assert(index < shots_.size());
+  map_.removeShot(shots_[index]);
+  map_.addShot(replacement);
+  shots_[index] = replacement;
+}
+
+Violations Verifier::violations() const {
+  return violationsInWindow(
+      {0, 0, problem_->gridWidth(), problem_->gridHeight()});
+}
+
+Violations Verifier::violationsInWindow(const Rect& gridWindow) const {
+  Violations v;
+  const double rho = problem_->model().rho();
+  const auto& classes = problem_->classGrid();
+  for (int y = gridWindow.y0; y < gridWindow.y1; ++y) {
+    const std::uint8_t* cls = classes.row(y);
+    const float* inten = map_.grid().row(y);
+    for (int x = gridWindow.x0; x < gridWindow.x1; ++x) {
+      const double i = inten[x];
+      switch (static_cast<PixelClass>(cls[x])) {
+        case PixelClass::kOn:
+          if (i < rho) {
+            ++v.failOn;
+            v.cost += rho - i;
+          }
+          break;
+        case PixelClass::kOff:
+          if (i >= rho) {
+            ++v.failOff;
+            v.cost += i - rho;
+          }
+          break;
+        case PixelClass::kDontCare:
+          break;
+      }
+    }
+  }
+  return v;
+}
+
+double Verifier::costDeltaForReplace(std::size_t index,
+                                     const Rect& replacement) const {
+  assert(index < shots_.size());
+  const Rect& oldShot = shots_[index];
+  // Intensity only changes near coordinates that moved; when a single
+  // edge moved (the refiner's bread-and-butter query) the change window
+  // is a thin strip around that edge instead of the whole shot halo.
+  Rect changed = oldShot.unionWith(replacement);
+  const bool xSame = oldShot.x0 == replacement.x0 && oldShot.x1 == replacement.x1;
+  const bool ySame = oldShot.y0 == replacement.y0 && oldShot.y1 == replacement.y1;
+  if (xSame && !ySame) {
+    if (oldShot.y0 == replacement.y0) {
+      changed.y0 = std::min(oldShot.y1, replacement.y1);  // top edge moved
+    } else if (oldShot.y1 == replacement.y1) {
+      changed.y1 = std::max(oldShot.y0, replacement.y0);  // bottom edge
+    }
+  } else if (ySame && !xSame) {
+    if (oldShot.x0 == replacement.x0) {
+      changed.x0 = std::min(oldShot.x1, replacement.x1);  // right edge
+    } else if (oldShot.x1 == replacement.x1) {
+      changed.x1 = std::max(oldShot.x0, replacement.x0);  // left edge
+    }
+  }
+  const Rect w = map_.influenceWindow(changed);
+  if (w.empty()) return 0.0;
+
+  const ProximityModel& model = problem_->model();
+  const double rho = model.rho();
+  const Point origin = problem_->origin();
+
+  // 1D edge profiles of the old and new shot over the window.
+  const std::size_t nw = static_cast<std::size_t>(w.width());
+  const std::size_t nh = static_cast<std::size_t>(w.height());
+  std::vector<double> axOld(nw), axNew(nw), byOld(nh), byNew(nh);
+  for (int x = w.x0; x < w.x1; ++x) {
+    const double px = origin.x + x + 0.5;
+    axOld[static_cast<std::size_t>(x - w.x0)] =
+        model.edgeProfile(oldShot.x1 - px) - model.edgeProfile(oldShot.x0 - px);
+    axNew[static_cast<std::size_t>(x - w.x0)] =
+        model.edgeProfile(replacement.x1 - px) -
+        model.edgeProfile(replacement.x0 - px);
+  }
+  for (int y = w.y0; y < w.y1; ++y) {
+    const double py = origin.y + y + 0.5;
+    byOld[static_cast<std::size_t>(y - w.y0)] =
+        model.edgeProfile(oldShot.y1 - py) - model.edgeProfile(oldShot.y0 - py);
+    byNew[static_cast<std::size_t>(y - w.y0)] =
+        model.edgeProfile(replacement.y1 - py) -
+        model.edgeProfile(replacement.y0 - py);
+  }
+
+  double delta = 0.0;
+  const auto& classes = problem_->classGrid();
+  for (int y = w.y0; y < w.y1; ++y) {
+    const std::uint8_t* cls = classes.row(y);
+    const float* inten = map_.grid().row(y);
+    const double bo = byOld[static_cast<std::size_t>(y - w.y0)];
+    const double bn = byNew[static_cast<std::size_t>(y - w.y0)];
+    for (int x = w.x0; x < w.x1; ++x) {
+      const PixelClass c = static_cast<PixelClass>(cls[x]);
+      if (c == PixelClass::kDontCare) continue;
+      const double iOld = inten[x];
+      const double iNew = iOld -
+                          axOld[static_cast<std::size_t>(x - w.x0)] * bo +
+                          axNew[static_cast<std::size_t>(x - w.x0)] * bn;
+      if (c == PixelClass::kOn) {
+        if (iOld < rho) delta -= rho - iOld;
+        if (iNew < rho) delta += rho - iNew;
+      } else {
+        if (iOld >= rho) delta -= iOld - rho;
+        if (iNew >= rho) delta += iNew - rho;
+      }
+    }
+  }
+  return delta;
+}
+
+MaskGrid Verifier::failingOnMask() const {
+  const double rho = problem_->model().rho();
+  MaskGrid out(problem_->gridWidth(), problem_->gridHeight(), 0);
+  const auto& classes = problem_->classGrid();
+  for (int y = 0; y < out.height(); ++y) {
+    const std::uint8_t* cls = classes.row(y);
+    const float* inten = map_.grid().row(y);
+    for (int x = 0; x < out.width(); ++x) {
+      if (static_cast<PixelClass>(cls[x]) == PixelClass::kOn &&
+          inten[x] < rho) {
+        out.at(x, y) = 1;
+      }
+    }
+  }
+  return out;
+}
+
+std::int64_t Verifier::failingOffNear(const Rect& shot, double radius) const {
+  const double rho = problem_->model().rho();
+  const int r = static_cast<int>(std::ceil(radius)) + 1;
+  Rect w = problem_->worldToGrid(shot.inflated(r));
+  w.x0 = std::max(w.x0, 0);
+  w.y0 = std::max(w.y0, 0);
+  w.x1 = std::min(w.x1, problem_->gridWidth());
+  w.y1 = std::min(w.y1, problem_->gridHeight());
+
+  std::int64_t n = 0;
+  const auto& classes = problem_->classGrid();
+  const Point origin = problem_->origin();
+  for (int y = w.y0; y < w.y1; ++y) {
+    const std::uint8_t* cls = classes.row(y);
+    const float* inten = map_.grid().row(y);
+    for (int x = w.x0; x < w.x1; ++x) {
+      if (static_cast<PixelClass>(cls[x]) != PixelClass::kOff) continue;
+      if (inten[x] < rho) continue;
+      if (shot.distanceTo(origin.x + x + 0.5, origin.y + y + 0.5) < radius) {
+        ++n;
+      }
+    }
+  }
+  return n;
+}
+
+void Verifier::writeStats(Solution& solution) const {
+  const Violations v = violations();
+  solution.failOn = v.failOn;
+  solution.failOff = v.failOff;
+  solution.cost = v.cost;
+}
+
+Violations evaluateShots(const Problem& problem, std::span<const Rect> shots) {
+  Verifier verifier(problem);
+  verifier.setShots(shots);
+  return verifier.violations();
+}
+
+}  // namespace mbf

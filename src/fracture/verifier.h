@@ -1,0 +1,81 @@
+// Dose verification against the Eq. 4 constraints. Owns the accumulated
+// intensity map for a shot set and answers, globally or over a window:
+// how many Pon / Poff pixels fail, and what is the refinement cost
+// (Eq. 5, sum of |Itot - rho| over failing pixels).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "ebeam/intensity_map.h"
+#include "fracture/problem.h"
+#include "fracture/solution.h"
+#include "geometry/rect.h"
+
+namespace mbf {
+
+struct Violations {
+  std::int64_t failOn = 0;
+  std::int64_t failOff = 0;
+  double cost = 0.0;
+
+  std::int64_t total() const { return failOn + failOff; }
+
+  Violations& operator+=(const Violations& o) {
+    failOn += o.failOn;
+    failOff += o.failOff;
+    cost += o.cost;
+    return *this;
+  }
+  Violations operator-(const Violations& o) const {
+    return {failOn - o.failOn, failOff - o.failOff, cost - o.cost};
+  }
+};
+
+class Verifier {
+ public:
+  explicit Verifier(const Problem& problem);
+
+  const Problem& problem() const { return *problem_; }
+  const IntensityMap& intensity() const { return map_; }
+
+  /// Replaces the tracked shot set.
+  void setShots(std::span<const Rect> shots);
+  void addShot(const Rect& shot);
+  void removeShot(std::size_t index);
+  /// Replaces shot `index` with `replacement`, updating intensity
+  /// incrementally (the refiner's edge moves go through here).
+  void replaceShot(std::size_t index, const Rect& replacement);
+
+  const std::vector<Rect>& shots() const { return shots_; }
+
+  /// Full-grid violation scan.
+  Violations violations() const;
+  /// Violation scan restricted to a grid-local window (cells
+  /// [x0, x1) x [y0, y1), already clamped by the caller).
+  Violations violationsInWindow(const Rect& gridWindow) const;
+
+  /// Cost change if shot `index` were replaced by `replacement`, without
+  /// mutating anything. Evaluated over the union influence window with
+  /// separable 1D profiles (the "three convolutions" of paper 4.1).
+  double costDeltaForReplace(std::size_t index, const Rect& replacement) const;
+
+  /// Grid-local failing-pixel mask restricted to Pon (for AddShot).
+  MaskGrid failingOnMask() const;
+
+  /// Failing Poff pixels within `radius` nm of `shot` (for RemoveShot).
+  std::int64_t failingOffNear(const Rect& shot, double radius) const;
+
+  /// Fills the statistics fields of `solution` from the current state.
+  void writeStats(Solution& solution) const;
+
+ private:
+  const Problem* problem_;
+  IntensityMap map_;
+  std::vector<Rect> shots_;
+};
+
+/// One-call convenience: evaluate `shots` against `problem`.
+Violations evaluateShots(const Problem& problem, std::span<const Rect> shots);
+
+}  // namespace mbf

@@ -1,0 +1,105 @@
+#include "geometry/contour.h"
+
+#include <array>
+#include <cassert>
+
+namespace mbf {
+namespace {
+
+// Directions: 0 = +x, 1 = +y, 2 = -x, 3 = -y.
+constexpr std::array<Point, 4> kStep = {
+    Point{1, 0}, Point{0, 1}, Point{-1, 0}, Point{0, -1}};
+
+struct EdgeSet {
+  // present[d] is indexed by start vertex (x, y) on a (w+1) x (h+1) lattice.
+  std::array<Grid<std::uint8_t>, 4> present;
+
+  EdgeSet(int w, int h) {
+    for (auto& g : present) g = Grid<std::uint8_t>(w + 1, h + 1, 0);
+  }
+  bool has(Point v, int d) const { return present[d].get(v.x, v.y) != 0; }
+  void clear(Point v, int d) { present[d].at(v.x, v.y) = 0; }
+  void set(Point v, int d) { present[d].at(v.x, v.y) = 1; }
+};
+
+}  // namespace
+
+std::vector<Polygon> traceContours(const MaskGrid& mask, Point origin) {
+  const int w = mask.width();
+  const int h = mask.height();
+  EdgeSet edges(w, h);
+
+  auto on = [&](int x, int y) { return mask.get(x, y, 0) != 0; };
+
+  // Vertical cracks at column x between cells (x-1, y) and (x, y).
+  for (int x = 0; x <= w; ++x) {
+    for (int y = 0; y < h; ++y) {
+      const bool left = on(x - 1, y);
+      const bool right = on(x, y);
+      if (left && !right) edges.set({x, y}, 1);       // upward
+      if (!left && right) edges.set({x, y + 1}, 3);   // downward
+    }
+  }
+  // Horizontal cracks at row y between cells (x, y-1) and (x, y).
+  for (int y = 0; y <= h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const bool below = on(x, y - 1);
+      const bool above = on(x, y);
+      if (below && !above) edges.set({x + 1, y}, 2);  // leftward
+      if (!below && above) edges.set({x, y}, 0);      // rightward
+    }
+  }
+
+  std::vector<Polygon> loops;
+  for (int startDir = 0; startDir < 4; ++startDir) {
+    for (int y = 0; y <= h; ++y) {
+      for (int x = 0; x <= w; ++x) {
+        const Point start{x, y};
+        if (!edges.has(start, startDir)) continue;
+
+        std::vector<Point> ring;
+        Point v = start;
+        int d = startDir;
+        do {
+          ring.push_back(v);
+          edges.clear(v, d);
+          v = v + kStep[d];
+          // Prefer the leftmost available turn: left, straight, right.
+          // Never reverse (a reverse would immediately retrace the crack).
+          const int leftD = (d + 1) % 4;
+          const int rightD = (d + 3) % 4;
+          if (edges.has(v, leftD)) {
+            d = leftD;
+          } else if (edges.has(v, d)) {
+            // keep direction
+          } else if (edges.has(v, rightD)) {
+            d = rightD;
+          } else {
+            break;  // loop closed (start edge already consumed)
+          }
+        } while (!(v == start && d == startDir));
+
+        for (Point& p : ring) p = p + origin;
+        Polygon poly(std::move(ring));
+        poly.normalize();
+        if (poly.size() >= 4) loops.push_back(std::move(poly));
+      }
+    }
+  }
+  return loops;
+}
+
+Polygon largestOuterContour(const MaskGrid& mask, Point origin) {
+  Polygon best;
+  double bestArea = 0.0;
+  for (Polygon& p : traceContours(mask, origin)) {
+    const double a = p.signedArea();
+    if (a > bestArea) {
+      bestArea = a;
+      best = std::move(p);
+    }
+  }
+  return best;
+}
+
+}  // namespace mbf

@@ -1,0 +1,25 @@
+// Binary-mask contour tracing ("crack following"). Recovers rectilinear
+// boundary polygons from a rasterized mask. This is how synthesized
+// ILT-like shapes become polygons: blur + threshold happens on a grid,
+// the contour tracer turns the result back into a vertex list.
+#pragma once
+
+#include <vector>
+
+#include "geometry/polygon.h"
+#include "grid/grid.h"
+
+namespace mbf {
+
+/// Traces all boundary loops of `mask`. Vertices lie on integer pixel
+/// corners, offset by `origin`. Outer boundaries come out counter-
+/// clockwise, hole boundaries clockwise. Diagonal pixel contacts are
+/// split (the tracer always takes the leftmost turn), so each returned
+/// loop is simple. Collinear vertices are collapsed.
+std::vector<Polygon> traceContours(const MaskGrid& mask, Point origin = {});
+
+/// Convenience: the counter-clockwise loop with the largest area, or an
+/// empty polygon when the mask has no set pixels.
+Polygon largestOuterContour(const MaskGrid& mask, Point origin = {});
+
+}  // namespace mbf

@@ -1,0 +1,77 @@
+#include "geometry/edt.h"
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace mbf {
+namespace {
+
+constexpr float kInf = std::numeric_limits<float>::max() / 4;
+
+// 1D squared distance transform of a sampled function f (Felzenszwalb &
+// Huttenlocher). d(p) = min_q (p - q)^2 + f(q).
+void edt1d(const float* f, float* d, int n, int* v, float* z) {
+  int k = 0;
+  v[0] = 0;
+  z[0] = -kInf;
+  z[1] = kInf;
+  for (int q = 1; q < n; ++q) {
+    float s;
+    while (true) {
+      s = ((f[q] + static_cast<float>(q) * q) -
+           (f[v[k]] + static_cast<float>(v[k]) * v[k])) /
+          (2.0f * (q - v[k]));
+      if (s > z[k]) break;
+      --k;
+    }
+    ++k;
+    v[k] = q;
+    z[k] = s;
+    z[k + 1] = kInf;
+  }
+  k = 0;
+  for (int q = 0; q < n; ++q) {
+    while (z[k + 1] < static_cast<float>(q)) ++k;
+    const float dq = static_cast<float>(q) - v[k];
+    d[q] = dq * dq + f[v[k]];
+  }
+}
+
+}  // namespace
+
+Grid<float> squaredDistanceTransform(const MaskGrid& mask) {
+  const int w = mask.width();
+  const int h = mask.height();
+  Grid<float> dist(w, h, kInf);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (mask.at(x, y)) dist.at(x, y) = 0.0f;
+    }
+  }
+  const int n = std::max(w, h);
+  std::vector<float> f(n), d(n), z(n + 1);
+  std::vector<int> v(n);
+
+  // Columns.
+  for (int x = 0; x < w; ++x) {
+    for (int y = 0; y < h; ++y) f[y] = dist.at(x, y);
+    edt1d(f.data(), d.data(), h, v.data(), z.data());
+    for (int y = 0; y < h; ++y) dist.at(x, y) = d[y];
+  }
+  // Rows.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) f[x] = dist.at(x, y);
+    edt1d(f.data(), d.data(), w, v.data(), z.data());
+    for (int x = 0; x < w; ++x) dist.at(x, y) = d[x];
+  }
+  return dist;
+}
+
+Grid<float> distanceTransform(const MaskGrid& mask) {
+  Grid<float> d = squaredDistanceTransform(mask);
+  for (float& v : d.data()) v = std::sqrt(v);
+  return d;
+}
+
+}  // namespace mbf

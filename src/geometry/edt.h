@@ -1,0 +1,19 @@
+// Exact Euclidean distance transform (Felzenszwalb & Huttenlocher 2004).
+// Used to split sampled pixels into Pon / Poff / Px: pixels within the CD
+// tolerance gamma of the target boundary are don't-care (paper section 2).
+#pragma once
+
+#include "grid/grid.h"
+
+namespace mbf {
+
+/// Returns, for every cell, the squared Euclidean distance (in pixel
+/// units) to the nearest cell where `mask` is non-zero. Cells where the
+/// mask is set get 0. When the mask is empty every cell gets a large
+/// sentinel (> width^2 + height^2).
+Grid<float> squaredDistanceTransform(const MaskGrid& mask);
+
+/// Distance (not squared) to the nearest non-zero cell.
+Grid<float> distanceTransform(const MaskGrid& mask);
+
+}  // namespace mbf

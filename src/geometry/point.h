@@ -1,0 +1,57 @@
+// Basic integer and floating-point 2D point types used throughout the
+// library. Mask coordinates are integer nanometres (the paper's pixel
+// size is dp = 1 nm); model evaluation happens in double precision.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+
+namespace mbf {
+
+/// Integer point in nanometres.
+struct Point {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend constexpr bool operator==(const Point&, const Point&) = default;
+};
+
+constexpr Point operator+(Point a, Point b) { return {a.x + b.x, a.y + b.y}; }
+constexpr Point operator-(Point a, Point b) { return {a.x - b.x, a.y - b.y}; }
+
+/// Double-precision point/vector, used for simplified boundaries, shot
+/// corner points and model-space computations.
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend constexpr bool operator==(const Vec2&, const Vec2&) = default;
+};
+
+constexpr Vec2 operator+(Vec2 a, Vec2 b) { return {a.x + b.x, a.y + b.y}; }
+constexpr Vec2 operator-(Vec2 a, Vec2 b) { return {a.x - b.x, a.y - b.y}; }
+constexpr Vec2 operator*(double s, Vec2 a) { return {s * a.x, s * a.y}; }
+
+inline double dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+inline double cross(Vec2 a, Vec2 b) { return a.x * b.y - a.y * b.x; }
+inline double norm(Vec2 a) { return std::sqrt(dot(a, a)); }
+inline double dist(Vec2 a, Vec2 b) { return norm(a - b); }
+
+inline Vec2 toVec2(Point p) {
+  return {static_cast<double>(p.x), static_cast<double>(p.y)};
+}
+
+/// Euclidean distance from point p to segment [a, b].
+double distPointSegment(Vec2 p, Vec2 a, Vec2 b);
+
+}  // namespace mbf
+
+template <>
+struct std::hash<mbf::Point> {
+  std::size_t operator()(const mbf::Point& p) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(p.x)) << 32) |
+        static_cast<std::uint32_t>(p.y));
+  }
+};

@@ -1,0 +1,123 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace mbf {
+
+Polygon::Polygon(std::vector<Point> vertices) : verts_(std::move(vertices)) {}
+
+double Polygon::signedArea() const {
+  double acc = 0.0;
+  const std::size_t n = verts_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = verts_[i];
+    const Point& b = verts_[(i + 1) % n];
+    acc += static_cast<double>(a.x) * b.y - static_cast<double>(b.x) * a.y;
+  }
+  return 0.5 * acc;
+}
+
+double Polygon::area() const { return std::abs(signedArea()); }
+
+double Polygon::perimeter() const {
+  double acc = 0.0;
+  const std::size_t n = verts_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += dist(toVec2(verts_[i]), toVec2(verts_[(i + 1) % n]));
+  }
+  return acc;
+}
+
+Rect Polygon::bbox() const {
+  if (verts_.empty()) return {};
+  auto [minX, maxX] = std::minmax_element(
+      verts_.begin(), verts_.end(),
+      [](const Point& a, const Point& b) { return a.x < b.x; });
+  auto [minY, maxY] = std::minmax_element(
+      verts_.begin(), verts_.end(),
+      [](const Point& a, const Point& b) { return a.y < b.y; });
+  return {minX->x, minY->y, maxX->x, maxY->y};
+}
+
+void Polygon::makeCounterClockwise() {
+  if (!isCounterClockwise()) std::reverse(verts_.begin(), verts_.end());
+}
+
+bool Polygon::isRectilinear() const {
+  const std::size_t n = verts_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Point& a = verts_[i];
+    const Point& b = verts_[(i + 1) % n];
+    if (a.x != b.x && a.y != b.y) return false;
+  }
+  return true;
+}
+
+bool Polygon::contains(Vec2 p) const {
+  bool inside = false;
+  const std::size_t n = verts_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 a = toVec2(verts_[i]);
+    const Vec2 b = toVec2(verts_[(i + 1) % n]);
+    if ((a.y > p.y) != (b.y > p.y)) {
+      const double xCross = a.x + (p.y - a.y) / (b.y - a.y) * (b.x - a.x);
+      if (p.x < xCross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::boundaryDistance(Vec2 p) const {
+  double best = std::numeric_limits<double>::infinity();
+  const std::size_t n = verts_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    best = std::min(best, distPointSegment(p, toVec2(verts_[i]),
+                                           toVec2(verts_[(i + 1) % n])));
+  }
+  return best;
+}
+
+void Polygon::translate(Point d) {
+  for (Point& v : verts_) v = v + d;
+}
+
+void Polygon::normalize() {
+  if (verts_.size() < 3) return;
+  // Remove consecutive duplicates.
+  std::vector<Point> out;
+  out.reserve(verts_.size());
+  for (const Point& v : verts_) {
+    if (out.empty() || !(out.back() == v)) out.push_back(v);
+  }
+  if (out.size() > 1 && out.front() == out.back()) out.pop_back();
+  // Remove collinear middle vertices (repeat until stable; a single pass
+  // suffices because removing a vertex can only make its neighbours
+  // collinear with already-processed ones in degenerate rings, which the
+  // loop below re-checks).
+  bool changed = true;
+  while (changed && out.size() >= 3) {
+    changed = false;
+    std::vector<Point> next;
+    next.reserve(out.size());
+    const std::size_t n = out.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Point& prev = out[(i + n - 1) % n];
+      const Point& cur = out[i];
+      const Point& nxt = out[(i + 1) % n];
+      const std::int64_t crossZ =
+          static_cast<std::int64_t>(cur.x - prev.x) * (nxt.y - prev.y) -
+          static_cast<std::int64_t>(cur.y - prev.y) * (nxt.x - prev.x);
+      if (crossZ == 0) {
+        changed = true;
+        continue;
+      }
+      next.push_back(cur);
+    }
+    out = std::move(next);
+  }
+  verts_ = std::move(out);
+}
+
+}  // namespace mbf

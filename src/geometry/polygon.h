@@ -1,0 +1,59 @@
+// Simple polygon (ring of integer vertices, implicitly closed). Mask
+// target shapes are polygons; ILT-like shapes arrive as dense staircase
+// rings traced from a raster contour. Orientation convention: outer
+// boundaries are counter-clockwise (positive signed area).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace mbf {
+
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<Point> vertices);
+
+  std::size_t size() const { return verts_.size(); }
+  bool empty() const { return verts_.empty(); }
+  const Point& operator[](std::size_t i) const { return verts_[i]; }
+  const std::vector<Point>& vertices() const { return verts_; }
+
+  /// Vertex i modulo size (convenient for edge iteration).
+  const Point& wrapped(std::size_t i) const { return verts_[i % verts_.size()]; }
+
+  /// Signed area by the shoelace formula; > 0 for counter-clockwise rings.
+  double signedArea() const;
+  double area() const;
+  double perimeter() const;
+  Rect bbox() const;
+
+  bool isCounterClockwise() const { return signedArea() > 0.0; }
+  /// Reverses the ring in place so that signedArea() > 0.
+  void makeCounterClockwise();
+
+  /// True when every edge is horizontal or vertical.
+  bool isRectilinear() const;
+
+  /// Even-odd (crossing number) point containment test. Points exactly on
+  /// the boundary are classified arbitrarily; callers that care use the
+  /// distance band instead (see fracture::Problem).
+  bool contains(Vec2 p) const;
+
+  /// Exact Euclidean distance from p to the polygon boundary.
+  double boundaryDistance(Vec2 p) const;
+
+  void translate(Point d);
+
+  /// Drops consecutive duplicate vertices and collinear middle vertices.
+  void normalize();
+
+ private:
+  std::vector<Point> verts_;
+};
+
+}  // namespace mbf

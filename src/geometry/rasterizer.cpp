@@ -1,0 +1,66 @@
+#include "geometry/rasterizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace mbf {
+namespace {
+
+// Accumulates even-odd crossings of one polygon into per-row span toggles.
+void fillOne(const Polygon& polygon, Point origin, MaskGrid& grid) {
+  const std::size_t n = polygon.size();
+  if (n < 3) return;
+  std::vector<double> xs;
+  for (int y = 0; y < grid.height(); ++y) {
+    const double py = origin.y + y + 0.5;
+    xs.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Vec2 a = toVec2(polygon[i]);
+      const Vec2 b = toVec2(polygon.wrapped(i + 1));
+      if ((a.y > py) != (b.y > py)) {
+        xs.push_back(a.x + (py - a.y) / (b.y - a.y) * (b.x - a.x));
+      }
+    }
+    std::sort(xs.begin(), xs.end());
+    for (std::size_t k = 0; k + 1 < xs.size(); k += 2) {
+      // Pixel centres in [xs[k], xs[k+1]) are inside.
+      const int xStart = static_cast<int>(std::ceil(xs[k] - origin.x - 0.5));
+      const int xEnd = static_cast<int>(std::ceil(xs[k + 1] - origin.x - 0.5));
+      for (int x = std::max(0, xStart); x < std::min(grid.width(), xEnd);
+           ++x) {
+        grid.at(x, y) ^= 1;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void rasterizePolygon(const Polygon& polygon, Point origin, MaskGrid& grid) {
+  grid.fill(0);
+  fillOne(polygon, origin, grid);
+}
+
+void rasterizeEvenOdd(std::span<const Polygon> rings, Point origin,
+                      MaskGrid& grid) {
+  grid.fill(0);
+  // fillOne toggles pixels per ring, so stacking rings on one grid gives
+  // even-odd across rings directly.
+  for (const Polygon& ring : rings) fillOne(ring, origin, grid);
+}
+
+void rasterizeUnion(std::span<const Polygon> polygons, Point origin,
+                    MaskGrid& grid) {
+  grid.fill(0);
+  MaskGrid one(grid.width(), grid.height(), 0);
+  for (const Polygon& p : polygons) {
+    one.fill(0);
+    fillOne(p, origin, one);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      grid.data()[i] = grid.data()[i] | one.data()[i];
+    }
+  }
+}
+
+}  // namespace mbf

@@ -1,0 +1,27 @@
+// Scanline polygon rasterizer. Converts a mask target polygon into the
+// binary pixel grid the fracturing problem is defined on (paper section 2:
+// "we first sample the shape to get pixels").
+#pragma once
+
+#include "geometry/polygon.h"
+#include "grid/grid.h"
+
+namespace mbf {
+
+/// Rasterizes `polygon` into `grid`. A pixel is set to 1 when its centre
+/// (origin.x + x + 0.5, origin.y + y + 0.5) lies inside the polygon by the
+/// even-odd rule. Existing grid contents are overwritten.
+void rasterizePolygon(const Polygon& polygon, Point origin, MaskGrid& grid);
+
+/// Rasterizes the union of several polygons (even-odd within each polygon,
+/// OR across polygons).
+void rasterizeUnion(std::span<const Polygon> polygons, Point origin,
+                    MaskGrid& grid);
+
+/// Rasterizes a multi-ring region with even-odd semantics ACROSS rings:
+/// a pixel is set when it lies inside an odd number of rings. This is how
+/// targets with holes (outer boundary + hole boundaries) are sampled.
+void rasterizeEvenOdd(std::span<const Polygon> rings, Point origin,
+                      MaskGrid& grid);
+
+}  // namespace mbf

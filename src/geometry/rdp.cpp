@@ -1,0 +1,94 @@
+#include "geometry/rdp.h"
+
+#include <cassert>
+#include <utility>
+
+namespace mbf {
+namespace {
+
+void rdpRecurse(std::span<const Vec2> pts, std::size_t lo, std::size_t hi,
+                double tolerance, std::vector<char>& keep) {
+  if (hi <= lo + 1) return;
+  double worst = -1.0;
+  std::size_t worstIdx = lo;
+  for (std::size_t i = lo + 1; i < hi; ++i) {
+    const double d = distPointSegment(pts[i], pts[lo], pts[hi]);
+    if (d > worst) {
+      worst = d;
+      worstIdx = i;
+    }
+  }
+  if (worst > tolerance) {
+    keep[worstIdx] = 1;
+    rdpRecurse(pts, lo, worstIdx, tolerance, keep);
+    rdpRecurse(pts, worstIdx, hi, tolerance, keep);
+  }
+}
+
+}  // namespace
+
+std::vector<Vec2> simplifyPolyline(std::span<const Vec2> points,
+                                   double tolerance) {
+  if (points.size() < 3) return {points.begin(), points.end()};
+  std::vector<char> keep(points.size(), 0);
+  keep.front() = keep.back() = 1;
+  rdpRecurse(points, 0, points.size() - 1, tolerance, keep);
+  std::vector<Vec2> out;
+  out.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    if (keep[i]) out.push_back(points[i]);
+  }
+  return out;
+}
+
+std::vector<Vec2> simplifyRing(std::span<const Vec2> ring, double tolerance) {
+  const std::size_t n = ring.size();
+  if (n < 4) return {ring.begin(), ring.end()};
+
+  // Anchor the split at the two mutually farthest vertices so the two RDP
+  // halves have stable, well-separated endpoints.
+  std::size_t a = 0;
+  std::size_t b = 0;
+  double best = -1.0;
+  // O(n^2) farthest pair is fine for simplification inputs (n is a traced
+  // contour, a few thousand at most); fall back to a coarse stride for
+  // pathological sizes.
+  const std::size_t stride = n > 4096 ? n / 2048 : 1;
+  for (std::size_t i = 0; i < n; i += stride) {
+    for (std::size_t j = i + 1; j < n; j += stride) {
+      const double d = dist(ring[i], ring[j]);
+      if (d > best) {
+        best = d;
+        a = i;
+        b = j;
+      }
+    }
+  }
+  assert(a < b);
+
+  // Half 1: a..b, half 2: b..n-1,0..a.
+  std::vector<Vec2> half1(ring.begin() + a, ring.begin() + b + 1);
+  std::vector<Vec2> half2;
+  half2.reserve(n - (b - a) + 1);
+  for (std::size_t i = b; i < n; ++i) half2.push_back(ring[i]);
+  for (std::size_t i = 0; i <= a; ++i) half2.push_back(ring[i]);
+
+  std::vector<Vec2> s1 = simplifyPolyline(half1, tolerance);
+  std::vector<Vec2> s2 = simplifyPolyline(half2, tolerance);
+
+  std::vector<Vec2> out;
+  out.reserve(s1.size() + s2.size());
+  out.insert(out.end(), s1.begin(), s1.end());
+  // s2 starts at ring[b] (== s1 back) and ends at ring[a] (== s1 front).
+  out.insert(out.end(), s2.begin() + 1, s2.end() - 1);
+  return out;
+}
+
+std::vector<Vec2> simplifyRing(const Polygon& polygon, double tolerance) {
+  std::vector<Vec2> ring;
+  ring.reserve(polygon.size());
+  for (const Point& p : polygon.vertices()) ring.push_back(toVec2(p));
+  return simplifyRing(ring, tolerance);
+}
+
+}  // namespace mbf

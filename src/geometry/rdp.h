@@ -1,0 +1,29 @@
+// Ramer-Douglas-Peucker polyline/polygon simplification. Used by the
+// coloring-based approximate fracturer (paper section 3, figure 1): the
+// mask boundary is simplified with tolerance gamma before shot corner
+// points are extracted.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/polygon.h"
+
+namespace mbf {
+
+/// Simplifies an open polyline. The first and last input points are always
+/// kept; every dropped point lies within `tolerance` of the simplified
+/// chain (standard RDP guarantee).
+std::vector<Vec2> simplifyPolyline(std::span<const Vec2> points,
+                                   double tolerance);
+
+/// Simplifies a closed ring. The ring is split at its two mutually farthest
+/// vertices (so RDP has stable anchors) and both halves are simplified.
+/// Returns an open ring (last vertex connects back to the first).
+std::vector<Vec2> simplifyRing(std::span<const Vec2> ring, double tolerance);
+
+/// Convenience overload for integer polygons.
+std::vector<Vec2> simplifyRing(const Polygon& polygon, double tolerance);
+
+}  // namespace mbf

@@ -1,0 +1,59 @@
+#include "geometry/rect.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace mbf {
+
+Rect Rect::intersection(const Rect& other) const {
+  Rect r{std::max(x0, other.x0), std::max(y0, other.y0), std::min(x1, other.x1),
+         std::min(y1, other.y1)};
+  if (r.x1 < r.x0) r.x1 = r.x0;
+  if (r.y1 < r.y0) r.y1 = r.y0;
+  return r;
+}
+
+Rect Rect::unionWith(const Rect& other) const {
+  if (empty()) return other;
+  if (other.empty()) return *this;
+  return {std::min(x0, other.x0), std::min(y0, other.y0), std::max(x1, other.x1),
+          std::max(y1, other.y1)};
+}
+
+double Rect::distanceTo(double px, double py) const {
+  const double dx = std::max({static_cast<double>(x0) - px, 0.0,
+                              px - static_cast<double>(x1)});
+  const double dy = std::max({static_cast<double>(y0) - py, 0.0,
+                              py - static_cast<double>(y1)});
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+void enforceMinSize(Rect& r, int minSide) {
+  if (r.width() < minSide) {
+    const int grow = minSide - r.width();
+    r.x0 -= grow / 2;
+    r.x1 += grow - grow / 2;
+  }
+  if (r.height() < minSide) {
+    const int grow = minSide - r.height();
+    r.y0 -= grow / 2;
+    r.y1 += grow - grow / 2;
+  }
+}
+
+std::string Rect::str() const {
+  std::ostringstream os;
+  os << "[" << x0 << "," << y0 << " .. " << x1 << "," << y1 << "]";
+  return os.str();
+}
+
+double distPointSegment(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len2 = dot(ab, ab);
+  if (len2 == 0.0) return dist(p, a);
+  double t = dot(p - a, ab) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  return dist(p, a + t * ab);
+}
+
+}  // namespace mbf

@@ -1,0 +1,78 @@
+// Axis-parallel integer rectangle. E-beam shots, bounding boxes and grid
+// windows are all Rects. The convention is half-open in neither sense:
+// a Rect stores the geometric corner coordinates [x0, x1] x [y0, y1] in
+// nanometres, so width() == x1 - x0 (a shot of width w covers w pixel
+// columns of 1 nm each).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+#include "geometry/point.h"
+
+namespace mbf {
+
+struct Rect {
+  std::int32_t x0 = 0;
+  std::int32_t y0 = 0;
+  std::int32_t x1 = 0;
+  std::int32_t y1 = 0;
+
+  Rect() = default;
+  Rect(std::int32_t x0_, std::int32_t y0_, std::int32_t x1_, std::int32_t y1_)
+      : x0(x0_), y0(y0_), x1(x1_), y1(y1_) {}
+
+  static Rect fromCorners(Point a, Point b) {
+    return {std::min(a.x, b.x), std::min(a.y, b.y), std::max(a.x, b.x),
+            std::max(a.y, b.y)};
+  }
+
+  std::int32_t width() const { return x1 - x0; }
+  std::int32_t height() const { return y1 - y0; }
+  std::int64_t area() const {
+    return static_cast<std::int64_t>(width()) * height();
+  }
+  bool empty() const { return x1 <= x0 || y1 <= y0; }
+  bool valid() const { return x1 >= x0 && y1 >= y0; }
+
+  Point bl() const { return {x0, y0}; }
+  Point tr() const { return {x1, y1}; }
+  Vec2 center() const { return {0.5 * (x0 + x1), 0.5 * (y0 + y1)}; }
+
+  bool contains(Point p) const {
+    return p.x >= x0 && p.x <= x1 && p.y >= y0 && p.y <= y1;
+  }
+  /// True when `other` lies entirely inside (or on the border of) this.
+  bool contains(const Rect& other) const {
+    return other.x0 >= x0 && other.x1 <= x1 && other.y0 >= y0 &&
+           other.y1 <= y1;
+  }
+  bool intersects(const Rect& other) const {
+    return x0 < other.x1 && other.x0 < x1 && y0 < other.y1 && other.y0 < y1;
+  }
+
+  Rect intersection(const Rect& other) const;
+  Rect unionWith(const Rect& other) const;
+  /// Grow by d on every side (shrink when d < 0; may become empty).
+  Rect inflated(std::int32_t d) const {
+    return {x0 - d, y0 - d, x1 + d, y1 + d};
+  }
+  Rect translated(Point d) const {
+    return {x0 + d.x, y0 + d.y, x1 + d.x, y1 + d.y};
+  }
+
+  /// Euclidean distance from (px, py) to this rectangle (0 if inside).
+  double distanceTo(double px, double py) const;
+
+  std::string str() const;
+
+  friend bool operator==(const Rect&, const Rect&) = default;
+};
+
+/// Grows `r` symmetrically (bias to the high side on odd deficits) until
+/// both dimensions reach `minSide`. The minimum-shot-size repair used
+/// throughout the fracturing flow.
+void enforceMinSize(Rect& r, int minSide);
+
+}  // namespace mbf

@@ -1,0 +1,51 @@
+#include "graph/clique.h"
+
+#include <algorithm>
+
+namespace mbf {
+
+std::vector<int> greedyMaxClique(const Graph& g) {
+  const int n = g.numVertices();
+  std::vector<int> best;
+  for (int seed = 0; seed < n; ++seed) {
+    std::vector<int> clique{seed};
+    std::vector<int> cands;
+    for (int v = 0; v < n; ++v) {
+      if (v != seed && g.hasEdge(seed, v)) cands.push_back(v);
+    }
+    while (!cands.empty()) {
+      // Pick candidate with the most remaining candidate-neighbors.
+      int pick = -1;
+      int pickScore = -1;
+      for (const int v : cands) {
+        int score = 0;
+        for (const int u : cands) {
+          if (u != v && g.hasEdge(u, v)) ++score;
+        }
+        if (score > pickScore) {
+          pickScore = score;
+          pick = v;
+        }
+      }
+      clique.push_back(pick);
+      std::vector<int> next;
+      for (const int v : cands) {
+        if (v != pick && g.hasEdge(pick, v)) next.push_back(v);
+      }
+      cands = std::move(next);
+    }
+    if (clique.size() > best.size()) best = std::move(clique);
+  }
+  return best;
+}
+
+bool isClique(const Graph& g, const std::vector<int>& verts) {
+  for (std::size_t i = 0; i < verts.size(); ++i) {
+    for (std::size_t j = i + 1; j < verts.size(); ++j) {
+      if (!g.hasEdge(verts[i], verts[j])) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mbf

@@ -1,0 +1,19 @@
+// Clique heuristics. A clique in the complement of the shot-corner
+// compatibility graph is a set of corner features no single shot can pair
+// up, which gives the heuristic lower bound used by bounds::estimate.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mbf {
+
+/// Greedy maximal clique: repeatedly adds the highest-degree vertex (within
+/// the shrinking candidate set) adjacent to all chosen so far. Restarting
+/// from every vertex and keeping the best makes it robust for small graphs.
+std::vector<int> greedyMaxClique(const Graph& g);
+
+bool isClique(const Graph& g, const std::vector<int>& verts);
+
+}  // namespace mbf

@@ -1,0 +1,114 @@
+#include "graph/coloring.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace mbf {
+
+std::vector<std::vector<int>> Coloring::classes() const {
+  std::vector<std::vector<int>> out(static_cast<std::size_t>(numColors));
+  for (std::size_t v = 0; v < colorOf.size(); ++v) {
+    out[static_cast<std::size_t>(colorOf[v])].push_back(static_cast<int>(v));
+  }
+  return out;
+}
+
+namespace {
+
+Coloring colorInOrder(const Graph& g, const std::vector<int>& order) {
+  const int n = g.numVertices();
+  Coloring c;
+  c.colorOf.assign(static_cast<std::size_t>(n), -1);
+  std::vector<char> used;
+  for (const int v : order) {
+    used.assign(static_cast<std::size_t>(n) + 1, 0);
+    for (int u = 0; u < n; ++u) {
+      if (g.hasEdge(v, u) && c.colorOf[static_cast<std::size_t>(u)] >= 0) {
+        used[static_cast<std::size_t>(
+            c.colorOf[static_cast<std::size_t>(u)])] = 1;
+      }
+    }
+    int color = 0;
+    while (used[static_cast<std::size_t>(color)]) ++color;
+    c.colorOf[static_cast<std::size_t>(v)] = color;
+    c.numColors = std::max(c.numColors, color + 1);
+  }
+  return c;
+}
+
+Coloring dsatur(const Graph& g) {
+  const int n = g.numVertices();
+  Coloring c;
+  c.colorOf.assign(static_cast<std::size_t>(n), -1);
+  std::vector<std::vector<char>> neighborColors(
+      static_cast<std::size_t>(n),
+      std::vector<char>(static_cast<std::size_t>(n) + 1, 0));
+  std::vector<int> saturation(static_cast<std::size_t>(n), 0);
+
+  for (int step = 0; step < n; ++step) {
+    // Pick uncolored vertex with max saturation, tie-break by degree.
+    int best = -1;
+    for (int v = 0; v < n; ++v) {
+      if (c.colorOf[static_cast<std::size_t>(v)] >= 0) continue;
+      if (best < 0 ||
+          saturation[static_cast<std::size_t>(v)] >
+              saturation[static_cast<std::size_t>(best)] ||
+          (saturation[static_cast<std::size_t>(v)] ==
+               saturation[static_cast<std::size_t>(best)] &&
+           g.degree(v) > g.degree(best))) {
+        best = v;
+      }
+    }
+    int color = 0;
+    while (neighborColors[static_cast<std::size_t>(best)]
+                         [static_cast<std::size_t>(color)]) {
+      ++color;
+    }
+    c.colorOf[static_cast<std::size_t>(best)] = color;
+    c.numColors = std::max(c.numColors, color + 1);
+    for (int u = 0; u < n; ++u) {
+      if (g.hasEdge(best, u) &&
+          !neighborColors[static_cast<std::size_t>(u)]
+                         [static_cast<std::size_t>(color)]) {
+        neighborColors[static_cast<std::size_t>(u)]
+                      [static_cast<std::size_t>(color)] = 1;
+        ++saturation[static_cast<std::size_t>(u)];
+      }
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+Coloring greedyColoring(const Graph& g, ColoringOrder order) {
+  const int n = g.numVertices();
+  if (order == ColoringOrder::kDsatur) return dsatur(g);
+
+  std::vector<int> verts(static_cast<std::size_t>(n));
+  std::iota(verts.begin(), verts.end(), 0);
+  if (order == ColoringOrder::kLargestFirst) {
+    std::stable_sort(verts.begin(), verts.end(), [&](int a, int b) {
+      return g.degree(a) > g.degree(b);
+    });
+  }
+  return colorInOrder(g, verts);
+}
+
+bool isProperColoring(const Graph& g, const Coloring& coloring) {
+  const int n = g.numVertices();
+  if (static_cast<int>(coloring.colorOf.size()) != n) return false;
+  for (int u = 0; u < n; ++u) {
+    if (coloring.colorOf[static_cast<std::size_t>(u)] < 0) return false;
+    for (int v = u + 1; v < n; ++v) {
+      if (g.hasEdge(u, v) &&
+          coloring.colorOf[static_cast<std::size_t>(u)] ==
+              coloring.colorOf[static_cast<std::size_t>(v)]) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace mbf

@@ -1,0 +1,35 @@
+// Greedy graph coloring heuristics (Matula, Marble & Isaacson 1972).
+// The paper colors the complement of the shot-corner compatibility graph
+// with "a simple sequential greedy coloring heuristic"; largest-first and
+// DSATUR orders are provided for the ablation study.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace mbf {
+
+enum class ColoringOrder {
+  kSequential,    // vertices in input order (the paper's choice)
+  kLargestFirst,  // descending degree
+  kDsatur,        // dynamic saturation order
+};
+
+struct Coloring {
+  std::vector<int> colorOf;  // per vertex
+  int numColors = 0;
+
+  /// Vertices grouped by color.
+  std::vector<std::vector<int>> classes() const;
+};
+
+/// Greedy coloring: visits vertices in the chosen order and assigns each
+/// the smallest color absent from its already-colored neighbors.
+Coloring greedyColoring(const Graph& g,
+                        ColoringOrder order = ColoringOrder::kSequential);
+
+/// True when no edge connects two same-colored vertices.
+bool isProperColoring(const Graph& g, const Coloring& coloring);
+
+}  // namespace mbf

@@ -1,0 +1,15 @@
+#include "graph/graph.h"
+
+namespace mbf {
+
+Graph Graph::complement() const {
+  Graph g(n_);
+  for (int u = 0; u < n_; ++u) {
+    for (int v = u + 1; v < n_; ++v) {
+      if (!hasEdge(u, v)) g.addEdge(u, v);
+    }
+  }
+  return g;
+}
+
+}  // namespace mbf

@@ -1,0 +1,63 @@
+// Small dense undirected graph. Replaces the paper's use of the Boost
+// Graph Library. Vertex counts here are shot corner points (tens to a few
+// hundred per shape), so an adjacency-matrix representation is ideal.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace mbf {
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int numVertices)
+      : n_(numVertices),
+        adj_(static_cast<std::size_t>(numVertices) * numVertices, 0) {}
+
+  int numVertices() const { return n_; }
+  int numEdges() const { return numEdges_; }
+
+  void addEdge(int u, int v) {
+    assert(u >= 0 && u < n_ && v >= 0 && v < n_);
+    if (u == v || hasEdge(u, v)) return;
+    adj_[idx(u, v)] = 1;
+    adj_[idx(v, u)] = 1;
+    ++numEdges_;
+  }
+
+  bool hasEdge(int u, int v) const {
+    assert(u >= 0 && u < n_ && v >= 0 && v < n_);
+    return adj_[idx(u, v)] != 0;
+  }
+
+  int degree(int u) const {
+    int d = 0;
+    for (int v = 0; v < n_; ++v) d += hasEdge(u, v) ? 1 : 0;
+    return d;
+  }
+
+  std::vector<int> neighbors(int u) const {
+    std::vector<int> out;
+    for (int v = 0; v < n_; ++v) {
+      if (hasEdge(u, v)) out.push_back(v);
+    }
+    return out;
+  }
+
+  /// Complement graph: edge (u, v) iff u != v and !hasEdge(u, v). This is
+  /// the G_inv of the paper — clique partition of G == coloring of G_inv.
+  Graph complement() const;
+
+ private:
+  std::size_t idx(int u, int v) const {
+    return static_cast<std::size_t>(u) * n_ + v;
+  }
+
+  int n_ = 0;
+  int numEdges_ = 0;
+  std::vector<std::uint8_t> adj_;
+};
+
+}  // namespace mbf

@@ -1,0 +1,142 @@
+#include "graph/matching.h"
+
+#include <limits>
+#include <queue>
+
+namespace mbf {
+namespace {
+
+constexpr int kInf = std::numeric_limits<int>::max();
+
+struct Hk {
+  int nLeft;
+  int nRight;
+  const std::vector<std::vector<int>>& adj;
+  std::vector<int> matchL, matchR, dist;
+
+  Hk(int nl, int nr, const std::vector<std::vector<int>>& a)
+      : nLeft(nl),
+        nRight(nr),
+        adj(a),
+        matchL(static_cast<std::size_t>(nl), -1),
+        matchR(static_cast<std::size_t>(nr), -1),
+        dist(static_cast<std::size_t>(nl), 0) {}
+
+  bool bfs() {
+    std::queue<int> q;
+    bool foundFree = false;
+    for (int u = 0; u < nLeft; ++u) {
+      if (matchL[static_cast<std::size_t>(u)] < 0) {
+        dist[static_cast<std::size_t>(u)] = 0;
+        q.push(u);
+      } else {
+        dist[static_cast<std::size_t>(u)] = kInf;
+      }
+    }
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      for (const int v : adj[static_cast<std::size_t>(u)]) {
+        const int w = matchR[static_cast<std::size_t>(v)];
+        if (w < 0) {
+          foundFree = true;
+        } else if (dist[static_cast<std::size_t>(w)] == kInf) {
+          dist[static_cast<std::size_t>(w)] =
+              dist[static_cast<std::size_t>(u)] + 1;
+          q.push(w);
+        }
+      }
+    }
+    return foundFree;
+  }
+
+  bool dfs(int u) {
+    for (const int v : adj[static_cast<std::size_t>(u)]) {
+      const int w = matchR[static_cast<std::size_t>(v)];
+      if (w < 0 || (dist[static_cast<std::size_t>(w)] ==
+                        dist[static_cast<std::size_t>(u)] + 1 &&
+                    dfs(w))) {
+        matchL[static_cast<std::size_t>(u)] = v;
+        matchR[static_cast<std::size_t>(v)] = u;
+        return true;
+      }
+    }
+    dist[static_cast<std::size_t>(u)] = kInf;
+    return false;
+  }
+
+  void run() {
+    while (bfs()) {
+      for (int u = 0; u < nLeft; ++u) {
+        if (matchL[static_cast<std::size_t>(u)] < 0) dfs(u);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+std::vector<int> hopcroftKarp(int nLeft, int nRight,
+                              const std::vector<std::vector<int>>& adj) {
+  Hk hk(nLeft, nRight, adj);
+  hk.run();
+  return hk.matchL;
+}
+
+int maxMatchingSize(int nLeft, int nRight,
+                    const std::vector<std::vector<int>>& adj) {
+  const std::vector<int> m = hopcroftKarp(nLeft, nRight, adj);
+  int size = 0;
+  for (const int v : m) {
+    if (v >= 0) ++size;
+  }
+  return size;
+}
+
+BipartiteCover minimumVertexCover(int nLeft, int nRight,
+                                  const std::vector<std::vector<int>>& adj) {
+  const std::vector<int> matchL = hopcroftKarp(nLeft, nRight, adj);
+  std::vector<int> matchR(static_cast<std::size_t>(nRight), -1);
+  for (int u = 0; u < nLeft; ++u) {
+    if (matchL[static_cast<std::size_t>(u)] >= 0) {
+      matchR[static_cast<std::size_t>(matchL[static_cast<std::size_t>(u)])] =
+          u;
+    }
+  }
+  // König: alternating BFS from unmatched left vertices. Cover = (left not
+  // visited) union (right visited).
+  std::vector<char> visL(static_cast<std::size_t>(nLeft), 0);
+  std::vector<char> visR(static_cast<std::size_t>(nRight), 0);
+  std::queue<int> q;
+  for (int u = 0; u < nLeft; ++u) {
+    if (matchL[static_cast<std::size_t>(u)] < 0) {
+      visL[static_cast<std::size_t>(u)] = 1;
+      q.push(u);
+    }
+  }
+  while (!q.empty()) {
+    const int u = q.front();
+    q.pop();
+    for (const int v : adj[static_cast<std::size_t>(u)]) {
+      if (visR[static_cast<std::size_t>(v)]) continue;
+      visR[static_cast<std::size_t>(v)] = 1;
+      const int w = matchR[static_cast<std::size_t>(v)];
+      if (w >= 0 && !visL[static_cast<std::size_t>(w)]) {
+        visL[static_cast<std::size_t>(w)] = 1;
+        q.push(w);
+      }
+    }
+  }
+  BipartiteCover cover;
+  cover.left.assign(static_cast<std::size_t>(nLeft), 0);
+  cover.right.assign(static_cast<std::size_t>(nRight), 0);
+  for (int u = 0; u < nLeft; ++u) {
+    cover.left[static_cast<std::size_t>(u)] = visL[static_cast<std::size_t>(u)] ? 0 : 1;
+  }
+  for (int v = 0; v < nRight; ++v) {
+    cover.right[static_cast<std::size_t>(v)] = visR[static_cast<std::size_t>(v)];
+  }
+  return cover;
+}
+
+}  // namespace mbf

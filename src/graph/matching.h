@@ -1,0 +1,32 @@
+// Hopcroft-Karp maximum bipartite matching. Used by the conventional
+// minimum rectangular partition baseline (Ohtsuki / Imai-Asano
+// construction): a maximum independent set of non-crossing chords between
+// co-linear concave vertices comes from a maximum matching in the chord
+// intersection graph.
+#pragma once
+
+#include <vector>
+
+namespace mbf {
+
+/// Maximum matching of a bipartite graph with `nLeft` + `nRight` vertices.
+/// `adj[u]` lists the right-side neighbors (0-based) of left vertex u.
+/// Returns matchLeft: for each left vertex, its matched right vertex or -1.
+std::vector<int> hopcroftKarp(int nLeft, int nRight,
+                              const std::vector<std::vector<int>>& adj);
+
+/// Size of a maximum matching (number of matched left vertices).
+int maxMatchingSize(int nLeft, int nRight,
+                    const std::vector<std::vector<int>>& adj);
+
+/// Minimum vertex cover of the same bipartite graph via König's theorem.
+/// Returns (coverLeft, coverRight) boolean membership vectors. Vertices
+/// NOT in the cover form a maximum independent set.
+struct BipartiteCover {
+  std::vector<char> left;
+  std::vector<char> right;
+};
+BipartiteCover minimumVertexCover(int nLeft, int nRight,
+                                  const std::vector<std::vector<int>>& adj);
+
+}  // namespace mbf

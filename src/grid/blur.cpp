@@ -1,0 +1,56 @@
+#include "grid/blur.h"
+
+#include <cmath>
+#include <vector>
+
+namespace mbf {
+
+void gaussianBlur(FloatGrid& grid, double sigmaPx, double radiusSigmas) {
+  if (grid.empty() || sigmaPx <= 0.0) return;
+  const int radius = std::max(1, static_cast<int>(std::ceil(
+                                     radiusSigmas * sigmaPx)));
+  std::vector<float> kernel(static_cast<std::size_t>(2 * radius + 1));
+  double sum = 0.0;
+  for (int i = -radius; i <= radius; ++i) {
+    const double v = std::exp(-0.5 * (i / sigmaPx) * (i / sigmaPx));
+    kernel[static_cast<std::size_t>(i + radius)] = static_cast<float>(v);
+    sum += v;
+  }
+  for (float& v : kernel) v = static_cast<float>(v / sum);
+
+  const int w = grid.width();
+  const int h = grid.height();
+  std::vector<float> line(static_cast<std::size_t>(std::max(w, h)));
+
+  // Horizontal pass.
+  for (int y = 0; y < h; ++y) {
+    float* row = grid.row(y);
+    for (int x = 0; x < w; ++x) {
+      float acc = 0.0f;
+      for (int k = -radius; k <= radius; ++k) {
+        const int xx = x + k;
+        if (xx >= 0 && xx < w) {
+          acc += row[xx] * kernel[static_cast<std::size_t>(k + radius)];
+        }
+      }
+      line[static_cast<std::size_t>(x)] = acc;
+    }
+    for (int x = 0; x < w; ++x) row[x] = line[static_cast<std::size_t>(x)];
+  }
+  // Vertical pass.
+  for (int x = 0; x < w; ++x) {
+    for (int y = 0; y < h; ++y) {
+      float acc = 0.0f;
+      for (int k = -radius; k <= radius; ++k) {
+        const int yy = y + k;
+        if (yy >= 0 && yy < h) {
+          acc += grid.at(x, yy) * kernel[static_cast<std::size_t>(k + radius)];
+        }
+      }
+      line[static_cast<std::size_t>(y)] = acc;
+    }
+    for (int y = 0; y < h; ++y) grid.at(x, y) = line[static_cast<std::size_t>(y)];
+  }
+}
+
+}  // namespace mbf

@@ -1,0 +1,16 @@
+// Separable Gaussian blur on float grids. Used by the ILT-like shape
+// synthesizer (blur + threshold produces the smooth, wavy contours that
+// characterize inverse-lithography masks) and by reference "brute force"
+// dose computations in tests.
+#pragma once
+
+#include "grid/grid.h"
+
+namespace mbf {
+
+/// In-place separable Gaussian blur with standard deviation `sigmaPx`
+/// (in pixels) truncated at `radiusSigmas` standard deviations.
+/// Out-of-grid samples are treated as zero.
+void gaussianBlur(FloatGrid& grid, double sigmaPx, double radiusSigmas = 3.0);
+
+}  // namespace mbf

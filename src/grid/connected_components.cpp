@@ -1,0 +1,48 @@
+#include "grid/connected_components.h"
+
+#include <algorithm>
+
+namespace mbf {
+
+ComponentLabels labelComponents(const MaskGrid& mask) {
+  const int w = mask.width();
+  const int h = mask.height();
+  ComponentLabels out;
+  out.labels = Grid<std::int32_t>(w, h, -1);
+
+  std::vector<Point> stack;
+  for (int y0 = 0; y0 < h; ++y0) {
+    for (int x0 = 0; x0 < w; ++x0) {
+      if (!mask.at(x0, y0) || out.labels.at(x0, y0) >= 0) continue;
+      const std::int32_t id =
+          static_cast<std::int32_t>(out.components.size());
+      Component comp;
+      comp.bbox = {x0, y0, x0 + 1, y0 + 1};
+      stack.push_back({x0, y0});
+      out.labels.at(x0, y0) = id;
+      while (!stack.empty()) {
+        const Point p = stack.back();
+        stack.pop_back();
+        ++comp.pixels;
+        comp.bbox.x0 = std::min(comp.bbox.x0, p.x);
+        comp.bbox.y0 = std::min(comp.bbox.y0, p.y);
+        comp.bbox.x1 = std::max(comp.bbox.x1, p.x + 1);
+        comp.bbox.y1 = std::max(comp.bbox.y1, p.y + 1);
+        constexpr Point kDirs[4] = {{1, 0}, {-1, 0}, {0, 1}, {0, -1}};
+        for (const Point d : kDirs) {
+          const int nx = p.x + d.x;
+          const int ny = p.y + d.y;
+          if (mask.inBounds(nx, ny) && mask.at(nx, ny) &&
+              out.labels.at(nx, ny) < 0) {
+            out.labels.at(nx, ny) = id;
+            stack.push_back({nx, ny});
+          }
+        }
+      }
+      out.components.push_back(comp);
+    }
+  }
+  return out;
+}
+
+}  // namespace mbf

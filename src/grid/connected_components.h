@@ -1,0 +1,27 @@
+// 4-connected component labelling over a binary grid. The refiner's
+// AddShot step merges failing Pon pixels into connected polygons and
+// places a new shot on the bounding box of the best one (paper 4.3).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/rect.h"
+#include "grid/grid.h"
+
+namespace mbf {
+
+struct Component {
+  Rect bbox;              // grid-local pixel cell range [x0, x1) x [y0, y1)
+  std::int64_t pixels = 0;
+};
+
+struct ComponentLabels {
+  Grid<std::int32_t> labels;  // -1 for background, else component index
+  std::vector<Component> components;
+};
+
+/// Labels 4-connected components of non-zero cells.
+ComponentLabels labelComponents(const MaskGrid& mask);
+
+}  // namespace mbf

@@ -1,0 +1,80 @@
+// Dense row-major 2D grid. The workhorse container for rasterized masks,
+// pixel classification maps and accumulated intensity. Pixel (x, y) of a
+// grid anchored at integer origin (ox, oy) covers the 1x1 nm square
+// [ox + x, ox + x + 1) x [oy + y, oy + y + 1); its sampling point (where
+// the proximity model is evaluated) is the square centre.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace mbf {
+
+template <typename T>
+class Grid {
+ public:
+  Grid() = default;
+  Grid(int width, int height, T fill = T{})
+      : w_(width), h_(height), data_(static_cast<std::size_t>(width) * height,
+                                     fill) {
+    assert(width >= 0 && height >= 0);
+  }
+
+  int width() const { return w_; }
+  int height() const { return h_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  bool inBounds(int x, int y) const {
+    return x >= 0 && x < w_ && y >= 0 && y < h_;
+  }
+
+  T& at(int x, int y) {
+    assert(inBounds(x, y));
+    return data_[static_cast<std::size_t>(y) * w_ + x];
+  }
+  const T& at(int x, int y) const {
+    assert(inBounds(x, y));
+    return data_[static_cast<std::size_t>(y) * w_ + x];
+  }
+
+  /// Bounds-checked read returning `outside` for off-grid coordinates.
+  T get(int x, int y, T outside = T{}) const {
+    return inBounds(x, y) ? at(x, y) : outside;
+  }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  T* row(int y) { return data_.data() + static_cast<std::size_t>(y) * w_; }
+  const T* row(int y) const {
+    return data_.data() + static_cast<std::size_t>(y) * w_;
+  }
+
+  std::vector<T>& data() { return data_; }
+  const std::vector<T>& data() const { return data_; }
+
+  /// Number of cells satisfying the predicate.
+  template <typename Pred>
+  std::int64_t count(Pred pred) const {
+    std::int64_t n = 0;
+    for (const T& v : data_) {
+      if (pred(v)) ++n;
+    }
+    return n;
+  }
+
+ private:
+  int w_ = 0;
+  int h_ = 0;
+  std::vector<T> data_;
+};
+
+using MaskGrid = Grid<std::uint8_t>;
+using FloatGrid = Grid<float>;
+
+}  // namespace mbf

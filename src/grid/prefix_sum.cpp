@@ -1,0 +1,28 @@
+#include "grid/prefix_sum.h"
+
+#include <algorithm>
+
+namespace mbf {
+
+PrefixSum2D::PrefixSum2D(const MaskGrid& mask)
+    : sat_(mask.width() + 1, mask.height() + 1, 0) {
+  for (int y = 0; y < mask.height(); ++y) {
+    std::int64_t rowAcc = 0;
+    for (int x = 0; x < mask.width(); ++x) {
+      rowAcc += mask.at(x, y) ? 1 : 0;
+      sat_.at(x + 1, y + 1) = sat_.at(x + 1, y) + rowAcc;
+    }
+  }
+}
+
+std::int64_t PrefixSum2D::sum(int x0, int y0, int x1, int y1) const {
+  x0 = std::clamp(x0, 0, width());
+  x1 = std::clamp(x1, 0, width());
+  y0 = std::clamp(y0, 0, height());
+  y1 = std::clamp(y1, 0, height());
+  if (x1 <= x0 || y1 <= y0) return 0;
+  return sat_.at(x1, y1) - sat_.at(x0, y1) - sat_.at(x1, y0) +
+         sat_.at(x0, y0);
+}
+
+}  // namespace mbf

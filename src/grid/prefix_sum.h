@@ -1,0 +1,34 @@
+// 2D prefix sums (summed-area table) over a binary mask. Powers the O(1)
+// "how much of this shot overlaps the target?" queries used by the shot
+// graph's 80 % overlap test and the merge step's 90 % inside test.
+#pragma once
+
+#include <cstdint>
+
+#include "geometry/rect.h"
+#include "grid/grid.h"
+
+namespace mbf {
+
+class PrefixSum2D {
+ public:
+  PrefixSum2D() = default;
+  explicit PrefixSum2D(const MaskGrid& mask);
+
+  /// Sum over pixel cells x in [x0, x1), y in [y0, y1), clamped to the
+  /// grid. Coordinates are grid-local pixel indices.
+  std::int64_t sum(int x0, int y0, int x1, int y1) const;
+
+  /// Sum over the pixel cells covered by `r` expressed in grid-local
+  /// coordinates (a rect with corners on the pixel lattice covers cells
+  /// [x0, x1) x [y0, y1)).
+  std::int64_t sum(const Rect& r) const { return sum(r.x0, r.y0, r.x1, r.y1); }
+
+  int width() const { return sat_.width() - 1; }
+  int height() const { return sat_.height() - 1; }
+
+ private:
+  Grid<std::int64_t> sat_;  // (w+1) x (h+1), sat(x, y) = sum of cells < (x, y)
+};
+
+}  // namespace mbf

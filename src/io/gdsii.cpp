@@ -1,0 +1,440 @@
+#include "io/gdsii.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace mbf {
+namespace {
+
+// Record types (high byte) and data types (low byte) of the subset.
+enum : std::uint16_t {
+  kHeader = 0x0002,
+  kBgnLib = 0x0102,
+  kLibName = 0x0206,
+  kUnits = 0x0305,
+  kEndLib = 0x0400,
+  kBgnStr = 0x0502,
+  kStrName = 0x0606,
+  kEndStr = 0x0700,
+  kBoundary = 0x0800,
+  kSref = 0x0A00,
+  kAref = 0x0B00,
+  kColrow = 0x1302,
+  kLayer = 0x0D02,
+  kDatatype = 0x0E02,
+  kXy = 0x1003,
+  kEndEl = 0x1100,
+  kSname = 0x1206,
+};
+
+void putU16(std::string& buf, std::uint16_t v) {
+  buf.push_back(static_cast<char>(v >> 8));
+  buf.push_back(static_cast<char>(v & 0xFF));
+}
+
+void putI32(std::string& buf, std::int32_t v) {
+  const auto u = static_cast<std::uint32_t>(v);
+  buf.push_back(static_cast<char>(u >> 24));
+  buf.push_back(static_cast<char>((u >> 16) & 0xFF));
+  buf.push_back(static_cast<char>((u >> 8) & 0xFF));
+  buf.push_back(static_cast<char>(u & 0xFF));
+}
+
+// GDSII 8-byte real: sign bit, 7-bit excess-64 base-16 exponent, 56-bit
+// mantissa with value = mantissa * 16^(exp-64), 0.0625 <= mantissa < 1.
+void putReal8(std::string& buf, double v) {
+  std::uint64_t bits = 0;
+  if (v != 0.0) {
+    std::uint64_t sign = 0;
+    if (v < 0) {
+      sign = 1ULL << 63;
+      v = -v;
+    }
+    int exp = 64;
+    while (v >= 1.0) {
+      v /= 16.0;
+      ++exp;
+    }
+    while (v < 0.0625) {
+      v *= 16.0;
+      --exp;
+    }
+    const auto mantissa =
+        static_cast<std::uint64_t>(std::llround(v * 72057594037927936.0));
+    bits = sign | (static_cast<std::uint64_t>(exp) << 56) |
+           (mantissa & 0x00FFFFFFFFFFFFFFULL);
+  }
+  for (int i = 7; i >= 0; --i) {
+    buf.push_back(static_cast<char>((bits >> (8 * i)) & 0xFF));
+  }
+}
+
+void emitRecord(std::ostream& os, std::uint16_t type,
+                const std::string& payload) {
+  const auto len = static_cast<std::uint16_t>(4 + payload.size());
+  std::string head;
+  putU16(head, len);
+  putU16(head, type);
+  os.write(head.data(), static_cast<std::streamsize>(head.size()));
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+}
+
+void emitString(std::ostream& os, std::uint16_t type, std::string s) {
+  if (s.size() % 2) s.push_back('\0');  // records are even-length
+  emitRecord(os, type, s);
+}
+
+void emitTimestamps(std::string& buf) {
+  // 12 int16 fields (modification + access time); fixed epoch keeps
+  // output deterministic.
+  for (int i = 0; i < 12; ++i) putU16(buf, 0);
+}
+
+struct Reader {
+  std::istream& is;
+  bool ok = true;
+
+  std::uint8_t u8() {
+    const int c = is.get();
+    if (c < 0) ok = false;
+    return static_cast<std::uint8_t>(c);
+  }
+  std::uint16_t u16() {
+    const std::uint16_t hi = u8();
+    const std::uint16_t lo = u8();
+    return static_cast<std::uint16_t>((hi << 8) | lo);
+  }
+  std::int32_t i32() {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v = (v << 8) | u8();
+    return static_cast<std::int32_t>(v);
+  }
+  double real8() {
+    std::uint64_t bits = 0;
+    for (int i = 0; i < 8; ++i) bits = (bits << 8) | u8();
+    if (bits == 0) return 0.0;
+    const bool neg = (bits >> 63) != 0;
+    const int exp = static_cast<int>((bits >> 56) & 0x7F) - 64;
+    const double mantissa =
+        static_cast<double>(bits & 0x00FFFFFFFFFFFFFFULL) /
+        72057594037927936.0;
+    const double v = mantissa * std::pow(16.0, exp);
+    return neg ? -v : v;
+  }
+  std::string str(std::size_t n) {
+    std::string s(n, '\0');
+    is.read(s.data(), static_cast<std::streamsize>(n));
+    if (!is) ok = false;
+    while (!s.empty() && s.back() == '\0') s.pop_back();
+    return s;
+  }
+  void skip(std::size_t n) { is.ignore(static_cast<std::streamsize>(n)); }
+};
+
+void flattenInto(const GdsLibrary& lib, const GdsStructure& s, Point offset,
+                 int depth, std::vector<GdsPolygon>& out) {
+  if (depth > 8) return;  // depth limit doubles as cycle protection
+  for (const GdsPolygon& gp : s.polygons) {
+    GdsPolygon copy = gp;
+    copy.polygon.translate(offset);
+    out.push_back(std::move(copy));
+  }
+  for (const GdsSref& ref : s.srefs) {
+    const GdsStructure* child = lib.findStructure(ref.structName);
+    if (child && child != &s) {
+      flattenInto(lib, *child, offset + ref.offset, depth + 1, out);
+    }
+  }
+  for (const GdsAref& ref : s.arefs) {
+    const GdsStructure* child = lib.findStructure(ref.structName);
+    if (!child || child == &s) continue;
+    for (int r = 0; r < ref.rows; ++r) {
+      for (int c = 0; c < ref.columns; ++c) {
+        const Point at{
+            ref.origin.x + c * ref.columnPitch.x + r * ref.rowPitch.x,
+            ref.origin.y + c * ref.columnPitch.y + r * ref.rowPitch.y};
+        flattenInto(lib, *child, offset + at, depth + 1, out);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+GdsStructure* GdsLibrary::findStructure(const std::string& name) {
+  for (GdsStructure& s : structures) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const GdsStructure* GdsLibrary::findStructure(const std::string& name) const {
+  for (const GdsStructure& s : structures) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+void writeGds(std::ostream& os, const GdsLibrary& lib) {
+  {
+    std::string p;
+    putU16(p, 600);  // stream version
+    emitRecord(os, kHeader, p);
+  }
+  {
+    std::string p;
+    emitTimestamps(p);
+    emitRecord(os, kBgnLib, p);
+  }
+  emitString(os, kLibName, lib.libName);
+  {
+    std::string p;
+    putReal8(p, lib.userUnitsPerDbUnit);
+    putReal8(p, lib.metersPerDbUnit);
+    emitRecord(os, kUnits, p);
+  }
+  for (const GdsStructure& s : lib.structures) {
+    {
+      std::string p;
+      emitTimestamps(p);
+      emitRecord(os, kBgnStr, p);
+    }
+    emitString(os, kStrName, s.name);
+    for (const GdsPolygon& gp : s.polygons) {
+      emitRecord(os, kBoundary, {});
+      {
+        std::string p;
+        putU16(p, static_cast<std::uint16_t>(gp.layer));
+        emitRecord(os, kLayer, p);
+      }
+      {
+        std::string p;
+        putU16(p, static_cast<std::uint16_t>(gp.datatype));
+        emitRecord(os, kDatatype, p);
+      }
+      {
+        // XY: closed ring (first point repeated).
+        std::string p;
+        for (const Point& v : gp.polygon.vertices()) {
+          putI32(p, v.x);
+          putI32(p, v.y);
+        }
+        if (!gp.polygon.empty()) {
+          putI32(p, gp.polygon[0].x);
+          putI32(p, gp.polygon[0].y);
+        }
+        emitRecord(os, kXy, p);
+      }
+      emitRecord(os, kEndEl, {});
+    }
+    for (const GdsSref& ref : s.srefs) {
+      emitRecord(os, kSref, {});
+      emitString(os, kSname, ref.structName);
+      {
+        std::string p;
+        putI32(p, ref.offset.x);
+        putI32(p, ref.offset.y);
+        emitRecord(os, kXy, p);
+      }
+      emitRecord(os, kEndEl, {});
+    }
+    for (const GdsAref& ref : s.arefs) {
+      emitRecord(os, kAref, {});
+      emitString(os, kSname, ref.structName);
+      {
+        std::string p;
+        putU16(p, static_cast<std::uint16_t>(ref.columns));
+        putU16(p, static_cast<std::uint16_t>(ref.rows));
+        emitRecord(os, kColrow, p);
+      }
+      {
+        // GDSII AREF XY: origin, origin + columns*colPitch,
+        // origin + rows*rowPitch.
+        std::string p;
+        putI32(p, ref.origin.x);
+        putI32(p, ref.origin.y);
+        putI32(p, ref.origin.x + ref.columns * ref.columnPitch.x);
+        putI32(p, ref.origin.y + ref.columns * ref.columnPitch.y);
+        putI32(p, ref.origin.x + ref.rows * ref.rowPitch.x);
+        putI32(p, ref.origin.y + ref.rows * ref.rowPitch.y);
+        emitRecord(os, kXy, p);
+      }
+      emitRecord(os, kEndEl, {});
+    }
+    emitRecord(os, kEndStr, {});
+  }
+  emitRecord(os, kEndLib, {});
+}
+
+bool saveGds(const std::string& path, const GdsLibrary& lib) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  writeGds(os, lib);
+  return static_cast<bool>(os);
+}
+
+bool readGds(std::istream& is, GdsLibrary& out) {
+  Reader r{is};
+  bool sawHeader = false;
+  GdsStructure* cur = nullptr;
+
+  enum class Element { kNone, kBoundary, kSref, kAref };
+  Element element = Element::kNone;
+  GdsPolygon curPoly;
+  GdsSref curSref;
+  GdsAref curAref;
+
+  while (true) {
+    const std::uint16_t len = r.u16();
+    if (!r.ok) return sawHeader;  // clean EOF after records
+    const std::uint16_t type = r.u16();
+    if (!r.ok || len < 4) return false;
+    const std::size_t payload = len - 4;
+
+    switch (type) {
+      case kHeader:
+        sawHeader = true;
+        r.skip(payload);
+        break;
+      case kLibName:
+        out.libName = r.str(payload);
+        break;
+      case kBgnStr:
+        r.skip(payload);
+        out.structures.emplace_back();
+        cur = &out.structures.back();
+        break;
+      case kStrName: {
+        const std::string name = r.str(payload);
+        if (cur) cur->name = name;
+        break;
+      }
+      case kUnits:
+        if (payload != 16) return false;
+        out.userUnitsPerDbUnit = r.real8();
+        out.metersPerDbUnit = r.real8();
+        break;
+      case kBoundary:
+        element = Element::kBoundary;
+        curPoly = GdsPolygon{};
+        break;
+      case kSref:
+        element = Element::kSref;
+        curSref = GdsSref{};
+        break;
+      case kAref:
+        element = Element::kAref;
+        curAref = GdsAref{};
+        break;
+      case kColrow:
+        if (payload != 4) return false;
+        curAref.columns = r.u16();
+        curAref.rows = r.u16();
+        break;
+      case kSname:
+        if (element == Element::kAref) {
+          curAref.structName = r.str(payload);
+        } else {
+          curSref.structName = r.str(payload);
+        }
+        break;
+      case kLayer:
+        if (payload != 2) return false;
+        curPoly.layer = static_cast<std::int16_t>(r.u16());
+        break;
+      case kDatatype:
+        if (payload != 2) return false;
+        curPoly.datatype = static_cast<std::int16_t>(r.u16());
+        break;
+      case kXy: {
+        if (payload % 8 != 0) return false;
+        const std::size_t n = payload / 8;
+        if (element == Element::kSref) {
+          if (n >= 1) {
+            curSref.offset.x = r.i32();
+            curSref.offset.y = r.i32();
+            r.skip(payload - 8);
+          }
+          break;
+        }
+        if (element == Element::kAref) {
+          if (n >= 3) {
+            curAref.origin.x = r.i32();
+            curAref.origin.y = r.i32();
+            const std::int32_t cx = r.i32();
+            const std::int32_t cy = r.i32();
+            const std::int32_t rx = r.i32();
+            const std::int32_t ry = r.i32();
+            if (curAref.columns > 0) {
+              curAref.columnPitch = {(cx - curAref.origin.x) / curAref.columns,
+                                     (cy - curAref.origin.y) / curAref.columns};
+            }
+            if (curAref.rows > 0) {
+              curAref.rowPitch = {(rx - curAref.origin.x) / curAref.rows,
+                                  (ry - curAref.origin.y) / curAref.rows};
+            }
+            r.skip(payload - 24);
+          }
+          break;
+        }
+        std::vector<Point> pts;
+        pts.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::int32_t x = r.i32();
+          const std::int32_t y = r.i32();
+          pts.push_back({x, y});
+        }
+        // Drop the closing repeat of the first vertex.
+        if (pts.size() >= 2 && pts.front() == pts.back()) pts.pop_back();
+        curPoly.polygon = Polygon(std::move(pts));
+        break;
+      }
+      case kEndEl:
+        if (cur) {
+          if (element == Element::kBoundary && curPoly.polygon.size() >= 3) {
+            cur->polygons.push_back(std::move(curPoly));
+          } else if (element == Element::kSref &&
+                     !curSref.structName.empty()) {
+            cur->srefs.push_back(std::move(curSref));
+          } else if (element == Element::kAref &&
+                     !curAref.structName.empty()) {
+            cur->arefs.push_back(std::move(curAref));
+          }
+        }
+        element = Element::kNone;
+        break;
+      case kEndStr:
+        cur = nullptr;
+        break;
+      case kEndLib:
+        return sawHeader && r.ok;
+      default:
+        r.skip(payload);  // unsupported record: self-describing, skip
+        break;
+    }
+    if (!r.ok) return false;
+  }
+}
+
+bool loadGds(const std::string& path, GdsLibrary& out) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  return readGds(is, out);
+}
+
+std::vector<GdsPolygon> flattenGds(const GdsLibrary& lib,
+                                   const std::string& topStruct) {
+  std::vector<GdsPolygon> out;
+  const GdsStructure* top = topStruct.empty()
+                                ? (lib.structures.empty()
+                                       ? nullptr
+                                       : &lib.structures.front())
+                                : lib.findStructure(topStruct);
+  if (top) flattenInto(lib, *top, {0, 0}, 0, out);
+  return out;
+}
+
+}  // namespace mbf

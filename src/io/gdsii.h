@@ -1,0 +1,82 @@
+// Minimal GDSII stream-format subset: BOUNDARY elements and SREF cell
+// references across multiple structures -- what a mask-layer fracturing
+// flow needs (the paper's flow reads mask shapes through OpenAccess;
+// GDSII is the interchange format every layout tool emits, and cell
+// references are how layouts with billions of polygons stay tractable).
+// Big-endian binary records, 4-byte signed coordinates, 8-byte excess-64
+// floating point for UNITS.
+//
+// Supported records: HEADER, BGNLIB, LIBNAME, UNITS, BGNSTR, STRNAME,
+// BOUNDARY, SREF, AREF, SNAME, COLROW, LAYER, DATATYPE, XY, ENDEL,
+// ENDSTR, ENDLIB. Everything else (PATH, magnification, rotation, ...)
+// is skipped on read; records are self-describing.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geometry/polygon.h"
+
+namespace mbf {
+
+struct GdsPolygon {
+  Polygon polygon;
+  std::int16_t layer = 0;
+  std::int16_t datatype = 0;
+};
+
+/// Unrotated, unmagnified cell reference.
+struct GdsSref {
+  std::string structName;
+  Point offset;
+};
+
+/// Unrotated array reference: columns x rows instances on an axis-
+/// parallel pitch grid starting at `origin`.
+struct GdsAref {
+  std::string structName;
+  Point origin;
+  int columns = 1;
+  int rows = 1;
+  Point columnPitch{0, 0};  ///< step per column
+  Point rowPitch{0, 0};     ///< step per row
+};
+
+struct GdsStructure {
+  std::string name = "TOP";
+  std::vector<GdsPolygon> polygons;
+  std::vector<GdsSref> srefs;
+  std::vector<GdsAref> arefs;
+};
+
+struct GdsLibrary {
+  std::string libName = "MBF";
+  /// Database unit in user units (GDSII convention; 1e-3 = 1 nm when the
+  /// user unit is a micron).
+  double userUnitsPerDbUnit = 1e-3;
+  /// Database unit in meters (1e-9 = 1 nm).
+  double metersPerDbUnit = 1e-9;
+  std::vector<GdsStructure> structures;
+
+  GdsStructure* findStructure(const std::string& name);
+  const GdsStructure* findStructure(const std::string& name) const;
+};
+
+/// Serializes the library (structures in order, BOUNDARY + SREF records).
+void writeGds(std::ostream& os, const GdsLibrary& lib);
+bool saveGds(const std::string& path, const GdsLibrary& lib);
+
+/// Parses a GDSII stream; returns false on malformed input. Unknown
+/// record types are skipped.
+bool readGds(std::istream& is, GdsLibrary& out);
+bool loadGds(const std::string& path, GdsLibrary& out);
+
+/// Resolves SREFs recursively (depth-limited, cycle-safe) starting from
+/// `topStruct` (empty = the first structure) and returns every polygon
+/// translated into top coordinates.
+std::vector<GdsPolygon> flattenGds(const GdsLibrary& lib,
+                                   const std::string& topStruct = {});
+
+}  // namespace mbf

@@ -1,0 +1,97 @@
+#include "io/poly_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace mbf {
+namespace {
+
+// Strips comments and returns true for content lines.
+bool contentLine(const std::string& raw, std::string& out) {
+  const std::size_t hash = raw.find('#');
+  out = raw.substr(0, hash);
+  for (const char c : out) {
+    if (!std::isspace(static_cast<unsigned char>(c))) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void writePolygons(std::ostream& os, std::span<const Polygon> polygons) {
+  bool first = true;
+  for (const Polygon& p : polygons) {
+    if (!first) os << "\n";
+    first = false;
+    for (const Point& v : p.vertices()) os << v.x << " " << v.y << "\n";
+  }
+}
+
+std::vector<Polygon> readPolygons(std::istream& is) {
+  std::vector<Polygon> out;
+  std::vector<Point> cur;
+  std::string raw;
+  std::string line;
+  auto flush = [&] {
+    if (cur.size() >= 3) out.emplace_back(cur);
+    cur.clear();
+  };
+  while (std::getline(is, raw)) {
+    if (!contentLine(raw, line)) {
+      flush();
+      continue;
+    }
+    std::istringstream ls(line);
+    Point p;
+    if (ls >> p.x >> p.y) cur.push_back(p);
+  }
+  flush();
+  return out;
+}
+
+bool savePolygons(const std::string& path, std::span<const Polygon> polygons) {
+  std::ofstream os(path);
+  if (!os) return false;
+  writePolygons(os, polygons);
+  return static_cast<bool>(os);
+}
+
+std::vector<Polygon> loadPolygons(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return {};
+  return readPolygons(is);
+}
+
+void writeShots(std::ostream& os, std::span<const Rect> shots) {
+  for (const Rect& s : shots) {
+    os << s.x0 << " " << s.y0 << " " << s.x1 << " " << s.y1 << "\n";
+  }
+}
+
+std::vector<Rect> readShots(std::istream& is) {
+  std::vector<Rect> out;
+  std::string raw;
+  std::string line;
+  while (std::getline(is, raw)) {
+    if (!contentLine(raw, line)) continue;
+    std::istringstream ls(line);
+    Rect r;
+    if (ls >> r.x0 >> r.y0 >> r.x1 >> r.y1) out.push_back(r);
+  }
+  return out;
+}
+
+bool saveShots(const std::string& path, std::span<const Rect> shots) {
+  std::ofstream os(path);
+  if (!os) return false;
+  writeShots(os, shots);
+  return static_cast<bool>(os);
+}
+
+std::vector<Rect> loadShots(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return {};
+  return readShots(is);
+}
+
+}  // namespace mbf

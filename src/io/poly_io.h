@@ -1,0 +1,30 @@
+// Plain-text polygon and shot-list I/O. Stands in for the OpenAccess API
+// the paper used: shapes move between tools as simple vertex lists.
+//
+// .poly format:   one "x y" vertex pair per line, '#' comments, blank
+//                 lines separate multiple polygons.
+// .shots format:  one "x0 y0 x1 y1" shot per line, '#' comments.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "geometry/polygon.h"
+#include "geometry/rect.h"
+
+namespace mbf {
+
+void writePolygons(std::ostream& os, std::span<const Polygon> polygons);
+std::vector<Polygon> readPolygons(std::istream& is);
+
+bool savePolygons(const std::string& path, std::span<const Polygon> polygons);
+std::vector<Polygon> loadPolygons(const std::string& path);
+
+void writeShots(std::ostream& os, std::span<const Rect> shots);
+std::vector<Rect> readShots(std::istream& is);
+
+bool saveShots(const std::string& path, std::span<const Rect> shots);
+std::vector<Rect> loadShots(const std::string& path);
+
+}  // namespace mbf

@@ -1,0 +1,73 @@
+#include "io/svg.h"
+
+#include <fstream>
+
+namespace mbf {
+
+SvgWriter::SvgWriter(Rect viewBox, double scale)
+    : box_(viewBox), scale_(scale) {}
+
+void SvgWriter::addPolygon(const Polygon& polygon, const std::string& fill,
+                           const std::string& stroke, double strokeWidth,
+                           double fillOpacity) {
+  body_ << "<polygon points=\"";
+  for (const Point& v : polygon.vertices()) {
+    body_ << tx(v.x) << "," << ty(v.y) << " ";
+  }
+  body_ << "\" fill=\"" << fill << "\" fill-opacity=\"" << fillOpacity
+        << "\" stroke=\"" << stroke << "\" stroke-width=\""
+        << strokeWidth * scale_ << "\"/>\n";
+}
+
+void SvgWriter::addRing(std::span<const Vec2> ring, const std::string& fill,
+                        const std::string& stroke, double strokeWidth,
+                        double fillOpacity) {
+  body_ << "<polygon points=\"";
+  for (const Vec2& v : ring) body_ << tx(v.x) << "," << ty(v.y) << " ";
+  body_ << "\" fill=\"" << fill << "\" fill-opacity=\"" << fillOpacity
+        << "\" stroke=\"" << stroke << "\" stroke-width=\""
+        << strokeWidth * scale_ << "\"/>\n";
+}
+
+void SvgWriter::addRect(const Rect& rect, const std::string& fill,
+                        const std::string& stroke, double strokeWidth,
+                        double fillOpacity) {
+  body_ << "<rect x=\"" << tx(rect.x0) << "\" y=\"" << ty(rect.y1)
+        << "\" width=\"" << rect.width() * scale_ << "\" height=\""
+        << rect.height() * scale_ << "\" fill=\"" << fill
+        << "\" fill-opacity=\"" << fillOpacity << "\" stroke=\"" << stroke
+        << "\" stroke-width=\"" << strokeWidth * scale_ << "\"/>\n";
+}
+
+void SvgWriter::addCircle(Vec2 center, double radiusNm,
+                          const std::string& fill) {
+  body_ << "<circle cx=\"" << tx(center.x) << "\" cy=\"" << ty(center.y)
+        << "\" r=\"" << radiusNm * scale_ << "\" fill=\"" << fill << "\"/>\n";
+}
+
+void SvgWriter::addText(Vec2 pos, const std::string& text, double sizeNm,
+                        const std::string& fill) {
+  body_ << "<text x=\"" << tx(pos.x) << "\" y=\"" << ty(pos.y)
+        << "\" font-size=\"" << sizeNm * scale_ << "\" fill=\"" << fill
+        << "\" font-family=\"monospace\">" << text << "</text>\n";
+}
+
+std::string SvgWriter::str() const {
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+     << box_.width() * scale_ << "\" height=\"" << box_.height() * scale_
+     << "\" viewBox=\"0 0 " << box_.width() * scale_ << " "
+     << box_.height() * scale_ << "\">\n"
+     << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+     << body_.str() << "</svg>\n";
+  return os.str();
+}
+
+bool SvgWriter::save(const std::string& path) const {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << str();
+  return static_cast<bool>(os);
+}
+
+}  // namespace mbf

@@ -1,0 +1,44 @@
+// Tiny SVG writer for visual inspection of shapes, shots, corner points
+// and intensity contours. Y axis is flipped so that +y is up, matching
+// mask coordinates.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "geometry/polygon.h"
+#include "geometry/rect.h"
+
+namespace mbf {
+
+class SvgWriter {
+ public:
+  /// `viewBox` in world nm; `scale` = SVG units per nm.
+  explicit SvgWriter(Rect viewBox, double scale = 4.0);
+
+  void addPolygon(const Polygon& polygon, const std::string& fill,
+                  const std::string& stroke, double strokeWidth = 0.5,
+                  double fillOpacity = 1.0);
+  void addRing(std::span<const Vec2> ring, const std::string& fill,
+               const std::string& stroke, double strokeWidth = 0.5,
+               double fillOpacity = 1.0);
+  void addRect(const Rect& rect, const std::string& fill,
+               const std::string& stroke, double strokeWidth = 0.5,
+               double fillOpacity = 0.35);
+  void addCircle(Vec2 center, double radiusNm, const std::string& fill);
+  void addText(Vec2 pos, const std::string& text, double sizeNm = 6.0,
+               const std::string& fill = "#222");
+
+  std::string str() const;
+  bool save(const std::string& path) const;
+
+ private:
+  double tx(double x) const { return (x - box_.x0) * scale_; }
+  double ty(double y) const { return (box_.y1 - y) * scale_; }
+
+  Rect box_;
+  double scale_;
+  std::ostringstream body_;
+};
+
+}  // namespace mbf

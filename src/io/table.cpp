@@ -1,0 +1,79 @@
+#include "io/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+namespace mbf {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::addRow(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void Table::addSeparator() { rows_.emplace_back(); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto hline = [&] {
+    os << "+";
+    for (const std::size_t w : widths) os << std::string(w + 2, '-') << "+";
+    os << "\n";
+  };
+  auto printRow = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << " " << std::setw(static_cast<int>(widths[c])) << cell << " |";
+    }
+    os << "\n";
+  };
+  hline();
+  printRow(header_);
+  hline();
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      hline();
+    } else {
+      printRow(row);
+    }
+  }
+  hline();
+}
+
+std::string Table::csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ",";
+      os << row[c];
+    }
+    os << "\n";
+  };
+  emit(header_);
+  for (const auto& row : rows_) {
+    if (!row.empty()) emit(row);
+  }
+  return os.str();
+}
+
+std::string Table::fmt(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+std::string Table::fmt(std::int64_t v) { return std::to_string(v); }
+
+}  // namespace mbf

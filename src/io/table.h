@@ -1,0 +1,31 @@
+// Fixed-width ASCII table printer used by the bench binaries to emit the
+// paper's Table 2 / Table 3 layouts, plus a CSV escape hatch for plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mbf {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void addRow(std::vector<std::string> cells);
+  /// A horizontal separator line before the next row.
+  void addSeparator();
+
+  void print(std::ostream& os) const;
+  std::string csv() const;
+
+  static std::string fmt(double v, int precision = 2);
+  static std::string fmt(std::int64_t v);
+  static std::string fmt(int v) { return fmt(static_cast<std::int64_t>(v)); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace mbf

@@ -1,0 +1,59 @@
+// Umbrella header: the library's public surface in one include.
+//
+//   #include "mbf.h"
+//
+// Prefer the per-module headers in larger builds; this exists for
+// quick experiments and downstream users who value convenience over
+// compile time.
+#pragma once
+
+// Core reproduction (the paper's method and problem model).
+#include "fracture/coloring_fracturer.h"
+#include "fracture/corner_extraction.h"
+#include "fracture/model_based_fracturer.h"
+#include "fracture/params.h"
+#include "fracture/problem.h"
+#include "fracture/refiner.h"
+#include "fracture/shot_graph.h"
+#include "fracture/solution.h"
+#include "fracture/verifier.h"
+
+// E-beam physics.
+#include "ebeam/corner_rounding.h"
+#include "ebeam/intensity_map.h"
+#include "ebeam/proximity_model.h"
+
+// Baselines.
+#include "baselines/candidate_gen.h"
+#include "baselines/eda_proxy.h"
+#include "baselines/greedy_set_cover.h"
+#include "baselines/matching_pursuit.h"
+#include "baselines/rect_partition.h"
+
+// Extensions.
+#include "extensions/anneal.h"
+#include "extensions/lshape.h"
+#include "extensions/pec.h"
+#include "extensions/variable_dose.h"
+
+// Analysis, cost, bounds.
+#include "analysis/epe.h"
+#include "analysis/shot_stats.h"
+#include "bounds/bounds.h"
+#include "cost/write_time.h"
+
+// Mask-data-prep layer.
+#include "mdp/hierarchy.h"
+#include "mdp/layout.h"
+#include "mdp/ordering.h"
+
+// Benchmark workload synthesis.
+#include "benchgen/ilt_synth.h"
+#include "benchgen/known_opt_gen.h"
+#include "benchgen/opc_synth.h"
+
+// I/O.
+#include "io/gdsii.h"
+#include "io/poly_io.h"
+#include "io/svg.h"
+#include "io/table.h"

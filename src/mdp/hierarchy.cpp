@@ -1,0 +1,94 @@
+#include "mdp/hierarchy.h"
+
+#include <chrono>
+#include <unordered_map>
+
+namespace mbf {
+namespace {
+
+struct CellShots {
+  std::vector<Rect> shots;        // in cell-local coordinates
+  int shapeCount = 0;
+  std::int64_t failingPixels = 0;
+};
+
+void expand(const GdsLibrary& lib,
+            const std::unordered_map<std::string, CellShots>& cache,
+            const GdsStructure& s, Point offset, int depth,
+            HierarchicalResult& out) {
+  if (depth > 8) return;  // matches flattenGds' cycle bound
+  const auto it = cache.find(s.name);
+  if (it != cache.end()) {
+    for (const Rect& shot : it->second.shots) {
+      out.shots.push_back(shot.translated(offset));
+    }
+    out.instantiatedShapes += it->second.shapeCount;
+  }
+  for (const GdsSref& ref : s.srefs) {
+    const GdsStructure* child = lib.findStructure(ref.structName);
+    if (child && child != &s) {
+      expand(lib, cache, *child, offset + ref.offset, depth + 1, out);
+    }
+  }
+  for (const GdsAref& ref : s.arefs) {
+    const GdsStructure* child = lib.findStructure(ref.structName);
+    if (!child || child == &s) continue;
+    for (int r = 0; r < ref.rows; ++r) {
+      for (int c = 0; c < ref.columns; ++c) {
+        const Point at{
+            ref.origin.x + c * ref.columnPitch.x + r * ref.rowPitch.x,
+            ref.origin.y + c * ref.columnPitch.y + r * ref.rowPitch.y};
+        expand(lib, cache, *child, offset + at, depth + 1, out);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+HierarchicalResult fractureGdsHierarchical(const GdsLibrary& lib,
+                                           const BatchConfig& config,
+                                           const std::string& topStruct) {
+  const auto start = std::chrono::steady_clock::now();
+  HierarchicalResult result;
+
+  // Fracture every structure's own polygons once, cell-locally.
+  std::unordered_map<std::string, CellShots> cache;
+  for (const GdsStructure& s : lib.structures) {
+    if (s.polygons.empty()) {
+      cache.emplace(s.name, CellShots{});
+      continue;
+    }
+    std::vector<Polygon> rings;
+    rings.reserve(s.polygons.size());
+    for (const GdsPolygon& gp : s.polygons) rings.push_back(gp.polygon);
+    const std::vector<LayoutShape> shapes = groupRings(std::move(rings));
+    const BatchResult batch = fractureLayout(shapes, config);
+
+    CellShots cell;
+    cell.shapeCount = static_cast<int>(shapes.size());
+    for (const Solution& sol : batch.solutions) {
+      cell.shots.insert(cell.shots.end(), sol.shots.begin(),
+                        sol.shots.end());
+      cell.failingPixels += sol.failingPixels();
+    }
+    result.uniqueShapesFractured += cell.shapeCount;
+    result.uniqueFailingPixels += cell.failingPixels;
+    cache.emplace(s.name, std::move(cell));
+  }
+
+  // Expand the reference tree from the top structure.
+  const GdsStructure* top = topStruct.empty()
+                                ? (lib.structures.empty()
+                                       ? nullptr
+                                       : &lib.structures.front())
+                                : lib.findStructure(topStruct);
+  if (top) expand(lib, cache, *top, {0, 0}, 0, result);
+
+  result.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace mbf

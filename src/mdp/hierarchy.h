@@ -1,0 +1,42 @@
+// Hierarchical mask fracturing: a GDSII cell referenced N times is
+// fractured ONCE and its shot list instantiated at every reference
+// offset. This is the leverage that keeps full-mask MDP tractable
+// ("a mask contains billions of polygons", paper section 2 -- but only
+// thousands of unique cells).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/gdsii.h"
+#include "mdp/layout.h"
+
+namespace mbf {
+
+struct HierarchicalResult {
+  /// All shots, translated into top-structure coordinates, writer-ready.
+  std::vector<Rect> shots;
+  /// Shapes actually fractured (unique across the cell library).
+  int uniqueShapesFractured = 0;
+  /// Shape instances the shots cover after expansion.
+  int instantiatedShapes = 0;
+  /// Failing pixels summed over unique fractures (each instance prints
+  /// identically, so per-instance violations scale by the instance count).
+  std::int64_t uniqueFailingPixels = 0;
+  double wallSeconds = 0.0;
+
+  /// The flat-equivalent shot count a non-hierarchical flow would have
+  /// produced; shots.size() == flatShotCount (instancing repeats shots),
+  /// the saving is in *fracture work*, not shot count.
+  int flatShotCount() const { return static_cast<int>(shots.size()); }
+};
+
+/// Fractures `lib` hierarchically starting at `topStruct` (empty = first
+/// structure). Every structure's polygons are grouped into shapes and
+/// fractured once; SREF expansion then translates the cached shot lists.
+HierarchicalResult fractureGdsHierarchical(const GdsLibrary& lib,
+                                           const BatchConfig& config,
+                                           const std::string& topStruct = {});
+
+}  // namespace mbf

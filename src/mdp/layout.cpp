@@ -1,0 +1,129 @@
+#include "mdp/layout.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "baselines/eda_proxy.h"
+#include "baselines/greedy_set_cover.h"
+#include "baselines/matching_pursuit.h"
+#include "fracture/model_based_fracturer.h"
+
+namespace mbf {
+
+std::vector<LayoutShape> groupRings(std::vector<Polygon> rings) {
+  const std::size_t n = rings.size();
+  // parent[i] = index of the ring containing ring i, or -1.
+  std::vector<int> parent(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      // Containment test: bbox plus a representative vertex. Mask rings
+      // never intersect, so one interior vertex decides.
+      if (!rings[j].bbox().contains(rings[i].bbox())) continue;
+      if (rings[j].contains(toVec2(rings[i][0]) + Vec2{0.25, 0.25})) {
+        parent[i] = static_cast<int>(j);
+        break;
+      }
+    }
+  }
+  std::vector<LayoutShape> shapes;
+  std::vector<int> shapeOf(n, -1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (parent[i] < 0) {
+      shapeOf[i] = static_cast<int>(shapes.size());
+      shapes.emplace_back();
+      shapes.back().rings.push_back(std::move(rings[i]));
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    if (parent[i] >= 0) {
+      const int owner = shapeOf[static_cast<std::size_t>(parent[i])];
+      if (owner >= 0) {
+        shapes[static_cast<std::size_t>(owner)].rings.push_back(
+            std::move(rings[i]));
+      }
+    }
+  }
+  return shapes;
+}
+
+const char* toString(Method method) {
+  switch (method) {
+    case Method::kOurs: return "ours";
+    case Method::kGsc: return "gsc";
+    case Method::kMp: return "mp";
+    case Method::kProxy: return "proxy";
+  }
+  return "?";
+}
+
+bool parseMethod(const std::string& text, Method& out) {
+  if (text == "ours") {
+    out = Method::kOurs;
+  } else if (text == "gsc") {
+    out = Method::kGsc;
+  } else if (text == "mp") {
+    out = Method::kMp;
+  } else if (text == "proxy") {
+    out = Method::kProxy;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Solution fractureShape(const LayoutShape& shape, const FractureParams& params,
+                       Method method) {
+  const Problem problem(shape.rings, params);
+  switch (method) {
+    case Method::kOurs:
+      return ModelBasedFracturer{}.fracture(problem);
+    case Method::kGsc:
+      return GreedySetCover{}.fracture(problem);
+    case Method::kMp:
+      return MatchingPursuit{}.fracture(problem);
+    case Method::kProxy:
+      return EdaProxy{}.fracture(problem);
+  }
+  return {};
+}
+
+BatchResult fractureLayout(const std::vector<LayoutShape>& shapes,
+                           const BatchConfig& config) {
+  const auto start = std::chrono::steady_clock::now();
+  BatchResult result;
+  result.solutions.resize(shapes.size());
+
+  const int threads =
+      std::max(1, std::min<int>(config.threads,
+                                static_cast<int>(shapes.size())));
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= shapes.size()) break;
+      result.solutions[i] =
+          fractureShape(shapes[i], config.params, config.method);
+    }
+  };
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (const Solution& sol : result.solutions) {
+    result.totalShots += sol.shotCount();
+    result.totalFailingPixels += sol.failingPixels();
+  }
+  result.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return result;
+}
+
+}  // namespace mbf

@@ -1,0 +1,64 @@
+// Mask-data-prep layer: full layouts instead of single shapes. A mask
+// layer arrives as a flat list of polygons ("a mask contains billions of
+// polygons", paper section 2); rings nested inside another ring are that
+// shape's holes; every shape fractures independently, so a layout
+// parallelizes trivially across worker threads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fracture/params.h"
+#include "fracture/problem.h"
+#include "fracture/solution.h"
+#include "geometry/polygon.h"
+
+namespace mbf {
+
+/// One mask shape: outer boundary plus holes.
+struct LayoutShape {
+  std::vector<Polygon> rings;
+};
+
+/// Groups a flat ring list into shapes: a ring contained in exactly one
+/// other ring becomes that ring's hole (nesting depth 1, the mask-layout
+/// case; deeper nesting would be an island and is not supported).
+std::vector<LayoutShape> groupRings(std::vector<Polygon> rings);
+
+enum class Method {
+  kOurs,    ///< the paper's method (coloring + refinement)
+  kGsc,     ///< greedy set cover baseline
+  kMp,      ///< matching pursuit baseline
+  kProxy,   ///< PROTO-EDA proxy baseline
+};
+
+const char* toString(Method method);
+/// Parses "ours" / "gsc" / "mp" / "proxy"; returns false on anything else.
+bool parseMethod(const std::string& text, Method& out);
+
+/// Fractures one shape with the chosen method.
+Solution fractureShape(const LayoutShape& shape, const FractureParams& params,
+                       Method method);
+
+struct BatchResult {
+  std::vector<Solution> solutions;  ///< one per shape, input order
+  int totalShots = 0;
+  std::int64_t totalFailingPixels = 0;
+  double wallSeconds = 0.0;
+};
+
+struct BatchConfig {
+  FractureParams params;
+  Method method = Method::kOurs;
+  int threads = 1;
+};
+
+/// Fractures every shape of a layout, optionally across worker threads.
+/// Shapes are independent problems, so results are identical for any
+/// thread count (verified in tests).
+BatchResult fractureLayout(const std::vector<LayoutShape>& shapes,
+                           const BatchConfig& config);
+
+}  // namespace mbf

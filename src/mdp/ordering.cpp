@@ -1,0 +1,102 @@
+#include "mdp/ordering.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace mbf {
+namespace {
+
+double centerDist(const Rect& a, const Rect& b) {
+  return dist(a.center(), b.center());
+}
+
+}  // namespace
+
+double travelLength(std::span<const Rect> shots) {
+  double acc = 0.0;
+  for (std::size_t i = 1; i < shots.size(); ++i) {
+    acc += centerDist(shots[i - 1], shots[i]);
+  }
+  return acc;
+}
+
+double travelLength(std::span<const Rect> shots,
+                    std::span<const std::size_t> order) {
+  double acc = 0.0;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    acc += centerDist(shots[order[i - 1]], shots[order[i]]);
+  }
+  return acc;
+}
+
+std::vector<std::size_t> orderShots(std::span<const Rect> shots,
+                                    const OrderingConfig& config) {
+  const std::size_t n = shots.size();
+  std::vector<std::size_t> order;
+  if (n == 0) return order;
+
+  // Nearest neighbour from the bottom-left-most shot.
+  std::size_t start = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const Vec2 c = shots[i].center();
+    const Vec2 s = shots[start].center();
+    if (c.x + c.y < s.x + s.y) start = i;
+  }
+  std::vector<char> visited(n, 0);
+  order.reserve(n);
+  order.push_back(start);
+  visited[start] = 1;
+  while (order.size() < n) {
+    const Rect& cur = shots[order.back()];
+    std::size_t best = 0;
+    double bestD = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (visited[i]) continue;
+      const double d = centerDist(cur, shots[i]);
+      if (d < bestD) {
+        bestD = d;
+        best = i;
+      }
+    }
+    order.push_back(best);
+    visited[best] = 1;
+  }
+
+  if (config.twoOpt && n >= 4) {
+    // 2-opt on the open path: reversing order[i..j] changes only the two
+    // boundary hops.
+    for (int pass = 0; pass < config.maxTwoOptPasses; ++pass) {
+      bool improved = false;
+      for (std::size_t i = 1; i + 1 < n; ++i) {
+        for (std::size_t j = i + 1; j < n; ++j) {
+          const double before =
+              centerDist(shots[order[i - 1]], shots[order[i]]) +
+              (j + 1 < n ? centerDist(shots[order[j]], shots[order[j + 1]])
+                         : 0.0);
+          const double after =
+              centerDist(shots[order[i - 1]], shots[order[j]]) +
+              (j + 1 < n ? centerDist(shots[order[i]], shots[order[j + 1]])
+                         : 0.0);
+          if (after + 1e-12 < before) {
+            std::reverse(order.begin() + static_cast<std::ptrdiff_t>(i),
+                         order.begin() + static_cast<std::ptrdiff_t>(j + 1));
+            improved = true;
+          }
+        }
+      }
+      if (!improved) break;
+    }
+  }
+  return order;
+}
+
+std::vector<Rect> applyOrder(std::span<const Rect> shots,
+                             std::span<const std::size_t> order) {
+  std::vector<Rect> out;
+  out.reserve(order.size());
+  for (const std::size_t i : order) out.push_back(shots[i]);
+  return out;
+}
+
+}  // namespace mbf

@@ -1,0 +1,35 @@
+// Shot ordering for the e-beam writer. After fracturing, shots are
+// written sequentially; beam deflection / stage settling between distant
+// shots costs time, so mask data prep orders the shot list to keep
+// consecutive shots close (a TSP-flavoured step). Greedy nearest
+// neighbour plus bounded 2-opt is the standard practical compromise.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geometry/rect.h"
+
+namespace mbf {
+
+/// Total centre-to-centre travel of the shot sequence, nm.
+double travelLength(std::span<const Rect> shots);
+double travelLength(std::span<const Rect> shots,
+                    std::span<const std::size_t> order);
+
+struct OrderingConfig {
+  bool twoOpt = true;    ///< run 2-opt improvement after nearest neighbour
+  int maxTwoOptPasses = 8;
+};
+
+/// Returns a permutation of [0, shots.size()) that visits every shot,
+/// starting from the shot closest to the bottom-left corner.
+std::vector<std::size_t> orderShots(std::span<const Rect> shots,
+                                    const OrderingConfig& config = {});
+
+/// Applies a permutation.
+std::vector<Rect> applyOrder(std::span<const Rect> shots,
+                             std::span<const std::size_t> order);
+
+}  // namespace mbf

@@ -1,0 +1,105 @@
+// Tests for the analysis and cost modules: EPE / dose latitude reports
+// and the write-time / mask-cost arithmetic.
+#include <gtest/gtest.h>
+
+#include "analysis/epe.h"
+#include "cost/write_time.h"
+#include "fracture/model_based_fracturer.h"
+
+namespace mbf {
+namespace {
+
+Polygon square(int size) {
+  return Polygon({{0, 0}, {size, 0}, {size, size}, {0, size}});
+}
+
+TEST(EpeTest, ExactShotHasTinyEpeOnEdges) {
+  Problem p(square(60), FractureParams{});
+  const std::vector<Rect> shots{{0, 0, 60, 60}};
+  const EpeReport r = analyzeEpe(p, shots);
+  ASSERT_GT(r.samples.size(), 20u);
+  EXPECT_EQ(r.unprintedCount, 0);
+  // Mid-edge samples print exactly on the shot edge; corner-adjacent
+  // samples see some rounding, but everything stays within tolerance.
+  EXPECT_LT(r.meanAbsEpe, 1.0);
+  EXPECT_LE(static_cast<double>(r.outOfToleranceCount),
+            0.2 * static_cast<double>(r.samples.size()));
+}
+
+TEST(EpeTest, BiasedShotShowsAsSignedEpe) {
+  Problem p(square(60), FractureParams{});
+  // 3 nm oversized on every side: contour prints ~3 nm outside.
+  const std::vector<Rect> shots{{-3, -3, 63, 63}};
+  const EpeReport r = analyzeEpe(p, shots);
+  double meanSigned = 0.0;
+  int n = 0;
+  for (const EpeSample& s : r.samples) {
+    if (s.printed) {
+      meanSigned += s.epe;
+      ++n;
+    }
+  }
+  ASSERT_GT(n, 0);
+  meanSigned /= n;
+  EXPECT_NEAR(meanSigned, 3.0, 0.8);
+  EXPECT_GT(r.outOfToleranceCount, 0);  // 3 nm > gamma = 2 nm
+}
+
+TEST(EpeTest, NoShotsMeansUnprinted) {
+  Problem p(square(60), FractureParams{});
+  const EpeReport r = analyzeEpe(p, {});
+  EXPECT_EQ(r.unprintedCount, static_cast<int>(r.samples.size()));
+  EXPECT_EQ(r.outOfToleranceCount, 0);  // nothing printed to measure
+}
+
+TEST(EpeTest, SlopeAndDoseSensitivityPositive) {
+  Problem p(square(60), FractureParams{});
+  const std::vector<Rect> shots{{0, 0, 60, 60}};
+  const EpeReport r = analyzeEpe(p, shots);
+  EXPECT_GT(r.medianDoseSensitivity, 0.0);
+  // An isolated erf edge at sigma = 6.25 has slope ~1/(sigma*sqrt(pi))
+  // ~ 0.09 /nm at the crossing -> 5 % dose moves the edge ~0.28 nm.
+  EXPECT_LT(r.medianDoseSensitivity, 1.0);
+}
+
+TEST(EpeTest, RefinedSolutionMeetsTolerance) {
+  Problem p(square(60), FractureParams{});
+  const Solution sol = ModelBasedFracturer{}.fracture(p);
+  const EpeReport r = analyzeEpe(p, sol.shots);
+  EXPECT_EQ(r.unprintedCount, 0);
+  // Feasibility by pixels implies near-tolerance EPE on the simplified
+  // boundary; allow corner samples a little slack.
+  EXPECT_LT(r.maxAbsEpe, 2.0 * p.params().gamma + 1.0);
+}
+
+TEST(WriteTimeTest, LinearInShots) {
+  const WriteTimeModel m;
+  EXPECT_DOUBLE_EQ(m.writeTimeSeconds(0), 0.0);
+  const double t1 = m.writeTimeSeconds(1000000);
+  const double t2 = m.writeTimeSeconds(2000000);
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-9);
+  EXPECT_GT(t1, 1.0);  // a million shots takes seconds, not microseconds
+  EXPECT_DOUBLE_EQ(m.writeTimeHours(3600000000LL),
+                   m.writeTimeSeconds(3600000000LL) / 3600.0);
+}
+
+TEST(MaskCostTest, PaperArithmetic) {
+  // Paper section 1: 10 % fewer shots -> ~2 % cheaper mask.
+  const MaskCostModel m;
+  EXPECT_NEAR(m.costSavingFraction(0.10), 0.02, 1e-12);
+  // 23 % fewer shots (the headline) -> ~4.6 % of mask cost.
+  EXPECT_NEAR(m.costSavingFraction(0.23), 0.046, 1e-12);
+}
+
+TEST(MaskCostTest, DollarSavings) {
+  MaskCostModel m;
+  m.maskCostDollars = 1000000.0;
+  // 100 -> 80 shots: 20 % reduction, 20 % * 0.2 * $1M = $40k.
+  EXPECT_NEAR(m.costSavingDollars(100, 80), 40000.0, 1e-6);
+  EXPECT_DOUBLE_EQ(m.costSavingDollars(0, 0), 0.0);
+  // More shots than before: negative saving (cost increase).
+  EXPECT_LT(m.costSavingDollars(100, 120), 0.0);
+}
+
+}  // namespace
+}  // namespace mbf

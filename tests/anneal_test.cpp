@@ -1,0 +1,80 @@
+// Tests for the simulated-annealing refiner extension.
+#include <gtest/gtest.h>
+
+#include "extensions/anneal.h"
+#include "fracture/coloring_fracturer.h"
+#include "fracture/verifier.h"
+
+namespace mbf {
+namespace {
+
+Polygon square(int size) {
+  return Polygon({{0, 0}, {size, 0}, {size, size}, {0, size}});
+}
+
+TEST(AnnealTest, FixesUndersizedSquareShot) {
+  Problem p(square(40), FractureParams{});
+  AnnealRefiner r(p);
+  const Solution sol = r.refine({{6, 6, 34, 34}});
+  EXPECT_TRUE(sol.feasible()) << sol.failOn << "/" << sol.failOff;
+  EXPECT_EQ(sol.shotCount(), 1);
+}
+
+TEST(AnnealTest, Deterministic) {
+  Problem p(square(40), FractureParams{});
+  AnnealConfig cfg;
+  cfg.seed = 7;
+  cfg.iterations = 5000;
+  AnnealRefiner r(p, cfg);
+  const Solution a = r.refine({{4, 4, 36, 36}});
+  const Solution b = r.refine({{4, 4, 36, 36}});
+  EXPECT_EQ(a.shots, b.shots);
+}
+
+TEST(AnnealTest, SeedChangesTrajectoryNotValidity) {
+  Problem p(square(50), FractureParams{});
+  AnnealConfig c1;
+  c1.seed = 1;
+  AnnealConfig c2;
+  c2.seed = 2;
+  const Solution a = AnnealRefiner(p, c1).refine({{5, 5, 45, 45}});
+  const Solution b = AnnealRefiner(p, c2).refine({{5, 5, 45, 45}});
+  EXPECT_TRUE(a.feasible());
+  EXPECT_TRUE(b.feasible());
+}
+
+TEST(AnnealTest, RespectsMinShotSize) {
+  Problem p(square(20), FractureParams{});
+  AnnealConfig cfg;
+  cfg.iterations = 3000;
+  AnnealRefiner r(p, cfg);
+  const Solution sol = r.refine({{2, 2, 16, 16}});
+  for (const Rect& s : sol.shots) {
+    EXPECT_GE(s.width(), p.params().lmin);
+    EXPECT_GE(s.height(), p.params().lmin);
+  }
+}
+
+TEST(AnnealTest, NeverWorseThanStart) {
+  // The best-state tracking guarantees the result is at least as good as
+  // the initial solution.
+  Polygon l({{0, 0}, {80, 0}, {80, 30}, {30, 30}, {30, 80}, {0, 80}});
+  Problem p(l, FractureParams{});
+  const ColoringArtifacts art = ColoringFracturer{}.fractureWithArtifacts(p);
+  Verifier v(p);
+  v.setShots(art.shots);
+  const Violations start = v.violations();
+  AnnealConfig cfg;
+  cfg.iterations = 8000;
+  const Solution sol = AnnealRefiner(p, cfg).refine(art.shots);
+  EXPECT_LE(sol.failingPixels(), start.total());
+}
+
+TEST(AnnealTest, EmptyInputIsHarmless) {
+  Problem p(square(30), FractureParams{});
+  const Solution sol = AnnealRefiner(p).refine({});
+  EXPECT_EQ(sol.shotCount(), 0);
+}
+
+}  // namespace
+}  // namespace mbf

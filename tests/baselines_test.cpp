@@ -1,0 +1,198 @@
+// Unit tests for the baselines: candidate generation, GSC, MP, the
+// minimum rectangular partition and the PROTO-EDA proxy.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/candidate_gen.h"
+#include "baselines/eda_proxy.h"
+#include "baselines/greedy_set_cover.h"
+#include "baselines/matching_pursuit.h"
+#include "baselines/rect_partition.h"
+#include "fracture/verifier.h"
+#include "geometry/rasterizer.h"
+#include "geometry/rdp.h"
+
+namespace mbf {
+namespace {
+
+Polygon square(int size) {
+  return Polygon({{0, 0}, {size, 0}, {size, size}, {0, size}});
+}
+
+Polygon lShape() {
+  return Polygon({{0, 0}, {80, 0}, {80, 30}, {30, 30}, {30, 80}, {0, 80}});
+}
+
+TEST(CandidateGenTest, SquareYieldsItsOwnBbox) {
+  Problem p(square(40), FractureParams{});
+  const std::vector<Rect> cands = generateCandidateShots(p);
+  ASSERT_FALSE(cands.empty());
+  EXPECT_EQ(cands.front(), Rect(0, 0, 40, 40));  // sorted by area
+}
+
+TEST(CandidateGenTest, AllCandidatesMeetMinSize) {
+  Problem p(lShape(), FractureParams{});
+  for (const Rect& c : generateCandidateShots(p)) {
+    EXPECT_GE(c.width(), p.params().lmin);
+    EXPECT_GE(c.height(), p.params().lmin);
+  }
+}
+
+TEST(CandidateGenTest, LShapeContainsBothArmRects) {
+  Problem p(lShape(), FractureParams{});
+  const std::vector<Rect> cands = generateCandidateShots(p);
+  EXPECT_NE(std::find(cands.begin(), cands.end(), Rect(0, 0, 80, 30)),
+            cands.end());
+  EXPECT_NE(std::find(cands.begin(), cands.end(), Rect(0, 0, 30, 80)),
+            cands.end());
+}
+
+TEST(CandidateGenTest, PoolCapRespected) {
+  Problem p(lShape(), FractureParams{});
+  const std::vector<Rect> cands =
+      generateCandidateShots(p, {.maxCandidates = 3});
+  EXPECT_LE(cands.size(), 3u);
+}
+
+TEST(GscTest, CoversSquareFeasibly) {
+  Problem p(square(40), FractureParams{});
+  const Solution sol = GreedySetCover{}.fracture(p);
+  EXPECT_EQ(sol.method, "GSC");
+  EXPECT_GE(sol.shotCount(), 1);
+  EXPECT_EQ(sol.failOn, 0);
+}
+
+TEST(GscTest, LShapeUsesFewShots) {
+  Problem p(lShape(), FractureParams{});
+  const Solution sol = GreedySetCover{}.fracture(p);
+  EXPECT_EQ(sol.failOn, 0);
+  EXPECT_LE(sol.shotCount(), 6);  // greedy, not minimal (2 is optimal)
+}
+
+TEST(GscTest, RespectsShotCap) {
+  Problem p(lShape(), FractureParams{});
+  GreedySetCoverConfig cfg;
+  cfg.maxShots = 1;
+  const Solution sol = GreedySetCover(cfg).fracture(p);
+  EXPECT_EQ(sol.shotCount(), 1);
+}
+
+TEST(MpTest, CoversSquare) {
+  Problem p(square(40), FractureParams{});
+  const Solution sol = MatchingPursuit{}.fracture(p);
+  EXPECT_EQ(sol.method, "MP");
+  EXPECT_GE(sol.shotCount(), 1);
+  EXPECT_EQ(sol.failOn, 0);
+}
+
+TEST(MpTest, FirstPickIsTheDominantAtom) {
+  Problem p(square(40), FractureParams{});
+  const Solution sol = MatchingPursuit{}.fracture(p);
+  ASSERT_GE(sol.shotCount(), 1);
+  // The square's own bbox has the highest correlation with the target.
+  EXPECT_EQ(sol.shots[0], Rect(0, 0, 40, 40));
+}
+
+TEST(MpTest, ShotCapRespected) {
+  Problem p(lShape(), FractureParams{});
+  MatchingPursuitConfig cfg;
+  cfg.maxShots = 2;
+  const Solution sol = MatchingPursuit(cfg).fracture(p);
+  EXPECT_LE(sol.shotCount(), 2);
+}
+
+TEST(PartitionTest, RectangleIsOnePiece) {
+  const PartitionResult r = minRectPartition(square(30));
+  ASSERT_EQ(r.rects.size(), 1u);
+  EXPECT_EQ(r.rects[0], Rect(0, 0, 30, 30));
+  EXPECT_EQ(r.concaveVertices, 0);
+}
+
+TEST(PartitionTest, LShapeIsTwoPieces) {
+  const PartitionResult r = minRectPartition(lShape());
+  EXPECT_EQ(r.concaveVertices, 1);
+  EXPECT_EQ(r.rects.size(), 2u);
+}
+
+TEST(PartitionTest, PlusShapeUsesChord) {
+  // Plus/cross: 4 concave vertices, 2 co-linear pairs -> chords give 3
+  // rectangles instead of 5.
+  Polygon plus({{20, 0},  {40, 0},  {40, 20}, {60, 20}, {60, 40},
+                {40, 40}, {40, 60}, {20, 60}, {20, 40}, {0, 40},
+                {0, 20},  {20, 20}});
+  const PartitionResult r = minRectPartition(plus);
+  EXPECT_EQ(r.concaveVertices, 4);
+  EXPECT_GE(r.independentChords, 1);
+  EXPECT_EQ(r.rects.size(), 3u);
+}
+
+TEST(PartitionTest, PartitionTilesExactly) {
+  // Pieces are disjoint and cover the polygon exactly (checked by area
+  // and by rasterization equality).
+  Polygon shape({{0, 0},  {50, 0},  {50, 20}, {30, 20}, {30, 40},
+                 {70, 40}, {70, 70}, {10, 70}, {10, 30}, {0, 30}});
+  const PartitionResult r = minRectPartition(shape);
+  double total = 0.0;
+  for (const Rect& rect : r.rects) total += static_cast<double>(rect.area());
+  EXPECT_DOUBLE_EQ(total, shape.area());
+  for (std::size_t i = 0; i < r.rects.size(); ++i) {
+    for (std::size_t j = i + 1; j < r.rects.size(); ++j) {
+      EXPECT_FALSE(r.rects[i].intersects(r.rects[j]))
+          << r.rects[i].str() << " vs " << r.rects[j].str();
+    }
+  }
+}
+
+TEST(PartitionTest, StaircasePartition) {
+  Polygon stairs({{0, 0},  {60, 0},  {60, 20}, {40, 20},
+                  {40, 40}, {20, 40}, {20, 60}, {0, 60}});
+  const PartitionResult r = minRectPartition(stairs);
+  EXPECT_EQ(r.concaveVertices, 2);
+  EXPECT_EQ(r.rects.size(), 3u);
+}
+
+TEST(RectilinearizeTest, DiagonalBecomesStaircase) {
+  Polygon tri({{0, 0}, {60, 0}, {60, 60}});
+  const std::vector<Vec2> ring = simplifyRing(tri, 2.0);
+  const Polygon rect = rectilinearize(tri, ring, 10.0);
+  EXPECT_TRUE(rect.isRectilinear());
+  EXPECT_GE(rect.size(), 8u);  // staircase corners added
+  // Staircase circumscribes the triangle: area at least the original.
+  EXPECT_GE(rect.area(), tri.area() - 1e-9);
+}
+
+TEST(RectilinearizeTest, AlreadyRectilinearUnchanged) {
+  const Polygon l = lShape();
+  const std::vector<Vec2> ring = simplifyRing(l, 2.0);
+  Polygon rect = rectilinearize(l, ring, 10.0);
+  EXPECT_TRUE(rect.isRectilinear());
+  EXPECT_DOUBLE_EQ(rect.area(), l.area());
+}
+
+TEST(EdaProxyTest, SquareIsOneShot) {
+  Problem p(square(40), FractureParams{});
+  const Solution sol = EdaProxy{}.fracture(p);
+  EXPECT_EQ(sol.method, "EDA-PROXY");
+  EXPECT_EQ(sol.shotCount(), 1);
+  EXPECT_TRUE(sol.feasible());
+}
+
+TEST(EdaProxyTest, LShapeTwoShots) {
+  Problem p(lShape(), FractureParams{});
+  const Solution sol = EdaProxy{}.fracture(p);
+  EXPECT_EQ(sol.shotCount(), 2);
+  EXPECT_TRUE(sol.feasible());
+}
+
+TEST(EdaProxyTest, MinSizeRespected) {
+  Problem p(lShape(), FractureParams{});
+  const Solution sol = EdaProxy{}.fracture(p);
+  for (const Rect& s : sol.shots) {
+    EXPECT_GE(s.width(), p.params().lmin);
+    EXPECT_GE(s.height(), p.params().lmin);
+  }
+}
+
+}  // namespace
+}  // namespace mbf

@@ -1,0 +1,126 @@
+// Unit tests for the benchmark shape generators: ILT-like synthesis and
+// the known-optimal AGB / RGB suites.
+#include <gtest/gtest.h>
+
+#include "benchgen/ilt_synth.h"
+#include "benchgen/known_opt_gen.h"
+#include "fracture/verifier.h"
+
+namespace mbf {
+namespace {
+
+TEST(IltSynthTest, Deterministic) {
+  IltSynthConfig cfg;
+  cfg.seed = 42;
+  const Polygon a = makeIltShape(cfg);
+  const Polygon b = makeIltShape(cfg);
+  EXPECT_EQ(a.vertices(), b.vertices());
+}
+
+TEST(IltSynthTest, DifferentSeedsDiffer) {
+  IltSynthConfig a;
+  a.seed = 1;
+  IltSynthConfig b;
+  b.seed = 2;
+  EXPECT_NE(makeIltShape(a).vertices(), makeIltShape(b).vertices());
+}
+
+TEST(IltSynthTest, ShapeIsValidAndWavy) {
+  IltSynthConfig cfg;
+  cfg.seed = 7;
+  cfg.numFeatures = 5;
+  const Polygon shape = makeIltShape(cfg);
+  ASSERT_GE(shape.size(), 8u);
+  EXPECT_TRUE(shape.isCounterClockwise());
+  EXPECT_TRUE(shape.isRectilinear());  // traced at pixel resolution
+  EXPECT_GT(shape.area(), 400.0);
+  // Wavy: far more vertices than a hand-drawn rectilinear shape.
+  EXPECT_GT(shape.size(), 40u);
+}
+
+TEST(IltSynthTest, SuiteHasTenRampingClips) {
+  const std::vector<IltSynthConfig> suite = iltSuiteConfigs();
+  ASSERT_EQ(suite.size(), 10u);
+  for (std::size_t i = 1; i < suite.size(); ++i) {
+    EXPECT_GE(suite[i].numFeatures, suite[i - 1].numFeatures);
+  }
+  // All clips generate non-degenerate shapes.
+  for (const IltSynthConfig& cfg : suite) {
+    const Polygon shape = makeIltShape(cfg);
+    EXPECT_GT(shape.area(), 300.0) << cfg.name();
+  }
+}
+
+TEST(IltSynthTest, GeneratorArmsAreFeasible) {
+  // The defining property of the synthesized suite: the arms that printed
+  // the contour are a feasible solution of the generated problem.
+  IltSynthConfig cfg;
+  cfg.seed = 5;
+  cfg.numFeatures = 4;
+  const IltShape shape = makeIltShapeWithArms(cfg);
+  Problem problem(shape.target, FractureParams{});
+  const Violations v = evaluateShots(problem, shape.generatorArms);
+  EXPECT_EQ(v.total(), 0) << v.failOn << " on / " << v.failOff << " off";
+}
+
+TEST(KnownOptTest, GeneratorShotsAreFeasible) {
+  const ProximityModel model;
+  KnownOptConfig cfg;
+  cfg.seed = 3;
+  cfg.numShots = 5;
+  const KnownOptShape shape = makeKnownOptShape(cfg, model);
+  ASSERT_EQ(shape.optimal(), 5);
+  Problem problem(shape.target, FractureParams{});
+  const Violations v = evaluateShots(problem, shape.generatorShots);
+  EXPECT_EQ(v.total(), 0) << v.failOn << " on / " << v.failOff << " off";
+}
+
+TEST(KnownOptTest, AbuttingGeneratorFeasibleToo) {
+  const ProximityModel model;
+  KnownOptConfig cfg;
+  cfg.seed = 9;
+  cfg.numShots = 6;
+  cfg.abutting = true;
+  const KnownOptShape shape = makeKnownOptShape(cfg, model);
+  Problem problem(shape.target, FractureParams{});
+  EXPECT_EQ(evaluateShots(problem, shape.generatorShots).total(), 0);
+}
+
+TEST(KnownOptTest, SuiteMatchesPaperCounts) {
+  const ProximityModel model;
+  const std::vector<KnownOptShape> suite = knownOptSuite(model);
+  ASSERT_EQ(suite.size(), 10u);
+  const int expected[] = {3, 16, 17, 7, 3, 5, 7, 5, 9, 6};
+  const char* names[] = {"AGB-1", "AGB-2", "AGB-3", "AGB-4", "AGB-5",
+                         "RGB-1", "RGB-2", "RGB-3", "RGB-4", "RGB-5"};
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    EXPECT_EQ(suite[i].name, names[i]);
+    EXPECT_EQ(suite[i].optimal(), expected[i]);
+    EXPECT_GT(suite[i].target.area(), 100.0);
+  }
+}
+
+TEST(KnownOptTest, Deterministic) {
+  const ProximityModel model;
+  KnownOptConfig cfg;
+  cfg.seed = 17;
+  const KnownOptShape a = makeKnownOptShape(cfg, model);
+  const KnownOptShape b = makeKnownOptShape(cfg, model);
+  EXPECT_EQ(a.target.vertices(), b.target.vertices());
+  EXPECT_EQ(a.generatorShots, b.generatorShots);
+}
+
+TEST(KnownOptTest, MinShotSizeHonored) {
+  const ProximityModel model;
+  KnownOptConfig cfg;
+  cfg.seed = 31;
+  cfg.numShots = 8;
+  const KnownOptShape shape = makeKnownOptShape(cfg, model);
+  for (const Rect& s : shape.generatorShots) {
+    EXPECT_GE(s.width(), cfg.minShotSize);
+    EXPECT_GE(s.height(), cfg.minShotSize);
+  }
+}
+
+}  // namespace
+}  // namespace mbf

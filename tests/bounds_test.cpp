@@ -1,0 +1,60 @@
+// Tests for the heuristic lower-bound estimator.
+#include <gtest/gtest.h>
+
+#include "benchgen/ilt_synth.h"
+#include "bounds/bounds.h"
+#include "fracture/model_based_fracturer.h"
+
+namespace mbf {
+namespace {
+
+TEST(BoundsTest, SquareIsOne) {
+  Problem p(Polygon({{0, 0}, {60, 0}, {60, 60}, {0, 60}}), FractureParams{});
+  const BoundsEstimate est = estimateLowerBound(p);
+  EXPECT_EQ(est.lower(), 1);
+}
+
+TEST(BoundsTest, SeparatedArmsNeedSeparateShots) {
+  // Long thin L: no single shot covers both arms, clique bound >= 2.
+  Polygon l({{0, 0}, {200, 0}, {200, 16}, {16, 16}, {16, 200}, {0, 200}});
+  Problem p(l, FractureParams{});
+  const BoundsEstimate est = estimateLowerBound(p);
+  EXPECT_GE(est.lower(), 2);
+}
+
+TEST(BoundsTest, AreaBoundKicksInForElongatedShapes) {
+  // A 400x14 bar: the largest inscribed shot is the bar itself, so the
+  // area bound is 1 -- but for a plus of thin bars the largest shot
+  // covers only one bar.
+  Polygon plus({{190, 0},  {210, 0},  {210, 190}, {400, 190},
+                {400, 210}, {210, 210}, {210, 400}, {190, 400},
+                {190, 210}, {0, 210},  {0, 190},  {190, 190}});
+  Problem p(plus, FractureParams{});
+  const BoundsEstimate est = estimateLowerBound(p);
+  EXPECT_GE(est.areaBound, 2);
+}
+
+TEST(BoundsTest, NeverAboveOurSolutionOnSuite) {
+  // The bound is heuristic but must stay below any feasible solution we
+  // can actually produce.
+  for (const int idx : {0, 2, 5}) {
+    const IltSynthConfig cfg =
+        iltSuiteConfigs()[static_cast<std::size_t>(idx)];
+    const IltShape shape = makeIltShapeWithArms(cfg);
+    Problem p(shape.target, FractureParams{});
+    const BoundsEstimate est = estimateLowerBound(p);
+    // Compare against the generator reference (feasible by construction).
+    EXPECT_LE(est.lower(), static_cast<int>(shape.generatorArms.size()))
+        << cfg.name();
+  }
+}
+
+TEST(BoundsTest, BothComponentsAtLeastOne) {
+  Problem p(Polygon({{0, 0}, {30, 0}, {30, 30}, {0, 30}}), FractureParams{});
+  const BoundsEstimate est = estimateLowerBound(p);
+  EXPECT_GE(est.cliqueBound, 1);
+  EXPECT_GE(est.areaBound, 1);
+}
+
+}  // namespace
+}  // namespace mbf

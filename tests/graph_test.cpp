@@ -1,0 +1,176 @@
+// Unit tests for the graph substrate: adjacency, complement, colorings,
+// cliques and Hopcroft-Karp matching / König cover.
+#include <gtest/gtest.h>
+
+#include "graph/clique.h"
+#include "graph/coloring.h"
+#include "graph/graph.h"
+#include "graph/matching.h"
+
+namespace mbf {
+namespace {
+
+Graph pathGraph(int n) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.addEdge(i, i + 1);
+  return g;
+}
+
+Graph completeGraph(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) g.addEdge(i, j);
+  }
+  return g;
+}
+
+TEST(GraphTest, EdgesAndDegrees) {
+  Graph g(4);
+  g.addEdge(0, 1);
+  g.addEdge(1, 2);
+  g.addEdge(1, 2);  // duplicate ignored
+  g.addEdge(3, 3);  // self loop ignored
+  EXPECT_EQ(g.numEdges(), 2);
+  EXPECT_TRUE(g.hasEdge(0, 1));
+  EXPECT_TRUE(g.hasEdge(1, 0));
+  EXPECT_FALSE(g.hasEdge(0, 2));
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.degree(3), 0);
+  EXPECT_EQ(g.neighbors(1), (std::vector<int>{0, 2}));
+}
+
+TEST(GraphTest, ComplementOfPath) {
+  const Graph g = pathGraph(4);
+  const Graph c = g.complement();
+  EXPECT_EQ(c.numEdges(), 6 - 3);
+  EXPECT_TRUE(c.hasEdge(0, 2));
+  EXPECT_TRUE(c.hasEdge(0, 3));
+  EXPECT_TRUE(c.hasEdge(1, 3));
+  EXPECT_FALSE(c.hasEdge(0, 1));
+}
+
+TEST(GraphTest, ComplementOfComplete) {
+  const Graph c = completeGraph(5).complement();
+  EXPECT_EQ(c.numEdges(), 0);
+}
+
+TEST(ColoringTest, PathNeedsTwoColors) {
+  for (const ColoringOrder order :
+       {ColoringOrder::kSequential, ColoringOrder::kLargestFirst,
+        ColoringOrder::kDsatur}) {
+    const Graph g = pathGraph(6);
+    const Coloring c = greedyColoring(g, order);
+    EXPECT_EQ(c.numColors, 2);
+    EXPECT_TRUE(isProperColoring(g, c));
+  }
+}
+
+TEST(ColoringTest, CompleteNeedsNColors) {
+  const Graph g = completeGraph(6);
+  const Coloring c = greedyColoring(g);
+  EXPECT_EQ(c.numColors, 6);
+  EXPECT_TRUE(isProperColoring(g, c));
+}
+
+TEST(ColoringTest, EmptyGraphOneColor) {
+  const Graph g(5);
+  const Coloring c = greedyColoring(g);
+  EXPECT_EQ(c.numColors, 1);
+  EXPECT_TRUE(isProperColoring(g, c));
+}
+
+TEST(ColoringTest, ClassesPartitionVertices) {
+  Graph g(7);
+  g.addEdge(0, 1);
+  g.addEdge(2, 3);
+  g.addEdge(4, 5);
+  g.addEdge(5, 6);
+  const Coloring c = greedyColoring(g);
+  int total = 0;
+  for (const auto& cls : c.classes()) total += static_cast<int>(cls.size());
+  EXPECT_EQ(total, 7);
+}
+
+TEST(ColoringTest, DsaturOnCrown) {
+  // Crown-ish graph where naive sequential can use 3 colors but DSATUR
+  // stays at 2: C6 cycle.
+  Graph g(6);
+  for (int i = 0; i < 6; ++i) g.addEdge(i, (i + 1) % 6);
+  const Coloring c = greedyColoring(g, ColoringOrder::kDsatur);
+  EXPECT_EQ(c.numColors, 2);
+  EXPECT_TRUE(isProperColoring(g, c));
+}
+
+TEST(CliqueTest, FindsPlantedClique) {
+  Graph g(8);
+  // Plant K4 on {0, 2, 4, 6} plus noise edges.
+  const int clique[] = {0, 2, 4, 6};
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) g.addEdge(clique[i], clique[j]);
+  }
+  g.addEdge(1, 3);
+  g.addEdge(5, 7);
+  const std::vector<int> found = greedyMaxClique(g);
+  EXPECT_EQ(found.size(), 4u);
+  EXPECT_TRUE(isClique(g, found));
+}
+
+TEST(CliqueTest, SingleVertex) {
+  const Graph g(1);
+  EXPECT_EQ(greedyMaxClique(g).size(), 1u);
+}
+
+TEST(CliqueTest, IsCliqueRejectsNonClique) {
+  const Graph g = pathGraph(3);
+  EXPECT_FALSE(isClique(g, {0, 1, 2}));
+  EXPECT_TRUE(isClique(g, {0, 1}));
+}
+
+TEST(MatchingTest, PerfectMatchingOnCycle) {
+  // Bipartite 3+3 cycle-like graph with a perfect matching.
+  const std::vector<std::vector<int>> adj{{0, 1}, {1, 2}, {2, 0}};
+  EXPECT_EQ(maxMatchingSize(3, 3, adj), 3);
+}
+
+TEST(MatchingTest, StarGraph) {
+  // One left vertex connected to all rights: matching size 1.
+  const std::vector<std::vector<int>> adj{{0, 1, 2, 3}};
+  EXPECT_EQ(maxMatchingSize(1, 4, adj), 1);
+}
+
+TEST(MatchingTest, NoEdges) {
+  const std::vector<std::vector<int>> adj{{}, {}};
+  EXPECT_EQ(maxMatchingSize(2, 3, adj), 0);
+}
+
+TEST(MatchingTest, KonigCoverSizeEqualsMatching) {
+  const std::vector<std::vector<int>> adj{{0, 1}, {1}, {1, 2}};
+  const int m = maxMatchingSize(3, 3, adj);
+  const BipartiteCover cover = minimumVertexCover(3, 3, adj);
+  int coverSize = 0;
+  for (const char c : cover.left) coverSize += c;
+  for (const char c : cover.right) coverSize += c;
+  EXPECT_EQ(coverSize, m);
+  // Cover property: every edge touches the cover.
+  for (int u = 0; u < 3; ++u) {
+    for (const int v : adj[static_cast<std::size_t>(u)]) {
+      EXPECT_TRUE(cover.left[static_cast<std::size_t>(u)] ||
+                  cover.right[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+TEST(MatchingTest, IndependentSetFromCover) {
+  // Complement of cover is an independent set in the bipartite graph.
+  const std::vector<std::vector<int>> adj{{0}, {0, 1}, {2}};
+  const BipartiteCover cover = minimumVertexCover(3, 3, adj);
+  for (int u = 0; u < 3; ++u) {
+    if (cover.left[static_cast<std::size_t>(u)]) continue;
+    for (const int v : adj[static_cast<std::size_t>(u)]) {
+      EXPECT_TRUE(cover.right[static_cast<std::size_t>(v)]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mbf

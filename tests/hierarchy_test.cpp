@@ -1,0 +1,107 @@
+// Tests for hierarchical fracturing: one fracture per unique cell,
+// instantiation by translation, equivalence with the flat flow.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fracture/verifier.h"
+#include "mdp/hierarchy.h"
+
+namespace mbf {
+namespace {
+
+GdsPolygon lPoly() {
+  GdsPolygon p;
+  p.polygon =
+      Polygon({{0, 0}, {80, 0}, {80, 30}, {30, 30}, {30, 80}, {0, 80}});
+  return p;
+}
+
+GdsLibrary arrayLib(int instances) {
+  GdsLibrary lib;
+  GdsStructure cell{"CELL", {lPoly()}, {}};
+  GdsStructure top{"TOP", {}, {}};
+  for (int i = 0; i < instances; ++i) {
+    top.srefs.push_back({"CELL", {i * 200, 0}});
+  }
+  lib.structures = {top, cell};
+  return lib;
+}
+
+TEST(HierarchyTest, OneFracturePerUniqueCell) {
+  const GdsLibrary lib = arrayLib(5);
+  const HierarchicalResult r = fractureGdsHierarchical(lib, BatchConfig{});
+  // CELL fractured once; TOP has no own polygons.
+  EXPECT_EQ(r.uniqueShapesFractured, 1);
+  EXPECT_EQ(r.instantiatedShapes, 5);
+  // Every instance carries the same number of shots.
+  EXPECT_EQ(r.flatShotCount() % 5, 0);
+  EXPECT_GE(r.flatShotCount(), 5 * 2);  // an L needs >= 2 shots
+}
+
+TEST(HierarchyTest, InstanceShotsMatchFlatFracture) {
+  const GdsLibrary lib = arrayLib(3);
+  const HierarchicalResult r = fractureGdsHierarchical(lib, BatchConfig{});
+
+  // Reference: fracture the cell directly.
+  LayoutShape shape;
+  shape.rings.push_back(lPoly().polygon);
+  const Solution direct = fractureShape(shape, FractureParams{}, Method::kOurs);
+
+  ASSERT_EQ(r.flatShotCount(), 3 * direct.shotCount());
+  // First instance is at offset 0: its shots equal the direct solution's.
+  std::vector<Rect> first(r.shots.begin(),
+                          r.shots.begin() + direct.shotCount());
+  auto key = [](const Rect& a, const Rect& b) {
+    return std::tie(a.x0, a.y0, a.x1, a.y1) <
+           std::tie(b.x0, b.y0, b.x1, b.y1);
+  };
+  std::vector<Rect> expect = direct.shots;
+  std::sort(first.begin(), first.end(), key);
+  std::sort(expect.begin(), expect.end(), key);
+  EXPECT_EQ(first, expect);
+}
+
+TEST(HierarchyTest, TranslatedInstanceIsFeasible) {
+  const GdsLibrary lib = arrayLib(2);
+  const HierarchicalResult r = fractureGdsHierarchical(lib, BatchConfig{});
+  // Verify the second instance's shots against a translated problem.
+  Polygon shifted = lPoly().polygon;
+  shifted.translate({200, 0});
+  Problem problem(shifted, FractureParams{});
+  const int perInstance = r.flatShotCount() / 2;
+  const std::vector<Rect> second(r.shots.end() - perInstance, r.shots.end());
+  const Violations v = evaluateShots(problem, second);
+  EXPECT_EQ(v.total(), 0);
+}
+
+TEST(HierarchyTest, MixedOwnPolygonsAndRefs) {
+  GdsLibrary lib;
+  GdsStructure cell{"CELL", {lPoly()}, {}};
+  GdsPolygon own;
+  own.polygon = Polygon({{500, 0}, {560, 0}, {560, 60}, {500, 60}});
+  GdsStructure top{"TOP", {own}, {{"CELL", {0, 300}}}};
+  lib.structures = {top, cell};
+  const HierarchicalResult r = fractureGdsHierarchical(lib, BatchConfig{});
+  EXPECT_EQ(r.uniqueShapesFractured, 2);  // TOP's square + CELL's L
+  EXPECT_EQ(r.instantiatedShapes, 2);
+  // Shot for the square at its own coordinates, L shots shifted by 300.
+  bool sawSquare = false;
+  bool sawShifted = false;
+  for (const Rect& s : r.shots) {
+    if (s.intersects({500, 0, 560, 60})) sawSquare = true;
+    if (s.y0 >= 290) sawShifted = true;
+  }
+  EXPECT_TRUE(sawSquare);
+  EXPECT_TRUE(sawShifted);
+}
+
+TEST(HierarchyTest, EmptyLibrary) {
+  const HierarchicalResult r =
+      fractureGdsHierarchical(GdsLibrary{}, BatchConfig{});
+  EXPECT_EQ(r.flatShotCount(), 0);
+  EXPECT_EQ(r.uniqueShapesFractured, 0);
+}
+
+}  // namespace
+}  // namespace mbf

@@ -1,0 +1,108 @@
+// Tests for the L-shaped shot extension: pairing legality, matching
+// quality and dose equivalence of flattened L-shots.
+#include <gtest/gtest.h>
+
+#include "baselines/rect_partition.h"
+#include "extensions/lshape.h"
+#include "fracture/verifier.h"
+
+namespace mbf {
+namespace {
+
+TEST(CanFormLShotTest, AlignedAbutmentIsL) {
+  // Vertical abutment sharing the bottom end: an L.
+  EXPECT_TRUE(canFormLShot({0, 0, 20, 40}, {20, 0, 50, 20}));
+  // Sharing the top end: also an L.
+  EXPECT_TRUE(canFormLShot({0, 0, 20, 40}, {20, 20, 50, 40}));
+  // Horizontal abutment sharing the left end.
+  EXPECT_TRUE(canFormLShot({0, 0, 40, 20}, {0, 20, 20, 50}));
+}
+
+TEST(CanFormLShotTest, FullAlignmentIsRectMerge) {
+  // Same y-extents: the union is a plain rectangle -- still one aperture.
+  EXPECT_TRUE(canFormLShot({0, 0, 20, 40}, {20, 0, 50, 40}));
+}
+
+TEST(CanFormLShotTest, MisalignedAbutmentRejected) {
+  // T-shape: b's y-extent strictly inside a's.
+  EXPECT_FALSE(canFormLShot({0, 0, 20, 40}, {20, 10, 50, 30}));
+  // Z/S-shape: partial overlap, no shared end.
+  EXPECT_FALSE(canFormLShot({0, 0, 20, 40}, {20, 20, 50, 60}));
+}
+
+TEST(CanFormLShotTest, NonAbuttingRejected) {
+  EXPECT_FALSE(canFormLShot({0, 0, 20, 20}, {30, 0, 50, 20}));  // gap
+  EXPECT_FALSE(canFormLShot({0, 0, 20, 20}, {10, 0, 40, 20}));  // overlap
+  // Corner-touching only (zero-length shared segment).
+  EXPECT_FALSE(canFormLShot({0, 0, 20, 20}, {20, 20, 40, 40}));
+}
+
+TEST(LShapeFractureTest, RectangleStaysOneShot) {
+  const LShapeResult r =
+      lShapeFracture(Polygon({{0, 0}, {50, 0}, {50, 30}, {0, 30}}));
+  EXPECT_EQ(r.rectanglesBeforePairing, 1);
+  EXPECT_EQ(r.shotCount(), 1);
+  EXPECT_EQ(r.pairsMatched, 0);
+}
+
+TEST(LShapeFractureTest, LPolygonBecomesOneLShot) {
+  // An L-polygon partitions into 2 rects which pair into a single L-shot.
+  const Polygon l({{0, 0}, {80, 0}, {80, 30}, {30, 30}, {30, 80}, {0, 80}});
+  const LShapeResult r = lShapeFracture(l);
+  EXPECT_EQ(r.rectanglesBeforePairing, 2);
+  EXPECT_EQ(r.pairsMatched, 1);
+  EXPECT_EQ(r.shotCount(), 1);
+}
+
+TEST(LShapeFractureTest, StaircaseHalves) {
+  // A 3-step staircase: 3 partition rects, adjacent ones pair -> 2 shots.
+  const Polygon stairs({{0, 0},  {60, 0},  {60, 20}, {40, 20},
+                        {40, 40}, {20, 40}, {20, 60}, {0, 60}});
+  const LShapeResult r = lShapeFracture(stairs);
+  EXPECT_EQ(r.rectanglesBeforePairing, 3);
+  EXPECT_EQ(r.pairsMatched, 1);
+  EXPECT_EQ(r.shotCount(), 2);
+}
+
+TEST(LShapeFractureTest, FlattenedShotsTileThePolygon) {
+  const Polygon shape({{0, 0},  {50, 0},  {50, 20}, {30, 20}, {30, 40},
+                       {70, 40}, {70, 70}, {10, 70}, {10, 30}, {0, 30}});
+  const LShapeResult r = lShapeFracture(shape);
+  const std::vector<Rect> flat = flattenLShots(r.shots);
+  double total = 0.0;
+  for (const Rect& rect : flat) total += static_cast<double>(rect.area());
+  EXPECT_DOUBLE_EQ(total, shape.area());
+  EXPECT_LE(r.shotCount(), r.rectanglesBeforePairing);
+}
+
+TEST(LShapeFractureTest, LShotPairsAreLegal) {
+  const Polygon shape({{0, 0},  {50, 0},  {50, 20}, {30, 20}, {30, 40},
+                       {70, 40}, {70, 70}, {10, 70}, {10, 30}, {0, 30}});
+  const LShapeResult r = lShapeFracture(shape);
+  for (const LShot& s : r.shots) {
+    if (!s.isRectangular()) {
+      EXPECT_TRUE(canFormLShot(s.a, s.b))
+          << s.a.str() << " + " << s.b.str();
+    }
+  }
+}
+
+TEST(LShapeFractureTest, FlattenPreservesThePartition) {
+  // Exposure-wise an L aperture is the sum of its two disjoint rects, so
+  // flattening the L-shots must reproduce the partition's rectangles
+  // exactly (same multiset, hence identical dose).
+  const Polygon l({{0, 0}, {80, 0}, {80, 30}, {30, 30}, {30, 80}, {0, 80}});
+  const LShapeResult r = lShapeFracture(l);
+  std::vector<Rect> flat = flattenLShots(r.shots);
+  std::vector<Rect> part = minRectPartition(l).rects;
+  auto key = [](const Rect& a, const Rect& b) {
+    return std::tie(a.x0, a.y0, a.x1, a.y1) <
+           std::tie(b.x0, b.y0, b.x1, b.y1);
+  };
+  std::sort(flat.begin(), flat.end(), key);
+  std::sort(part.begin(), part.end(), key);
+  EXPECT_EQ(flat, part);
+}
+
+}  // namespace
+}  // namespace mbf

@@ -1,0 +1,85 @@
+// Parameterized sweeps over model parameters the paper holds fixed:
+// the print threshold rho, sigma, and the backscatter mixture -- the
+// pipeline must stay correct (not just at the paper's operating point).
+#include <gtest/gtest.h>
+
+#include "fracture/model_based_fracturer.h"
+#include "fracture/verifier.h"
+
+namespace mbf {
+namespace {
+
+Polygon square(int size) {
+  return Polygon({{0, 0}, {size, 0}, {size, size}, {0, size}});
+}
+
+Polygon lShape() {
+  return Polygon({{0, 0}, {90, 0}, {90, 35}, {35, 35}, {35, 90}, {0, 90}});
+}
+
+// --- rho sweep -------------------------------------------------------
+class RhoSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(RhoSweep, SquareSolvable) {
+  FractureParams params;
+  params.rho = GetParam();
+  Problem p(square(60), params);
+  const Solution sol = ModelBasedFracturer{}.fracture(p);
+  EXPECT_TRUE(sol.feasible()) << "rho=" << GetParam();
+  EXPECT_LE(sol.shotCount(), 2);
+  // Contour placement: at rho < 0.5 the printed edge lies outside the
+  // shot edge, so the optimal shot is smaller than the target and vice
+  // versa; the refiner must have compensated either way.
+  const Violations v = evaluateShots(p, sol.shots);
+  EXPECT_EQ(v.total(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rhos, RhoSweep,
+                         ::testing::Values(0.35, 0.45, 0.5, 0.55, 0.65));
+
+// --- sigma sweep -----------------------------------------------------
+class SigmaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(SigmaSweep, LShapeSolvable) {
+  FractureParams params;
+  params.sigma = GetParam();
+  Problem p(lShape(), params);
+  const Solution sol = ModelBasedFracturer{}.fracture(p);
+  EXPECT_LE(sol.failingPixels(), 4) << "sigma=" << GetParam();
+  EXPECT_LE(sol.shotCount(), 4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, SigmaSweep,
+                         ::testing::Values(4.0, 5.0, 6.25, 8.0, 10.0));
+
+// --- backscatter sweep ------------------------------------------------
+class EtaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EtaSweep, SquareSolvableUnderBackscatter) {
+  FractureParams params;
+  params.backscatterEta = GetParam();
+  params.backscatterSigma = 3.0 * params.sigma;
+  Problem p(square(70), params);
+  const Solution sol = ModelBasedFracturer{}.fracture(p);
+  EXPECT_TRUE(sol.feasible()) << "eta=" << GetParam();
+  EXPECT_EQ(sol.shotCount(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Etas, EtaSweep,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.2));
+
+// --- Lth consistency across the swept models ---------------------------
+class LthModelSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(LthModelSweep, LthScalesWithSigmaAtFixedGamma) {
+  const ProximityModel model(GetParam(), 0.5);
+  const double lth = model.computeLth(2.0);
+  EXPECT_GT(lth, 0.8 * GetParam());
+  EXPECT_LT(lth, 4.0 * GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sigmas, LthModelSweep,
+                         ::testing::Values(3.0, 5.0, 6.25, 9.0, 12.0));
+
+}  // namespace
+}  // namespace mbf

@@ -1,0 +1,88 @@
+// Tests for the OPC-style shape generator and method behaviour on
+// Manhattan geometry.
+#include <gtest/gtest.h>
+
+#include "baselines/greedy_set_cover.h"
+#include "benchgen/opc_synth.h"
+#include "fracture/model_based_fracturer.h"
+
+namespace mbf {
+namespace {
+
+TEST(OpcSynthTest, Deterministic) {
+  OpcSynthConfig cfg;
+  cfg.seed = 9;
+  EXPECT_EQ(makeOpcShape(cfg).vertices(), makeOpcShape(cfg).vertices());
+}
+
+TEST(OpcSynthTest, RectilinearAndSized) {
+  OpcSynthConfig cfg;
+  cfg.seed = 4;
+  const Polygon p = makeOpcShape(cfg);
+  ASSERT_GE(p.size(), 4u);
+  EXPECT_TRUE(p.isRectilinear());
+  EXPECT_TRUE(p.isCounterClockwise());
+  // Roughly the configured bar plus decoration.
+  EXPECT_GE(p.area(), 0.8 * cfg.width * cfg.height);
+  EXPECT_LE(p.bbox().width(), cfg.width + 2 * cfg.maxJog);
+}
+
+TEST(OpcSynthTest, JogsStayInBand) {
+  OpcSynthConfig cfg;
+  cfg.seed = 6;
+  cfg.maxJog = 2;
+  const Polygon p = makeOpcShape(cfg);
+  // The bar's top boundary wiggles by at most maxJog around y = height.
+  for (const Point& v : p.vertices()) {
+    EXPECT_GE(v.y, -cfg.maxJog);
+    EXPECT_LE(v.y, cfg.height + cfg.maxJog);
+  }
+}
+
+TEST(OpcSynthTest, TStubAddsArea) {
+  OpcSynthConfig plain;
+  plain.seed = 8;
+  plain.tShaped = false;
+  OpcSynthConfig stubbed = plain;
+  stubbed.tShaped = true;
+  EXPECT_GT(makeOpcShape(stubbed).area(), makeOpcShape(plain).area() + 200);
+}
+
+TEST(OpcSynthTest, SuiteIsValid) {
+  const auto suite = opcSuiteConfigs();
+  ASSERT_EQ(suite.size(), 10u);
+  for (const OpcSynthConfig& cfg : suite) {
+    const Polygon p = makeOpcShape(cfg);
+    EXPECT_GE(p.size(), 4u) << cfg.name();
+    EXPECT_TRUE(p.isRectilinear()) << cfg.name();
+  }
+}
+
+TEST(OpcSynthTest, PlainBarIsOneShot) {
+  // A jog-free OPC bar is a rectangle: one shot, feasible.
+  OpcSynthConfig cfg;
+  cfg.seed = 3;
+  cfg.maxJog = 1;
+  cfg.segmentLength = 1000;  // no jogs fit
+  const Polygon p = makeOpcShape(cfg);
+  Problem problem(p, FractureParams{});
+  const Solution sol = ModelBasedFracturer{}.fracture(problem);
+  EXPECT_EQ(sol.shotCount(), 1);
+  EXPECT_TRUE(sol.feasible());
+}
+
+TEST(OpcSuiteTest, MethodsStayBounded) {
+  // Smoke the first two suite clips through two methods: shot counts stay
+  // small on Manhattan bars and nothing crashes.
+  const auto suite = opcSuiteConfigs();
+  for (std::size_t i = 0; i < 2; ++i) {
+    Problem problem(makeOpcShape(suite[i]), FractureParams{});
+    const Solution ours = ModelBasedFracturer{}.fracture(problem);
+    const Solution gsc = GreedySetCover{}.fracture(problem);
+    EXPECT_LE(ours.shotCount(), 12) << suite[i].name();
+    EXPECT_GE(gsc.shotCount(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace mbf

@@ -1,0 +1,117 @@
+// Property tests for the minimum rectangular partition over randomly
+// generated rectilinear polygons: exact tiling (area, disjointness,
+// coverage), the Ohtsuki count formula, and L-shape pairing invariants.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baselines/rect_partition.h"
+#include "extensions/lshape.h"
+#include "geometry/contour.h"
+#include "geometry/rasterizer.h"
+
+namespace mbf {
+namespace {
+
+// Random hole-free rectilinear polygon: outer contour of a union of
+// random rectangles anchored to stay connected.
+Polygon randomRectilinear(unsigned seed, int rects) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> size(8, 40);
+  std::vector<Rect> parts{{0, 0, size(rng) + 10, size(rng) + 10}};
+  for (int i = 1; i < rects; ++i) {
+    const Rect& host = parts[std::uniform_int_distribution<std::size_t>(
+        0, parts.size() - 1)(rng)];
+    const int ax = host.x0 + std::uniform_int_distribution<int>(
+                                 0, std::max(1, host.width() - 1))(rng);
+    const int ay = host.y0 + std::uniform_int_distribution<int>(
+                                 0, std::max(1, host.height() - 1))(rng);
+    const int w = size(rng);
+    const int h = size(rng);
+    parts.push_back({ax - w / 2, ay - h / 2, ax + w - w / 2, ay + h - h / 2});
+  }
+  Rect box = parts.front();
+  for (const Rect& r : parts) box = box.unionWith(r);
+  box = box.inflated(2);
+  MaskGrid mask(box.width(), box.height(), 0);
+  for (const Rect& r : parts) {
+    for (int y = r.y0 - box.y0; y < r.y1 - box.y0; ++y) {
+      for (int x = r.x0 - box.x0; x < r.x1 - box.x0; ++x) {
+        if (mask.inBounds(x, y)) mask.at(x, y) = 1;
+      }
+    }
+  }
+  return largestOuterContour(mask, box.bl());
+}
+
+class PartitionProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PartitionProperty, TilesExactly) {
+  const Polygon poly = randomRectilinear(GetParam(), 3 + GetParam() % 6);
+  ASSERT_GE(poly.size(), 4u);
+  const PartitionResult r = minRectPartition(poly);
+
+  // Pairwise disjoint.
+  for (std::size_t i = 0; i < r.rects.size(); ++i) {
+    for (std::size_t j = i + 1; j < r.rects.size(); ++j) {
+      ASSERT_FALSE(r.rects[i].intersects(r.rects[j]))
+          << r.rects[i].str() << " vs " << r.rects[j].str();
+    }
+  }
+  // Area adds up.
+  double total = 0.0;
+  for (const Rect& rect : r.rects) total += double(rect.area());
+  EXPECT_DOUBLE_EQ(total, poly.area());
+
+  // Raster coverage identical.
+  const Rect box = poly.bbox().inflated(1);
+  MaskGrid fromPoly(box.width(), box.height(), 0);
+  rasterizePolygon(poly, box.bl(), fromPoly);
+  MaskGrid fromRects(box.width(), box.height(), 0);
+  for (const Rect& rect : r.rects) {
+    for (int y = rect.y0 - box.y0; y < rect.y1 - box.y0; ++y) {
+      for (int x = rect.x0 - box.x0; x < rect.x1 - box.x0; ++x) {
+        fromRects.at(x, y) = 1;
+      }
+    }
+  }
+  EXPECT_EQ(fromPoly.data(), fromRects.data());
+}
+
+TEST_P(PartitionProperty, CountWithinOhtsukiBounds) {
+  const Polygon poly = randomRectilinear(GetParam() + 1000, 4);
+  ASSERT_GE(poly.size(), 4u);
+  const PartitionResult r = minRectPartition(poly);
+  // Upper bound: one cut per concave vertex. Lower bound: the chord
+  // formula (#rects >= concave - chords + 1 with chords <= concave / 2).
+  EXPECT_LE(static_cast<int>(r.rects.size()), r.concaveVertices + 1);
+  EXPECT_GE(static_cast<int>(r.rects.size()),
+            r.concaveVertices / 2 + 1 - r.independentChords);
+  EXPECT_GE(static_cast<int>(r.rects.size()), 1);
+}
+
+TEST_P(PartitionProperty, LShapePairingStaysLegal) {
+  const Polygon poly = randomRectilinear(GetParam() + 2000, 5);
+  ASSERT_GE(poly.size(), 4u);
+  const LShapeResult r = lShapeFracture(poly);
+  EXPECT_LE(r.shotCount(), r.rectanglesBeforePairing);
+  EXPECT_GE(r.shotCount(),
+            (r.rectanglesBeforePairing + 1) / 2);  // at best pairs halve
+  for (const LShot& s : r.shots) {
+    if (!s.isRectangular()) {
+      EXPECT_TRUE(canFormLShot(s.a, s.b));
+    }
+  }
+  // Flattened area equals polygon area (pairing never loses geometry).
+  double total = 0.0;
+  for (const Rect& rect : flattenLShots(r.shots)) {
+    total += double(rect.area());
+  }
+  EXPECT_DOUBLE_EQ(total, poly.area());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionProperty,
+                         ::testing::Range(1u, 21u));
+
+}  // namespace
+}  // namespace mbf

@@ -1,0 +1,142 @@
+// Parameterized property tests: invariants that must hold across sweeps
+// of shapes, seeds and parameters.
+#include <gtest/gtest.h>
+
+#include "benchgen/ilt_synth.h"
+#include "benchgen/known_opt_gen.h"
+#include "fracture/model_based_fracturer.h"
+#include "fracture/verifier.h"
+#include "geometry/contour.h"
+#include "geometry/rasterizer.h"
+
+namespace mbf {
+namespace {
+
+// ---------------------------------------------------------------------
+// Contour / rasterizer round trip over random blobs.
+class ContourRoundTrip : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ContourRoundTrip, RasterizeTraceRasterizeIsIdentity) {
+  IltSynthConfig cfg;
+  cfg.seed = GetParam();
+  cfg.numFeatures = 3 + static_cast<int>(GetParam() % 5);
+  const Polygon shape = makeIltShape(cfg);
+  ASSERT_GE(shape.size(), 4u);
+
+  const Rect box = shape.bbox().inflated(3);
+  MaskGrid m(box.width(), box.height(), 0);
+  rasterizePolygon(shape, box.bl(), m);
+  const Polygon traced = largestOuterContour(m, box.bl());
+  MaskGrid m2(box.width(), box.height(), 0);
+  rasterizePolygon(traced, box.bl(), m2);
+  EXPECT_EQ(m.data(), m2.data());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContourRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+// ---------------------------------------------------------------------
+// Known-optimal generator: the generator shots are always feasible.
+struct KnownOptCase {
+  std::uint32_t seed;
+  int k;
+  bool abutting;
+};
+
+class KnownOptFeasibility : public ::testing::TestWithParam<KnownOptCase> {};
+
+TEST_P(KnownOptFeasibility, GeneratorShotsAreFeasible) {
+  const KnownOptCase c = GetParam();
+  const ProximityModel model;
+  KnownOptConfig cfg;
+  cfg.seed = c.seed;
+  cfg.numShots = c.k;
+  cfg.abutting = c.abutting;
+  const KnownOptShape shape = makeKnownOptShape(cfg, model);
+  Problem problem(shape.target, FractureParams{});
+  const Violations v = evaluateShots(problem, shape.generatorShots);
+  EXPECT_EQ(v.total(), 0)
+      << shape.name << " seed=" << c.seed << " k=" << c.k << ": " << v.failOn
+      << " on / " << v.failOff << " off";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KnownOptFeasibility,
+    ::testing::Values(KnownOptCase{101, 3, false}, KnownOptCase{102, 4, true},
+                      KnownOptCase{103, 6, false}, KnownOptCase{104, 8, true},
+                      KnownOptCase{105, 10, false},
+                      KnownOptCase{106, 12, true},
+                      KnownOptCase{107, 5, false}, KnownOptCase{108, 7, true},
+                      KnownOptCase{109, 9, false},
+                      KnownOptCase{110, 11, true}));
+
+// ---------------------------------------------------------------------
+// Full pipeline invariants over the ILT suite.
+class PipelineInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineInvariants, ShotsValidNearFeasibleAndVerifiable) {
+  const IltSynthConfig cfg =
+      iltSuiteConfigs()[static_cast<std::size_t>(GetParam())];
+  Problem p(makeIltShape(cfg), FractureParams{});
+  const Solution sol = ModelBasedFracturer{}.fracture(p);
+
+  EXPECT_GT(sol.shotCount(), 0);
+  for (const Rect& s : sol.shots) {
+    // Valid geometry and minimum size.
+    EXPECT_TRUE(s.valid());
+    EXPECT_GE(s.width(), p.params().lmin);
+    EXPECT_GE(s.height(), p.params().lmin);
+    // Shots stay in the neighbourhood of the target.
+    EXPECT_TRUE(
+        s.intersects(p.target().bbox().inflated(p.params().lmin * 3)));
+  }
+  // Reported stats match an independent verification.
+  const Violations v = evaluateShots(p, sol.shots);
+  EXPECT_EQ(v.failOn, sol.failOn);
+  EXPECT_EQ(v.failOff, sol.failOff);
+  // Near-feasibility: < 0.5 % of constrained pixels violated (the paper's
+  // hard shapes leave < 0.05 %; synthesized clips are a touch harder).
+  const double fraction =
+      static_cast<double>(sol.failingPixels()) /
+      static_cast<double>(p.numOnPixels() + p.numOffPixels());
+  EXPECT_LT(fraction, 0.005) << cfg.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(IltSuite, PipelineInvariants,
+                         ::testing::Range(0, 10));
+
+// ---------------------------------------------------------------------
+// Parameter sweeps: gamma and Lmin are honoured end to end.
+class GammaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GammaSweep, SquareStaysOneShot) {
+  FractureParams params;
+  params.gamma = GetParam();
+  Problem p(Polygon({{0, 0}, {50, 0}, {50, 50}, {0, 50}}), params);
+  const Solution sol = ModelBasedFracturer{}.fracture(p);
+  EXPECT_EQ(sol.shotCount(), 1);
+  EXPECT_TRUE(sol.feasible());
+}
+
+INSTANTIATE_TEST_SUITE_P(Gammas, GammaSweep,
+                         ::testing::Values(1.0, 1.5, 2.0, 3.0, 4.0));
+
+class LminSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(LminSweep, MinimumSizeHonored) {
+  FractureParams params;
+  params.lmin = GetParam();
+  const IltSynthConfig cfg = iltSuiteConfigs()[1];
+  Problem p(makeIltShape(cfg), params);
+  const Solution sol = ModelBasedFracturer{}.fracture(p);
+  for (const Rect& s : sol.shots) {
+    EXPECT_GE(s.width(), params.lmin);
+    EXPECT_GE(s.height(), params.lmin);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lmins, LminSweep, ::testing::Values(8, 10, 12, 16));
+
+}  // namespace
+}  // namespace mbf

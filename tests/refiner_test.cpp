@@ -1,0 +1,174 @@
+// Unit tests for the iterative shot refiner (paper section 4): each
+// operation in isolation plus the full Algorithm 1 loop.
+#include <gtest/gtest.h>
+
+#include "fracture/refiner.h"
+
+namespace mbf {
+namespace {
+
+Polygon square(int size) {
+  return Polygon({{0, 0}, {size, 0}, {size, size}, {0, size}});
+}
+
+class RefinerTest : public ::testing::Test {
+ protected:
+  RefinerTest() : problem_(square(40), FractureParams{}) {}
+  Problem problem_;
+};
+
+TEST_F(RefinerTest, EdgeAdjustmentImprovesCost) {
+  Verifier v(problem_);
+  v.setShots(std::vector<Rect>{{4, 4, 36, 36}});  // uniformly undersized
+  const double before = v.violations().cost;
+  Refiner r(problem_);
+  const int moved = r.greedyShotEdgeAdjustment(v);
+  EXPECT_GT(moved, 0);
+  EXPECT_LT(v.violations().cost, before);
+}
+
+TEST_F(RefinerTest, EdgeAdjustmentRespectsMinSize) {
+  FractureParams params;
+  Problem tiny(square(14), params);
+  Verifier v(tiny);
+  v.setShots(std::vector<Rect>{{1, 1, 13, 13}});  // exactly Lmin already
+  Refiner r(tiny);
+  r.greedyShotEdgeAdjustment(v);
+  EXPECT_GE(v.shots()[0].width(), params.lmin);
+  EXPECT_GE(v.shots()[0].height(), params.lmin);
+}
+
+TEST_F(RefinerTest, EdgeAdjustmentNoMoveWhenOptimal) {
+  Verifier v(problem_);
+  v.setShots(std::vector<Rect>{{0, 0, 40, 40}});  // feasible, cost 0
+  Refiner r(problem_);
+  EXPECT_EQ(r.greedyShotEdgeAdjustment(v), 0);
+}
+
+TEST_F(RefinerTest, BiasExpandsAllEdges) {
+  Verifier v(problem_);
+  v.setShots(std::vector<Rect>{{10, 10, 30, 30}});
+  Refiner r(problem_);
+  EXPECT_EQ(r.biasAllShots(v, /*expand=*/true), 1);
+  EXPECT_EQ(v.shots()[0], Rect(9, 9, 31, 31));
+}
+
+TEST_F(RefinerTest, BiasShrinkHonorsMinSize) {
+  Verifier v(problem_);
+  v.setShots(std::vector<Rect>{{10, 10, 23, 40}});  // width 13, Lmin 12
+  Refiner r(problem_);
+  r.biasAllShots(v, /*expand=*/false);
+  // Width would drop below Lmin: x edges untouched, y edges shrink.
+  EXPECT_EQ(v.shots()[0], Rect(10, 11, 23, 39));
+}
+
+TEST_F(RefinerTest, AddShotTargetsBiggestFailingCluster) {
+  Verifier v(problem_);
+  // Cover only the left half: failing Pon cluster on the right.
+  v.setShots(std::vector<Rect>{{0, 0, 20, 40}});
+  Refiner r(problem_);
+  ASSERT_TRUE(r.addShot(v));
+  ASSERT_EQ(v.shots().size(), 2u);
+  const Rect added = v.shots()[1];
+  EXPECT_GT(added.x0, 10);
+  EXPECT_GE(added.x1, 35);
+  EXPECT_GE(added.width(), problem_.params().lmin);
+  EXPECT_GE(added.height(), problem_.params().lmin);
+}
+
+TEST_F(RefinerTest, AddShotNoopWhenFeasible) {
+  Verifier v(problem_);
+  v.setShots(std::vector<Rect>{{0, 0, 40, 40}});
+  Refiner r(problem_);
+  EXPECT_FALSE(r.addShot(v));
+}
+
+TEST_F(RefinerTest, RemoveShotDropsWorstOffender) {
+  Verifier v(problem_);
+  // One good shot + one flagrant outlier flooding Poff.
+  v.setShots(std::vector<Rect>{{0, 0, 40, 40}, {60, 60, 90, 90}});
+  Refiner r(problem_);
+  ASSERT_TRUE(r.removeShot(v));
+  ASSERT_EQ(v.shots().size(), 1u);
+  EXPECT_EQ(v.shots()[0], Rect(0, 0, 40, 40));
+}
+
+TEST_F(RefinerTest, RemoveShotNoopWithoutOffViolations) {
+  Verifier v(problem_);
+  v.setShots(std::vector<Rect>{{10, 10, 30, 30}});  // only Pon failures
+  Refiner r(problem_);
+  EXPECT_FALSE(r.removeShot(v));
+}
+
+TEST_F(RefinerTest, MergeAlignedShots) {
+  Verifier v(problem_);
+  // Two stacked shots with aligned x extents covering the square.
+  v.setShots(std::vector<Rect>{{0, 0, 40, 20}, {0, 20, 40, 40}});
+  Refiner r(problem_);
+  EXPECT_EQ(r.mergeShots(v), 1);
+  ASSERT_EQ(v.shots().size(), 1u);
+  EXPECT_EQ(v.shots()[0], Rect(0, 0, 40, 40));
+}
+
+TEST_F(RefinerTest, MergeRejectedWhenMostlyOutside) {
+  // L-shaped target: merging the two arms' shots would cover the notch.
+  Polygon l({{0, 0}, {80, 0}, {80, 30}, {30, 30}, {30, 80}, {0, 80}});
+  Problem lp(l, FractureParams{});
+  Verifier v(lp);
+  v.setShots(std::vector<Rect>{{0, 0, 80, 30}, {0, 30, 30, 80}});
+  Refiner r(lp);
+  EXPECT_EQ(r.mergeShots(v), 0);
+  EXPECT_EQ(v.shots().size(), 2u);
+}
+
+TEST_F(RefinerTest, MergeRemovesContainedShot) {
+  Verifier v(problem_);
+  v.setShots(std::vector<Rect>{{0, 0, 40, 40}, {10, 10, 25, 25}});
+  Refiner r(problem_);
+  r.mergeShots(v);
+  ASSERT_EQ(v.shots().size(), 1u);
+  EXPECT_EQ(v.shots()[0], Rect(0, 0, 40, 40));
+}
+
+TEST_F(RefinerTest, RefineFixesUndersizedSeed) {
+  Refiner r(problem_);
+  const Solution sol = r.refine({{6, 6, 34, 34}});
+  EXPECT_TRUE(sol.feasible()) << sol.failOn << " on, " << sol.failOff
+                              << " off";
+  EXPECT_EQ(sol.shotCount(), 1);
+}
+
+TEST_F(RefinerTest, RefineFixesOversizedSeed) {
+  Refiner r(problem_);
+  const Solution sol = r.refine({{-6, -6, 46, 46}});
+  EXPECT_TRUE(sol.feasible());
+  EXPECT_EQ(sol.shotCount(), 1);
+}
+
+TEST_F(RefinerTest, RefineFromEmptyAddsShots) {
+  Refiner r(problem_);
+  const Solution sol = r.refine({});
+  EXPECT_GT(sol.shotCount(), 0);
+  EXPECT_TRUE(sol.feasible());
+}
+
+TEST_F(RefinerTest, StatsAreTracked) {
+  Refiner r(problem_);
+  (void)r.refine({{6, 6, 34, 34}});
+  EXPECT_GT(r.stats().iterations, 0);
+  EXPECT_GT(r.stats().edgeMoves, 0);
+}
+
+TEST_F(RefinerTest, RefineKeepsBestNotLast) {
+  // With nmax = 0 the initial solution must come back unchanged.
+  FractureParams params;
+  params.nmax = 0;
+  Problem p0(square(40), params);
+  Refiner r(p0);
+  const Solution sol = r.refine({{6, 6, 34, 34}});
+  ASSERT_EQ(sol.shotCount(), 1);
+  EXPECT_EQ(sol.shots[0], Rect(6, 6, 34, 34));
+}
+
+}  // namespace
+}  // namespace mbf

@@ -1,0 +1,93 @@
+// Aggregate reproduction invariants -- the orderings the paper reports,
+// asserted over a subset of the benchmark suites so regressions in any
+// stage show up as test failures rather than silently skewed tables.
+#include <gtest/gtest.h>
+
+#include "baselines/eda_proxy.h"
+#include "baselines/greedy_set_cover.h"
+#include "benchgen/ilt_synth.h"
+#include "benchgen/known_opt_gen.h"
+#include "fracture/model_based_fracturer.h"
+#include "fracture/verifier.h"
+
+namespace mbf {
+namespace {
+
+// Clips 2, 5, 7, 9 (0-indexed 1, 4, 6, 8) span the complexity ramp and
+// keep this suite's runtime moderate.
+const int kClipSubset[] = {1, 4, 6, 8};
+
+TEST(RegressionTest, OursBeatsGscAndProxyAggregate) {
+  int ours = 0;
+  int gsc = 0;
+  int proxy = 0;
+  for (const int idx : kClipSubset) {
+    const Problem p(
+        makeIltShape(iltSuiteConfigs()[static_cast<std::size_t>(idx)]),
+        FractureParams{});
+    ours += ModelBasedFracturer{}.fracture(p).shotCount();
+    gsc += GreedySetCover{}.fracture(p).shotCount();
+    proxy += EdaProxy{}.fracture(p).shotCount();
+  }
+  // Paper Table 2: ours < PROTO-EDA < GSC in aggregate.
+  EXPECT_LT(ours, proxy);
+  EXPECT_LE(proxy, gsc);
+}
+
+TEST(RegressionTest, OursNearFeasibleOnSubset) {
+  for (const int idx : kClipSubset) {
+    const IltSynthConfig cfg =
+        iltSuiteConfigs()[static_cast<std::size_t>(idx)];
+    const Problem p(makeIltShape(cfg), FractureParams{});
+    const Solution sol = ModelBasedFracturer{}.fracture(p);
+    const double fraction =
+        static_cast<double>(sol.failingPixels()) /
+        static_cast<double>(p.numOnPixels() + p.numOffPixels());
+    // The paper's caveat threshold: < 0.05 % of constrained pixels.
+    EXPECT_LT(fraction, 0.0005) << cfg.name();
+  }
+}
+
+TEST(RegressionTest, RuntimeStaysInteractive) {
+  // Paper: < 1.4 s per shape on 2015 hardware. Generous 10x headroom so
+  // slow CI boxes don't flake, but a quadratic blowup still trips it.
+  for (const int idx : kClipSubset) {
+    const Problem p(
+        makeIltShape(iltSuiteConfigs()[static_cast<std::size_t>(idx)]),
+        FractureParams{});
+    const Solution sol = ModelBasedFracturer{}.fracture(p);
+    EXPECT_LT(sol.runtimeSeconds, 14.0);
+  }
+}
+
+TEST(RegressionTest, KnownOptWithinPaperSuboptimality) {
+  // Paper conclusion: average suboptimality < 1.4x on the known-optimal
+  // suite. Check on three shapes (one per family + the hardest).
+  const ProximityModel model;
+  const std::vector<KnownOptShape> suite = knownOptSuite(model);
+  double normalized = 0.0;
+  int n = 0;
+  for (const std::size_t idx : {0u, 2u, 6u}) {
+    const KnownOptShape& shape = suite[idx];
+    const Problem p(shape.target, FractureParams{});
+    const Solution sol = ModelBasedFracturer{}.fracture(p);
+    normalized += static_cast<double>(sol.shotCount()) / shape.optimal();
+    ++n;
+  }
+  EXPECT_LT(normalized / n, 1.6);
+}
+
+TEST(RegressionTest, GeneratorReferencesRemainFeasible) {
+  // The cornerstone of every synthesized suite: generator shots print
+  // their own contour. If model or generator drifts, everything above is
+  // meaningless -- check across both families.
+  for (const int idx : kClipSubset) {
+    const IltShape shape =
+        makeIltShapeWithArms(iltSuiteConfigs()[static_cast<std::size_t>(idx)]);
+    const Problem p(shape.target, FractureParams{});
+    EXPECT_EQ(evaluateShots(p, shape.generatorArms).total(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace mbf

@@ -1,0 +1,19 @@
+// Compile-level test: the umbrella header includes cleanly and the main
+// entry points are visible through it.
+#include <gtest/gtest.h>
+
+#include "mbf.h"
+
+namespace mbf {
+namespace {
+
+TEST(UmbrellaTest, EndToEndThroughSingleInclude) {
+  const Polygon target({{0, 0}, {50, 0}, {50, 50}, {0, 50}});
+  const Problem problem(target, FractureParams{});
+  const Solution sol = ModelBasedFracturer{}.fracture(problem);
+  EXPECT_TRUE(sol.feasible());
+  EXPECT_EQ(computeShotStats(sol.shots).count, sol.shotCount());
+}
+
+}  // namespace
+}  // namespace mbf

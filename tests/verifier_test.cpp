@@ -1,0 +1,132 @@
+// Unit tests for the dose verifier: violation scans, cost, incremental
+// updates and the cost-delta evaluation the refiner relies on.
+#include <gtest/gtest.h>
+
+#include "fracture/verifier.h"
+
+namespace mbf {
+namespace {
+
+Polygon square(int size) {
+  return Polygon({{0, 0}, {size, 0}, {size, size}, {0, size}});
+}
+
+class VerifierTest : public ::testing::Test {
+ protected:
+  VerifierTest() : problem_(square(40), FractureParams{}) {}
+  Problem problem_;
+};
+
+TEST_F(VerifierTest, NoShotsEverythingOnFails) {
+  Verifier v(problem_);
+  const Violations viol = v.violations();
+  EXPECT_EQ(viol.failOn, problem_.numOnPixels());
+  EXPECT_EQ(viol.failOff, 0);
+  EXPECT_NEAR(viol.cost, 0.5 * problem_.numOnPixels(), 1e-6);
+}
+
+TEST_F(VerifierTest, ExactShotIsFeasible) {
+  Verifier v(problem_);
+  v.setShots(std::vector<Rect>{{0, 0, 40, 40}});
+  const Violations viol = v.violations();
+  EXPECT_EQ(viol.failOn, 0);
+  EXPECT_EQ(viol.failOff, 0);
+  EXPECT_DOUBLE_EQ(viol.cost, 0.0);
+}
+
+TEST_F(VerifierTest, OversizedShotFailsOff) {
+  Verifier v(problem_);
+  v.setShots(std::vector<Rect>{{-10, -10, 50, 50}});
+  const Violations viol = v.violations();
+  EXPECT_EQ(viol.failOn, 0);
+  EXPECT_GT(viol.failOff, 0);
+}
+
+TEST_F(VerifierTest, UndersizedShotFailsOn) {
+  Verifier v(problem_);
+  v.setShots(std::vector<Rect>{{10, 10, 30, 30}});
+  const Violations viol = v.violations();
+  EXPECT_GT(viol.failOn, 0);
+  EXPECT_EQ(viol.failOff, 0);
+}
+
+TEST_F(VerifierTest, AddRemoveKeepsStateConsistent) {
+  Verifier v(problem_);
+  v.addShot({0, 0, 40, 40});
+  // An outlier shot near (but outside) the target floods Poff pixels.
+  v.addShot({50, 50, 64, 64});
+  EXPECT_GT(v.violations().failOff, 0);
+  v.removeShot(1);
+  EXPECT_EQ(v.violations().total(), 0);
+  EXPECT_EQ(v.shots().size(), 1u);
+}
+
+TEST_F(VerifierTest, ReplaceShotMatchesRebuild) {
+  Verifier incremental(problem_);
+  incremental.setShots(std::vector<Rect>{{0, 0, 40, 40}, {5, 5, 20, 20}});
+  incremental.replaceShot(1, {10, 10, 35, 35});
+
+  Verifier rebuilt(problem_);
+  rebuilt.setShots(std::vector<Rect>{{0, 0, 40, 40}, {10, 10, 35, 35}});
+
+  const Violations a = incremental.violations();
+  const Violations b = rebuilt.violations();
+  EXPECT_EQ(a.failOn, b.failOn);
+  EXPECT_EQ(a.failOff, b.failOff);
+  EXPECT_NEAR(a.cost, b.cost, 1e-5);
+}
+
+TEST_F(VerifierTest, CostDeltaMatchesRecomputation) {
+  Verifier v(problem_);
+  v.setShots(std::vector<Rect>{{2, 2, 38, 38}});
+  const double before = v.violations().cost;
+  const Rect replacement{0, 2, 38, 38};  // move left edge out by 2
+  const double predicted = v.costDeltaForReplace(0, replacement);
+  v.replaceShot(0, replacement);
+  const double after = v.violations().cost;
+  EXPECT_NEAR(after - before, predicted, 1e-5);
+}
+
+TEST_F(VerifierTest, CostDeltaForNoChangeIsZero) {
+  Verifier v(problem_);
+  v.setShots(std::vector<Rect>{{0, 0, 40, 40}});
+  EXPECT_NEAR(v.costDeltaForReplace(0, {0, 0, 40, 40}), 0.0, 1e-12);
+}
+
+TEST_F(VerifierTest, FailingOnMaskMatchesViolations) {
+  Verifier v(problem_);
+  v.setShots(std::vector<Rect>{{10, 10, 30, 30}});
+  const Violations viol = v.violations();
+  const MaskGrid mask = v.failingOnMask();
+  EXPECT_EQ(mask.count([](std::uint8_t m) { return m != 0; }), viol.failOn);
+}
+
+TEST_F(VerifierTest, FailingOffNearCountsOnlyNearby) {
+  Verifier v(problem_);
+  // Oversized shot floods a ring of Poff pixels around the target.
+  v.setShots(std::vector<Rect>{{-8, -8, 48, 48}});
+  const double sigma = problem_.model().sigma();
+  const std::int64_t near = v.failingOffNear({-8, -8, 48, 48}, sigma);
+  EXPECT_GT(near, 0);
+  // A rect far away sees none of them.
+  EXPECT_EQ(v.failingOffNear({200, 200, 240, 240}, sigma), 0);
+}
+
+TEST_F(VerifierTest, EvaluateShotsConvenience) {
+  const std::vector<Rect> shots{{0, 0, 40, 40}};
+  EXPECT_EQ(evaluateShots(problem_, shots).total(), 0);
+}
+
+TEST_F(VerifierTest, WriteStatsFillsSolution) {
+  Verifier v(problem_);
+  v.setShots(std::vector<Rect>{{10, 10, 30, 30}});
+  Solution sol;
+  sol.shots = v.shots();
+  v.writeStats(sol);
+  EXPECT_GT(sol.failOn, 0);
+  EXPECT_GT(sol.cost, 0.0);
+  EXPECT_FALSE(sol.feasible());
+}
+
+}  // namespace
+}  // namespace mbf

@@ -1,0 +1,217 @@
+// mbf_cli -- command-line mask fracturing driver.
+//
+//   mbf_cli <input.poly> <output.shots> [options]
+//
+//   --method=ours|gsc|mp|proxy   fracturing method        (default ours)
+//   --gamma=<nm>                 CD tolerance             (default 2)
+//   --sigma=<nm>                 proximity kernel sigma   (default 6.25)
+//   --lmin=<nm>                  minimum shot side        (default 12)
+//   --eta=<0..1>                 backscatter mixture      (default 0)
+//   --sigma-back=<nm>            backscatter sigma        (default sigma)
+//   --threads=<n>                worker threads           (default 1)
+//   --order                      order shots for the writer (NN + 2-opt)
+//   --svg=<path>                 write an overlay SVG of shapes + shots
+//   --gds-out=<path>             also write shots as GDSII rectangles
+//   --report                     print per-shape statistics
+//
+// Input: flat .poly ring list (blank-line separated) or a .gds file
+// (BOUNDARY elements); rings nested in another ring are holes. Output:
+// one "x0 y0 x1 y1" shot per line, with '#' comments separating shapes.
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "io/gdsii.h"
+#include "io/poly_io.h"
+#include "io/svg.h"
+#include "io/table.h"
+#include "mdp/layout.h"
+#include "mdp/ordering.h"
+
+namespace {
+
+bool parseDouble(const std::string& value, double& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stod(value, &pos);
+    return pos == value.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+bool parseInt(const std::string& value, int& out) {
+  try {
+    std::size_t pos = 0;
+    out = std::stoi(value, &pos);
+    return pos == value.size();
+  } catch (...) {
+    return false;
+  }
+}
+
+int usage() {
+  std::cerr << "usage: mbf_cli <input.poly> <output.shots> "
+               "[--method=ours|gsc|mp|proxy] [--gamma=nm] [--sigma=nm] "
+               "[--lmin=nm] [--threads=n] [--svg=path] [--report]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mbf;
+
+  if (argc < 3) return usage();
+  const std::string inputPath = argv[1];
+  const std::string outputPath = argv[2];
+
+  BatchConfig config;
+  std::string svgPath;
+  std::string gdsOutPath;
+  bool report = false;
+  bool orderForWriter = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::size_t eq = arg.find('=');
+    const std::string key = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? std::string{} : arg.substr(eq + 1);
+    bool ok = true;
+    if (key == "--method") {
+      ok = parseMethod(value, config.method);
+    } else if (key == "--gamma") {
+      ok = parseDouble(value, config.params.gamma) &&
+           config.params.gamma > 0.0;
+    } else if (key == "--sigma") {
+      ok = parseDouble(value, config.params.sigma) &&
+           config.params.sigma > 0.0;
+    } else if (key == "--lmin") {
+      ok = parseInt(value, config.params.lmin) && config.params.lmin > 0;
+    } else if (key == "--eta") {
+      ok = parseDouble(value, config.params.backscatterEta) &&
+           config.params.backscatterEta >= 0.0 &&
+           config.params.backscatterEta < 1.0;
+    } else if (key == "--sigma-back") {
+      ok = parseDouble(value, config.params.backscatterSigma) &&
+           config.params.backscatterSigma > 0.0;
+    } else if (key == "--order") {
+      orderForWriter = true;
+    } else if (key == "--gds-out") {
+      gdsOutPath = value;
+      ok = !gdsOutPath.empty();
+    } else if (key == "--threads") {
+      ok = parseInt(value, config.threads) && config.threads > 0;
+    } else if (key == "--svg") {
+      svgPath = value;
+      ok = !svgPath.empty();
+    } else if (key == "--report") {
+      report = true;
+    } else {
+      ok = false;
+    }
+    if (!ok) {
+      std::cerr << "bad argument: " << arg << "\n";
+      return usage();
+    }
+  }
+
+  std::vector<Polygon> rings;
+  if (inputPath.size() > 4 &&
+      inputPath.substr(inputPath.size() - 4) == ".gds") {
+    GdsLibrary lib;
+    if (!loadGds(inputPath, lib)) {
+      std::cerr << "cannot parse GDSII " << inputPath << "\n";
+      return 1;
+    }
+    for (GdsPolygon& gp : flattenGds(lib)) {
+      rings.push_back(std::move(gp.polygon));
+    }
+  } else {
+    rings = loadPolygons(inputPath);
+  }
+  if (rings.empty()) {
+    std::cerr << "no polygons in " << inputPath << "\n";
+    return 1;
+  }
+  const std::vector<LayoutShape> shapes = groupRings(std::move(rings));
+  std::cerr << "fracturing " << shapes.size() << " shape(s) with method '"
+            << toString(config.method) << "'...\n";
+
+  BatchResult result = fractureLayout(shapes, config);
+  if (orderForWriter) {
+    for (Solution& sol : result.solutions) {
+      sol.shots = applyOrder(sol.shots, orderShots(sol.shots));
+    }
+  }
+
+  std::ofstream os(outputPath);
+  if (!os) {
+    std::cerr << "cannot write " << outputPath << "\n";
+    return 1;
+  }
+  for (std::size_t i = 0; i < result.solutions.size(); ++i) {
+    os << "# shape " << i << ": " << result.solutions[i].shotCount()
+       << " shots, " << result.solutions[i].failingPixels()
+       << " failing px\n";
+    writeShots(os, result.solutions[i].shots);
+  }
+
+  if (report) {
+    Table table({"shape", "rings", "shots", "fail px", "s"});
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+      const Solution& sol = result.solutions[i];
+      table.addRow({std::to_string(i),
+                    Table::fmt(std::int64_t(shapes[i].rings.size())),
+                    Table::fmt(sol.shotCount()),
+                    Table::fmt(sol.failingPixels()),
+                    Table::fmt(sol.runtimeSeconds, 2)});
+    }
+    table.print(std::cout);
+  }
+
+  if (!svgPath.empty()) {
+    Rect view;
+    for (const LayoutShape& s : shapes) {
+      view = view.unionWith(s.rings.front().bbox());
+    }
+    SvgWriter svg(view.inflated(20));
+    for (const LayoutShape& s : shapes) {
+      for (const Polygon& ring : s.rings) {
+        svg.addPolygon(ring, "#cfe3f7", "#1b5ea6", 0.3, 0.8);
+      }
+    }
+    for (const Solution& sol : result.solutions) {
+      for (const Rect& shot : sol.shots) {
+        svg.addRect(shot, "#2ca02c", "#145214", 0.2, 0.2);
+      }
+    }
+    svg.save(svgPath);
+  }
+
+  if (!gdsOutPath.empty()) {
+    GdsLibrary outLib;
+    GdsStructure top;
+    top.name = "SHOTS";
+    for (const Solution& sol : result.solutions) {
+      for (const Rect& shot : sol.shots) {
+        GdsPolygon gp;
+        gp.polygon = Polygon({{shot.x0, shot.y0},
+                              {shot.x1, shot.y0},
+                              {shot.x1, shot.y1},
+                              {shot.x0, shot.y1}});
+        gp.layer = 100;
+        top.polygons.push_back(std::move(gp));
+      }
+    }
+    outLib.structures = {std::move(top)};
+    saveGds(gdsOutPath, outLib);
+  }
+
+  std::cout << "total: " << result.totalShots << " shots, "
+            << result.totalFailingPixels << " failing px, "
+            << Table::fmt(result.wallSeconds, 2) << " s ("
+            << config.threads << " thread(s))\n";
+  return result.totalFailingPixels == 0 ? 0 : 1;
+}
