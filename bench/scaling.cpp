@@ -2,14 +2,99 @@
 // (boundary complexity at roughly constant area density) and feature
 // size (grid area). Supports the paper's claim that per-shape runtime
 // stays interactive (~1.4 s) as complexity grows.
+//
+// `scaling --thread-sweep` instead measures the parallel layout engine:
+// the OPC suite is fractured with 1/2/4/8 worker threads, the shot lists
+// are checked byte-identical against the serial run, and one JSON object
+// per thread count is printed (machine-readable speedup evidence).
+#include <cstring>
 #include <iostream>
 
 #include "benchgen/ilt_synth.h"
+#include "benchgen/opc_synth.h"
 #include "fracture/model_based_fracturer.h"
 #include "io/table.h"
+#include "mdp/layout.h"
 
-int main() {
+namespace {
+
+bool sameShots(const mbf::BatchResult& a, const mbf::BatchResult& b) {
+  if (a.solutions.size() != b.solutions.size()) return false;
+  for (std::size_t i = 0; i < a.solutions.size(); ++i) {
+    if (a.solutions[i].shots != b.solutions[i].shots) return false;
+  }
+  return true;
+}
+
+int runThreadSweep() {
   using namespace mbf;
+
+  // A layout of the ten deterministic OPC clips, replicated 3x so there
+  // are enough independent jobs to feed eight workers.
+  std::vector<LayoutShape> shapes;
+  for (int rep = 0; rep < 3; ++rep) {
+    for (const OpcSynthConfig& cfg : opcSuiteConfigs()) {
+      OpcSynthConfig c = cfg;
+      c.seed += static_cast<std::uint32_t>(1000 * rep);
+      LayoutShape shape;
+      shape.rings.push_back(makeOpcShape(c));
+      shapes.push_back(std::move(shape));
+    }
+  }
+
+  BatchResult serial;
+  double serialWall = 0.0;
+  std::cout << "[\n";
+  const int sweep[] = {1, 2, 4, 8};
+  for (std::size_t k = 0; k < std::size(sweep); ++k) {
+    const int threads = sweep[k];
+    BatchConfig config;
+    config.threads = threads;
+    config.params.numThreads = threads;
+    const BatchResult result = fractureLayoutParallel(shapes, config);
+    const bool identical = threads == 1 || sameShots(result, serial);
+    if (threads == 1) {
+      serial = result;
+      serialWall = result.wallSeconds;
+    }
+    const RefinerStats& rs = result.refinerStats;
+    std::cout << "  {\"threads\": " << threads
+              << ", \"shapes\": " << shapes.size()
+              << ", \"shots\": " << result.totalShots
+              << ", \"fail_px\": " << result.totalFailingPixels
+              << ", \"wall_seconds\": " << result.wallSeconds
+              << ", \"shape_seconds_sum\": " << result.shapeSecondsSum
+              << ", \"speedup\": "
+              << (result.wallSeconds > 0.0 ? serialWall / result.wallSeconds
+                                           : 0.0)
+              << ", \"identical_to_serial\": "
+              << (identical ? "true" : "false")
+              << ", \"stage_seconds\": {\"setup\": " << rs.setupSeconds
+              << ", \"violation_scan\": " << rs.violationSeconds
+              << ", \"edge_move\": " << rs.edgeMoveSeconds
+              << ", \"bias\": " << rs.biasSeconds
+              << ", \"structural\": " << rs.structuralSeconds
+              << ", \"merge\": " << rs.mergeSeconds << "}}"
+              << (k + 1 < std::size(sweep) ? "," : "") << "\n";
+    if (!identical) {
+      std::cout << "]\n";
+      std::cerr << "FAIL: " << threads
+                << "-thread shot lists differ from serial\n";
+      return 1;
+    }
+  }
+  std::cout << "]\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace mbf;
+
+  if (argc > 1 && std::strcmp(argv[1], "--thread-sweep") == 0) {
+    return runThreadSweep();
+  }
 
   std::cout << "=== Scaling: runtime vs shape complexity ===\n\n";
 

@@ -1,13 +1,40 @@
 #include "ebeam/intensity_map.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <vector>
 
+#include "parallel/parallel_for.h"
+
 namespace mbf {
+namespace {
+
+// 1D edge profiles of one shot over its influence window. Shared by the
+// incremental applyShot and the bulk setShots paths so both round
+// identically (the determinism tests compare their grids bit for bit).
+void computeProfiles(const ProximityModel& model, Point origin,
+                     const Rect& shot, const Rect& w, double sign,
+                     std::vector<double>& ax, std::vector<double>& by) {
+  ax.resize(static_cast<std::size_t>(w.width()));
+  by.resize(static_cast<std::size_t>(w.height()));
+  for (int x = w.x0; x < w.x1; ++x) {
+    const double px = origin.x + x + 0.5;
+    ax[static_cast<std::size_t>(x - w.x0)] =
+        sign *
+        (model.edgeProfile(shot.x1 - px) - model.edgeProfile(shot.x0 - px));
+  }
+  for (int y = w.y0; y < w.y1; ++y) {
+    const double py = origin.y + y + 0.5;
+    by[static_cast<std::size_t>(y - w.y0)] =
+        model.edgeProfile(shot.y1 - py) - model.edgeProfile(shot.y0 - py);
+  }
+}
+
+}  // namespace
 
 IntensityMap::IntensityMap(const ProximityModel& model, Point origin,
                            int width, int height)
-    : model_(&model), origin_(origin), grid_(width, height, 0.0f) {}
+    : model_(&model), origin_(origin), grid_(width, height, 0.0) {}
 
 Rect IntensityMap::influenceWindow(const Rect& shot) const {
   const int r = model_->influenceRadiusPx();
@@ -28,26 +55,65 @@ void IntensityMap::applyShot(const Rect& shot, double sign) {
 
   // Separable evaluation: one pass of 1D profiles per axis, then the
   // outer product over the window.
-  std::vector<float> ax(static_cast<std::size_t>(w.width()));
-  std::vector<float> by(static_cast<std::size_t>(w.height()));
-  for (int x = w.x0; x < w.x1; ++x) {
-    const double px = origin_.x + x + 0.5;
-    ax[static_cast<std::size_t>(x - w.x0)] = static_cast<float>(
-        sign * (model_->edgeProfile(shot.x1 - px) -
-                model_->edgeProfile(shot.x0 - px)));
-  }
+  std::vector<double> ax;
+  std::vector<double> by;
+  computeProfiles(*model_, origin_, shot, w, sign, ax, by);
   for (int y = w.y0; y < w.y1; ++y) {
-    const double py = origin_.y + y + 0.5;
-    by[static_cast<std::size_t>(y - w.y0)] = static_cast<float>(
-        model_->edgeProfile(shot.y1 - py) - model_->edgeProfile(shot.y0 - py));
-  }
-  for (int y = w.y0; y < w.y1; ++y) {
-    const float b = by[static_cast<std::size_t>(y - w.y0)];
-    float* row = grid_.row(y);
+    const double b = by[static_cast<std::size_t>(y - w.y0)];
+    double* row = grid_.row(y);
     for (int x = w.x0; x < w.x1; ++x) {
       row[x] += ax[static_cast<std::size_t>(x - w.x0)] * b;
     }
   }
+}
+
+void IntensityMap::setShots(std::span<const Rect> shots, int numThreads) {
+  clear();
+  const int threads = ThreadPool::resolveThreads(numThreads);
+  if (threads <= 1 || shots.size() < 2 || grid_.height() < 2) {
+    for (const Rect& s : shots) applyShot(s, +1.0);
+    return;
+  }
+
+  // Stage 1: per-shot windows and 1D profiles, independent across shots.
+  struct ShotProfile {
+    Rect window;
+    std::vector<double> ax;
+    std::vector<double> by;
+  };
+  std::vector<ShotProfile> profiles(shots.size());
+  parallelFor(0, static_cast<int>(shots.size()), threads, 1, [&](int i) {
+    ShotProfile& p = profiles[static_cast<std::size_t>(i)];
+    p.window = influenceWindow(shots[static_cast<std::size_t>(i)]);
+    if (p.window.empty()) return;
+    computeProfiles(*model_, origin_, shots[static_cast<std::size_t>(i)],
+                    p.window, +1.0, p.ax, p.by);
+  });
+
+  // Stage 2: row-parallel outer products. Every grid row is owned by one
+  // task, and the per-row shot lists are built in input order, so each
+  // pixel receives its contributions in exactly the order the serial
+  // addShot loop would apply them.
+  std::vector<std::vector<std::uint32_t>> rowShots(
+      static_cast<std::size_t>(grid_.height()));
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    const Rect& w = profiles[i].window;
+    for (int y = w.y0; y < w.y1; ++y) {
+      rowShots[static_cast<std::size_t>(y)].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+  }
+  parallelFor(0, grid_.height(), threads, 8, [&](int y) {
+    double* row = grid_.row(y);
+    for (const std::uint32_t idx : rowShots[static_cast<std::size_t>(y)]) {
+      const ShotProfile& p = profiles[idx];
+      const Rect& w = p.window;
+      const double b = p.by[static_cast<std::size_t>(y - w.y0)];
+      for (int x = w.x0; x < w.x1; ++x) {
+        row[x] += p.ax[static_cast<std::size_t>(x - w.x0)] * b;
+      }
+    }
+  });
 }
 
 }  // namespace mbf

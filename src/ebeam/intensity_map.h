@@ -3,7 +3,14 @@
 // the refiner can evaluate candidate edge moves cheaply (paper 4.1: "we
 // compute the cost incrementally, and only recompute the intensity of the
 // shot corresponding to the shot edge").
+//
+// The grid accumulates in double: the refiner applies thousands of
+// add/remove cycles to the same pixels, and float accumulation leaves
+// rounding residue (~1e-3 after 10k cycles) large enough to skew
+// Violations::cost near the rho threshold.
 #pragma once
+
+#include <span>
 
 #include "ebeam/proximity_model.h"
 #include "geometry/rect.h"
@@ -24,9 +31,9 @@ class IntensityMap {
   int height() const { return grid_.height(); }
 
   double at(int x, int y) const { return grid_.at(x, y); }
-  const FloatGrid& grid() const { return grid_; }
+  const Grid<double>& grid() const { return grid_; }
 
-  void clear() { grid_.fill(0.0f); }
+  void clear() { grid_.fill(0.0); }
 
   /// Adds / removes one shot's contribution. Only pixels within the
   /// model's influence radius of the shot are touched. `dose` scales the
@@ -39,6 +46,12 @@ class IntensityMap {
     applyShot(shot, -dose);
   }
 
+  /// Clears the grid and applies `shots` in one bulk pass, row-parallel
+  /// across `numThreads` workers (0 = hardware concurrency, 1 = serial).
+  /// Each grid row accumulates its shots in input order, so the result is
+  /// byte-identical to sequential addShot calls for any thread count.
+  void setShots(std::span<const Rect> shots, int numThreads = 1);
+
   /// Grid-local pixel window affected by `shot` (shot bbox inflated by the
   /// influence radius, clamped to the grid). Cell range [x0,x1) x [y0,y1).
   Rect influenceWindow(const Rect& shot) const;
@@ -48,7 +61,7 @@ class IntensityMap {
 
   const ProximityModel* model_;
   Point origin_;
-  FloatGrid grid_;
+  Grid<double> grid_;
 };
 
 }  // namespace mbf

@@ -64,7 +64,7 @@ Violations DoseVerifier::violations() const {
   const auto& classes = problem_->classGrid();
   for (int y = 0; y < problem_->gridHeight(); ++y) {
     const std::uint8_t* cls = classes.row(y);
-    const float* inten = map_.grid().row(y);
+    const double* inten = map_.grid().row(y);
     for (int x = 0; x < problem_->gridWidth(); ++x) {
       switch (static_cast<PixelClass>(cls[x])) {
         case PixelClass::kOn:
@@ -147,7 +147,7 @@ double DoseVerifier::costDeltaForReplace(std::size_t index,
   const auto& classes = problem_->classGrid();
   for (int y = w.y0; y < w.y1; ++y) {
     const std::uint8_t* cls = classes.row(y);
-    const float* inten = map_.grid().row(y);
+    const double* inten = map_.grid().row(y);
     const double bo = byOld[static_cast<std::size_t>(y - w.y0)] * oldShot.dose;
     const double bn =
         byNew[static_cast<std::size_t>(y - w.y0)] * replacement.dose;

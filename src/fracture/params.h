@@ -45,6 +45,13 @@ struct FractureParams {
   bool enableAddRemove = true;
   bool enableMerge = true;
 
+  // --- execution (src/parallel) ---
+  /// Worker threads for the in-problem scans (Verifier violation scans,
+  /// IntensityMap bulk application): 0 = hardware concurrency, 1 = the
+  /// serial path. Results are byte-identical for every value; see
+  /// DESIGN.md "Parallel architecture".
+  int numThreads = 1;
+
   ProximityModel makeModel() const {
     return ProximityModel(sigma, rho, backscatterEta, backscatterSigma);
   }

@@ -1,6 +1,7 @@
 #include "fracture/refiner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <optional>
@@ -10,6 +11,24 @@
 
 namespace mbf {
 namespace {
+
+// Accumulates the wall-clock time of a scope into one RefinerStats field.
+class StageTimer {
+ public:
+  explicit StageTimer(double& acc)
+      : acc_(&acc), start_(std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    *acc_ += std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                           start_)
+                 .count();
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  double* acc_;
+  std::chrono::steady_clock::time_point start_;
+};
 
 // Geometric segment of one shot edge, for the 2-sigma blocking test.
 struct EdgeSegment {
@@ -85,6 +104,7 @@ struct Snapshot {
 Refiner::Refiner(const Problem& problem) : problem_(&problem) {}
 
 int Refiner::greedyShotEdgeAdjustment(Verifier& verifier) const {
+  const StageTimer timer(stats_.edgeMoveSeconds);
   const int lmin = problem_->params().lmin;
   const std::vector<Rect>& shots = verifier.shots();
 
@@ -138,6 +158,7 @@ int Refiner::greedyShotEdgeAdjustment(Verifier& verifier) const {
 }
 
 int Refiner::biasAllShots(Verifier& verifier, bool expand) const {
+  const StageTimer timer(stats_.biasSeconds);
   const int lmin = problem_->params().lmin;
   int changed = 0;
   for (std::size_t i = 0; i < verifier.shots().size(); ++i) {
@@ -202,6 +223,7 @@ Rect largestInscribedRect(const MaskGrid& mask, const PrefixSum2D& sum,
 }  // namespace
 
 bool Refiner::addShot(Verifier& verifier) const {
+  const StageTimer timer(stats_.structuralSeconds);
   const MaskGrid failing = verifier.failingOnMask();
   const ComponentLabels comps = labelComponents(failing);
   if (comps.components.empty()) return false;
@@ -244,6 +266,7 @@ bool Refiner::addShot(Verifier& verifier) const {
 }
 
 bool Refiner::removeShot(Verifier& verifier) const {
+  const StageTimer timer(stats_.structuralSeconds);
   if (verifier.shots().empty()) return false;
   const double sigma = problem_->model().sigma();
   std::size_t bestIdx = 0;
@@ -262,31 +285,43 @@ bool Refiner::removeShot(Verifier& verifier) const {
 }
 
 int Refiner::mergeShots(Verifier& verifier) const {
+  const StageTimer timer(stats_.mergeSeconds);
   const double gamma = problem_->params().gamma;
   const double insideFrac = problem_->params().mergeInsideFraction;
   int merges = 0;
 
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    const std::vector<Rect>& shots = verifier.shots();
-    for (std::size_t i = 0; i < shots.size() && !changed; ++i) {
-      for (std::size_t j = i + 1; j < shots.size() && !changed; ++j) {
-        const Rect& a = shots[i];
-        const Rect& b = shots[j];
+  // Whether a pair can merge depends only on the two shots and the
+  // target, never on the rest of the shot set, so a pair that failed the
+  // test stays failed while both shots survive. The scan therefore
+  // continues forward from the modified index after every merge instead
+  // of restarting the full O(n^2) pair scan (which made a merge cascade
+  // worst-case cubic). Shots appended by extension merges are picked up
+  // by the closing pass: the outer loop repeats until one full pass
+  // applies no merge.
+  bool changedInPass = true;
+  while (changedInPass) {
+    changedInPass = false;
+    std::size_t i = 0;
+    while (i < verifier.shots().size()) {
+      bool removedI = false;
+      std::size_t j = i + 1;
+      while (j < verifier.shots().size()) {
+        const Rect a = verifier.shots()[i];
+        const Rect b = verifier.shots()[j];
 
         // Containment: the smaller shot is redundant (criterion 2).
         if (a.contains(b)) {
           verifier.removeShot(j);
           ++merges;
-          changed = true;
-          break;
+          changedInPass = true;
+          continue;  // slot j now holds the next candidate
         }
         if (b.contains(a)) {
           verifier.removeShot(i);
           ++merges;
-          changed = true;
-          break;
+          changedInPass = true;
+          removedI = true;
+          break;  // rescan slot i against its new occupant
         }
 
         // Aligned extents (criterion 1): merge by extension when >= 90 %
@@ -304,10 +339,14 @@ int Refiner::mergeShots(Verifier& verifier) const {
             verifier.removeShot(i);
             verifier.addShot(merged);
             ++merges;
-            changed = true;
+            changedInPass = true;
+            removedI = true;
+            break;  // merged shot sits at the end; rescan slot i
           }
         }
+        ++j;
       }
+      if (!removedI) ++i;
     }
   }
   stats_.mergeEvents += merges;
@@ -317,11 +356,21 @@ int Refiner::mergeShots(Verifier& verifier) const {
 Solution Refiner::refine(std::vector<Rect> initialShots) {
   const FractureParams& p = problem_->params();
   stats_ = RefinerStats{};
+  const StageTimer totalTimer(stats_.totalSeconds);
 
   Verifier verifier(*problem_);
-  verifier.setShots(initialShots);
+  {
+    const StageTimer timer(stats_.setupSeconds);
+    verifier.setShots(initialShots);
+  }
+  // Timed wrapper for the full-grid scans issued by the loop itself (the
+  // in-op scans are attributed to their stage timers instead).
+  auto scanViolations = [this, &verifier] {
+    const StageTimer timer(stats_.violationSeconds);
+    return verifier.violations();
+  };
 
-  Snapshot best{verifier.shots(), verifier.violations()};
+  Snapshot best{verifier.shots(), scanViolations()};
   // "Cost does not improve for N_H iterations" (Algorithm 1, line 5) is
   // tracked against the best cost seen since the last structural change;
   // comparing consecutive iterations would let a bias/edge-move
@@ -332,7 +381,7 @@ Solution Refiner::refine(std::vector<Rect> initialShots) {
 
   int iter = 0;
   for (; iter < p.nmax; ++iter) {
-    const Violations v = verifier.violations();
+    const Violations v = scanViolations();
     if (v.total() == 0) {
       // Feasible: keep the snapshot (it may beat `best` on shot count).
       Snapshot snap{verifier.shots(), v};
@@ -341,7 +390,7 @@ Solution Refiner::refine(std::vector<Rect> initialShots) {
       // merge pass and keep refining if it changed the solution --
       // feasibility may need re-establishing after a merge.
       if (p.enableMerge && mergeShots(verifier) > 0) {
-        bestCostSeen = verifier.violations().cost;
+        bestCostSeen = scanViolations().cost;
         stagnant = 0;
         continue;
       }
@@ -375,7 +424,7 @@ Solution Refiner::refine(std::vector<Rect> initialShots) {
       }
       if (p.enableMerge) mergeShots(verifier);
       stagnant = 0;
-      bestCostSeen = verifier.violations().cost;
+      bestCostSeen = scanViolations().cost;
       continue;
     }
 

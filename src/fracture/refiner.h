@@ -23,6 +23,35 @@ struct RefinerStats {
   int shotsAdded = 0;
   int shotsRemoved = 0;
   int mergeEvents = 0;
+
+  // Wall-clock seconds per refinement stage (and overall), measured by
+  // refine(); the bench/scaling thread sweep reports these so a parallel
+  // run shows where the time went.
+  double totalSeconds = 0.0;
+  double setupSeconds = 0.0;       ///< initial setShots bulk application
+  double violationSeconds = 0.0;   ///< full-grid violation scans
+  double edgeMoveSeconds = 0.0;    ///< greedyShotEdgeAdjustment
+  double biasSeconds = 0.0;        ///< biasAllShots
+  double structuralSeconds = 0.0;  ///< addShot / removeShot
+  double mergeSeconds = 0.0;       ///< mergeShots
+
+  /// Aggregation across shapes (mdp batch reporting).
+  RefinerStats& operator+=(const RefinerStats& o) {
+    iterations += o.iterations;
+    edgeMoves += o.edgeMoves;
+    biasSteps += o.biasSteps;
+    shotsAdded += o.shotsAdded;
+    shotsRemoved += o.shotsRemoved;
+    mergeEvents += o.mergeEvents;
+    totalSeconds += o.totalSeconds;
+    setupSeconds += o.setupSeconds;
+    violationSeconds += o.violationSeconds;
+    edgeMoveSeconds += o.edgeMoveSeconds;
+    biasSeconds += o.biasSeconds;
+    structuralSeconds += o.structuralSeconds;
+    mergeSeconds += o.mergeSeconds;
+    return *this;
+  }
 };
 
 class Refiner {

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <vector>
+
+#include "parallel/parallel_for.h"
 
 namespace mbf {
 
@@ -12,9 +15,8 @@ Verifier::Verifier(const Problem& problem)
            problem.gridHeight()) {}
 
 void Verifier::setShots(std::span<const Rect> shots) {
-  map_.clear();
   shots_.assign(shots.begin(), shots.end());
-  for (const Rect& s : shots_) map_.addShot(s);
+  map_.setShots(shots_, problem_->params().numThreads);
 }
 
 void Verifier::addShot(const Rect& shot) {
@@ -40,33 +42,54 @@ Violations Verifier::violations() const {
       {0, 0, problem_->gridWidth(), problem_->gridHeight()});
 }
 
-Violations Verifier::violationsInWindow(const Rect& gridWindow) const {
+Violations Verifier::violationsRow(int y, int x0, int x1) const {
   Violations v;
   const double rho = problem_->model().rho();
-  const auto& classes = problem_->classGrid();
-  for (int y = gridWindow.y0; y < gridWindow.y1; ++y) {
-    const std::uint8_t* cls = classes.row(y);
-    const float* inten = map_.grid().row(y);
-    for (int x = gridWindow.x0; x < gridWindow.x1; ++x) {
-      const double i = inten[x];
-      switch (static_cast<PixelClass>(cls[x])) {
-        case PixelClass::kOn:
-          if (i < rho) {
-            ++v.failOn;
-            v.cost += rho - i;
-          }
-          break;
-        case PixelClass::kOff:
-          if (i >= rho) {
-            ++v.failOff;
-            v.cost += i - rho;
-          }
-          break;
-        case PixelClass::kDontCare:
-          break;
-      }
+  const std::uint8_t* cls = problem_->classGrid().row(y);
+  const double* inten = map_.grid().row(y);
+  for (int x = x0; x < x1; ++x) {
+    const double i = inten[x];
+    switch (static_cast<PixelClass>(cls[x])) {
+      case PixelClass::kOn:
+        if (i < rho) {
+          ++v.failOn;
+          v.cost += rho - i;
+        }
+        break;
+      case PixelClass::kOff:
+        if (i >= rho) {
+          ++v.failOff;
+          v.cost += i - rho;
+        }
+        break;
+      case PixelClass::kDontCare:
+        break;
     }
   }
+  return v;
+}
+
+Violations Verifier::violationsInWindow(const Rect& gridWindow) const {
+  // Per-row partials folded in row order: the serial and row-parallel
+  // paths perform the identical sequence of double additions, so the
+  // reported cost is byte-identical for every thread count.
+  Violations v;
+  const int rows = gridWindow.y1 - gridWindow.y0;
+  const int threads = ThreadPool::resolveThreads(problem_->params().numThreads);
+  const std::int64_t cells =
+      static_cast<std::int64_t>(rows) * (gridWindow.x1 - gridWindow.x0);
+  if (threads <= 1 || rows < 2 || cells < 4096) {
+    for (int y = gridWindow.y0; y < gridWindow.y1; ++y) {
+      v += violationsRow(y, gridWindow.x0, gridWindow.x1);
+    }
+    return v;
+  }
+  std::vector<Violations> partials(static_cast<std::size_t>(rows));
+  parallelFor(gridWindow.y0, gridWindow.y1, threads, 16, [&](int y) {
+    partials[static_cast<std::size_t>(y - gridWindow.y0)] =
+        violationsRow(y, gridWindow.x0, gridWindow.x1);
+  });
+  for (const Violations& p : partials) v += p;
   return v;
 }
 
@@ -125,7 +148,7 @@ double Verifier::costDeltaForReplace(std::size_t index,
   const auto& classes = problem_->classGrid();
   for (int y = w.y0; y < w.y1; ++y) {
     const std::uint8_t* cls = classes.row(y);
-    const float* inten = map_.grid().row(y);
+    const double* inten = map_.grid().row(y);
     const double bo = byOld[static_cast<std::size_t>(y - w.y0)];
     const double bn = byNew[static_cast<std::size_t>(y - w.y0)];
     for (int x = w.x0; x < w.x1; ++x) {
@@ -153,7 +176,7 @@ MaskGrid Verifier::failingOnMask() const {
   const auto& classes = problem_->classGrid();
   for (int y = 0; y < out.height(); ++y) {
     const std::uint8_t* cls = classes.row(y);
-    const float* inten = map_.grid().row(y);
+    const double* inten = map_.grid().row(y);
     for (int x = 0; x < out.width(); ++x) {
       if (static_cast<PixelClass>(cls[x]) == PixelClass::kOn &&
           inten[x] < rho) {
@@ -178,7 +201,7 @@ std::int64_t Verifier::failingOffNear(const Rect& shot, double radius) const {
   const Point origin = problem_->origin();
   for (int y = w.y0; y < w.y1; ++y) {
     const std::uint8_t* cls = classes.row(y);
-    const float* inten = map_.grid().row(y);
+    const double* inten = map_.grid().row(y);
     for (int x = w.x0; x < w.x1; ++x) {
       if (static_cast<PixelClass>(cls[x]) != PixelClass::kOff) continue;
       if (inten[x] < rho) continue;

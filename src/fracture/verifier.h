@@ -52,7 +52,10 @@ class Verifier {
   /// Full-grid violation scan.
   Violations violations() const;
   /// Violation scan restricted to a grid-local window (cells
-  /// [x0, x1) x [y0, y1), already clamped by the caller).
+  /// [x0, x1) x [y0, y1), already clamped by the caller). Row-chunked
+  /// across FractureParams::numThreads workers when the window is large
+  /// enough; per-row partials fold in row order, so the result is
+  /// byte-identical for every thread count.
   Violations violationsInWindow(const Rect& gridWindow) const;
 
   /// Cost change if shot `index` were replaced by `replacement`, without
@@ -70,6 +73,9 @@ class Verifier {
   void writeStats(Solution& solution) const;
 
  private:
+  /// Violations of one grid row over cells [x0, x1).
+  Violations violationsRow(int y, int x0, int x1) const;
+
   const Problem* problem_;
   IntensityMap map_;
   std::vector<Rect> shots_;

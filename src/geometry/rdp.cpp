@@ -1,27 +1,38 @@
 #include "geometry/rdp.h"
 
-#include <cassert>
 #include <utility>
 
 namespace mbf {
 namespace {
 
-void rdpRecurse(std::span<const Vec2> pts, std::size_t lo, std::size_t hi,
-                double tolerance, std::vector<char>& keep) {
-  if (hi <= lo + 1) return;
-  double worst = -1.0;
-  std::size_t worstIdx = lo;
-  for (std::size_t i = lo + 1; i < hi; ++i) {
-    const double d = distPointSegment(pts[i], pts[lo], pts[hi]);
-    if (d > worst) {
-      worst = d;
-      worstIdx = i;
+// Explicit work-stack RDP marking. The recursive formulation needs one
+// frame per kept vertex; a pathological traced contour (tens of
+// thousands of near-collinear points, e.g. a dense zigzag where the
+// split point is always adjacent to an interval endpoint) reaches
+// O(points) depth and overflows the call stack. Marking order does not
+// matter (keep[] writes are idempotent), so a LIFO work list is exact.
+void rdpMark(std::span<const Vec2> pts, std::size_t lo0, std::size_t hi0,
+             double tolerance, std::vector<char>& keep) {
+  std::vector<std::pair<std::size_t, std::size_t>> work;
+  work.emplace_back(lo0, hi0);
+  while (!work.empty()) {
+    const auto [lo, hi] = work.back();
+    work.pop_back();
+    if (hi <= lo + 1) continue;
+    double worst = -1.0;
+    std::size_t worstIdx = lo;
+    for (std::size_t i = lo + 1; i < hi; ++i) {
+      const double d = distPointSegment(pts[i], pts[lo], pts[hi]);
+      if (d > worst) {
+        worst = d;
+        worstIdx = i;
+      }
     }
-  }
-  if (worst > tolerance) {
-    keep[worstIdx] = 1;
-    rdpRecurse(pts, lo, worstIdx, tolerance, keep);
-    rdpRecurse(pts, worstIdx, hi, tolerance, keep);
+    if (worst > tolerance) {
+      keep[worstIdx] = 1;
+      work.emplace_back(lo, worstIdx);
+      work.emplace_back(worstIdx, hi);
+    }
   }
 }
 
@@ -32,7 +43,7 @@ std::vector<Vec2> simplifyPolyline(std::span<const Vec2> points,
   if (points.size() < 3) return {points.begin(), points.end()};
   std::vector<char> keep(points.size(), 0);
   keep.front() = keep.back() = 1;
-  rdpRecurse(points, 0, points.size() - 1, tolerance, keep);
+  rdpMark(points, 0, points.size() - 1, tolerance, keep);
   std::vector<Vec2> out;
   out.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
@@ -64,7 +75,14 @@ std::vector<Vec2> simplifyRing(std::span<const Vec2> ring, double tolerance) {
       }
     }
   }
-  assert(a < b);
+  // Degenerate sampling guard: when every sampled pair is coincident
+  // (best == 0, e.g. a ring dominated by duplicate vertices) the anchors
+  // carry no geometric meaning and the b == a + 0-length half would
+  // produce a degenerate split. Fall back to a safe index split.
+  if (b <= a || !(best > 0.0)) {
+    a = 0;
+    b = n / 2;
+  }
 
   // Half 1: a..b, half 2: b..n-1,0..a.
   std::vector<Vec2> half1(ring.begin() + a, ring.begin() + b + 1);

@@ -1,13 +1,12 @@
 #include "mdp/layout.h"
 
-#include <atomic>
 #include <chrono>
-#include <thread>
 
 #include "baselines/eda_proxy.h"
 #include "baselines/greedy_set_cover.h"
 #include "baselines/matching_pursuit.h"
 #include "fracture/model_based_fracturer.h"
+#include "parallel/parallel_for.h"
 
 namespace mbf {
 
@@ -74,11 +73,18 @@ bool parseMethod(const std::string& text, Method& out) {
 }
 
 Solution fractureShape(const LayoutShape& shape, const FractureParams& params,
-                       Method method) {
+                       Method method, RefinerStats* statsOut) {
+  // Per-job state: the Problem rasterizes the shape's rings onto a grid
+  // inflated by the gamma + 3*sigma influence halo, so concurrent jobs
+  // share nothing but the read-only inputs.
   const Problem problem(shape.rings, params);
   switch (method) {
-    case Method::kOurs:
-      return ModelBasedFracturer{}.fracture(problem);
+    case Method::kOurs: {
+      const ModelBasedFracturer fracturer;
+      Solution sol = fracturer.fracture(problem);
+      if (statsOut != nullptr) *statsOut = fracturer.lastRefinerStats();
+      return sol;
+    }
     case Method::kGsc:
       return GreedySetCover{}.fracture(problem);
     case Method::kMp:
@@ -89,41 +95,40 @@ Solution fractureShape(const LayoutShape& shape, const FractureParams& params,
   return {};
 }
 
-BatchResult fractureLayout(const std::vector<LayoutShape>& shapes,
-                           const BatchConfig& config) {
+BatchResult fractureLayoutParallel(const std::vector<LayoutShape>& shapes,
+                                   const BatchConfig& config) {
   const auto start = std::chrono::steady_clock::now();
   BatchResult result;
   result.solutions.resize(shapes.size());
+  std::vector<RefinerStats> shapeStats(shapes.size());
 
-  const int threads =
-      std::max(1, std::min<int>(config.threads,
-                                static_cast<int>(shapes.size())));
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    while (true) {
-      const std::size_t i = next.fetch_add(1);
-      if (i >= shapes.size()) break;
-      result.solutions[i] =
-          fractureShape(shapes[i], config.params, config.method);
-    }
-  };
-  if (threads == 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
+  // One job per shape on the work-stealing pool. Jobs write only their
+  // own output slot; the scheduler decides where a job runs, never what
+  // it computes, so any thread count produces identical solutions.
+  const int threads = ThreadPool::resolveThreads(config.threads);
+  parallelFor(0, static_cast<int>(shapes.size()), threads, 1, [&](int i) {
+    const std::size_t s = static_cast<std::size_t>(i);
+    result.solutions[s] = fractureShape(shapes[s], config.params,
+                                        config.method, &shapeStats[s]);
+  });
 
-  for (const Solution& sol : result.solutions) {
+  // Deterministic merge in input order.
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    const Solution& sol = result.solutions[i];
     result.totalShots += sol.shotCount();
     result.totalFailingPixels += sol.failingPixels();
+    result.shapeSecondsSum += sol.runtimeSeconds;
+    result.refinerStats += shapeStats[i];
   }
   result.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   return result;
+}
+
+BatchResult fractureLayout(const std::vector<LayoutShape>& shapes,
+                           const BatchConfig& config) {
+  return fractureLayoutParallel(shapes, config);
 }
 
 }  // namespace mbf

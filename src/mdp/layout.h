@@ -12,6 +12,7 @@
 
 #include "fracture/params.h"
 #include "fracture/problem.h"
+#include "fracture/refiner.h"
 #include "fracture/solution.h"
 #include "geometry/polygon.h"
 
@@ -38,26 +39,45 @@ const char* toString(Method method);
 /// Parses "ours" / "gsc" / "mp" / "proxy"; returns false on anything else.
 bool parseMethod(const std::string& text, Method& out);
 
-/// Fractures one shape with the chosen method.
+/// Fractures one shape with the chosen method. When `statsOut` is non-null
+/// and the method is kOurs, the refinement-stage counters/timers of this
+/// shape are written there.
 Solution fractureShape(const LayoutShape& shape, const FractureParams& params,
-                       Method method);
+                       Method method, RefinerStats* statsOut = nullptr);
 
 struct BatchResult {
   std::vector<Solution> solutions;  ///< one per shape, input order
   int totalShots = 0;
   std::int64_t totalFailingPixels = 0;
   double wallSeconds = 0.0;
+  /// Sum of the per-shape fracture runtimes (== wallSeconds on one
+  /// thread; the ratio is the end-to-end parallel speedup otherwise).
+  double shapeSecondsSum = 0.0;
+  /// Refinement counters and per-stage timers aggregated over all shapes
+  /// in input order (method kOurs only; zero otherwise).
+  RefinerStats refinerStats;
 };
 
 struct BatchConfig {
   FractureParams params;
   Method method = Method::kOurs;
+  /// Worker threads fracturing shapes concurrently: 0 = hardware
+  /// concurrency, 1 = serial. Independent of params.numThreads (the
+  /// in-problem scan parallelism); both share the global pool.
   int threads = 1;
 };
 
-/// Fractures every shape of a layout, optionally across worker threads.
-/// Shapes are independent problems, so results are identical for any
-/// thread count (verified in tests).
+/// Parallel layout fracturing on the work-stealing pool: every shape is
+/// one job with private Problem/Verifier state. A shape's grid covers its
+/// polygon inflated by the gamma + 3*sigma halo, so jobs touch disjoint
+/// state and run concurrently without synchronisation; shot lists and
+/// aggregate statistics are merged in input order after the join, making
+/// the result byte-identical for any thread count (verified in tests).
+BatchResult fractureLayoutParallel(const std::vector<LayoutShape>& shapes,
+                                   const BatchConfig& config);
+
+/// Convenience alias of fractureLayoutParallel (the historical entry
+/// point; the serial path is config.threads == 1).
 BatchResult fractureLayout(const std::vector<LayoutShape>& shapes,
                            const BatchConfig& config);
 

@@ -1,0 +1,75 @@
+// parallelFor: chunked index-range parallelism on the work-stealing pool.
+//
+// The range [begin, end) is cut into fixed chunks of `grain` indices;
+// chunk boundaries depend only on (begin, end, grain), never on the
+// thread count, and workers claim chunks through a shared atomic cursor.
+// Because the body writes per-index results only, the output is
+// byte-identical for any thread count — callers that reduce must fold
+// their per-index partials in index order afterwards.
+//
+// The calling thread participates: it claims chunks like every helper,
+// and while waiting for stragglers it drains other pool tasks via
+// tryRunOne(), so nesting parallelFor inside a pool task cannot deadlock.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "parallel/thread_pool.h"
+
+namespace mbf {
+
+/// Runs fn(i) for every i in [begin, end). `numThreads` follows the
+/// library-wide knob convention (0 = hardware concurrency, 1 = serial on
+/// the calling thread). `grain` is the number of consecutive indices per
+/// claimed chunk.
+template <typename Fn>
+void parallelFor(int begin, int end, int numThreads, int grain, Fn&& fn) {
+  const int n = end - begin;
+  if (n <= 0) return;
+  grain = std::max(1, grain);
+  const int threads = ThreadPool::resolveThreads(numThreads);
+  const int numChunks = (n + grain - 1) / grain;
+  if (threads <= 1 || numChunks <= 1) {
+    for (int i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  ThreadPool& pool = ThreadPool::global();
+
+  struct State {
+    std::atomic<int> nextChunk{0};
+    std::atomic<int> doneChunks{0};
+  };
+  auto state = std::make_shared<State>();
+
+  auto runChunks = [state, begin, end, grain, numChunks, &fn] {
+    while (true) {
+      const int chunk =
+          state->nextChunk.fetch_add(1, std::memory_order_relaxed);
+      if (chunk >= numChunks) return;
+      const int lo = begin + chunk * grain;
+      const int hi = std::min(end, lo + grain);
+      for (int i = lo; i < hi; ++i) fn(i);
+      state->doneChunks.fetch_add(1, std::memory_order_release);
+    }
+  };
+
+  // Helpers beyond the calling thread; capped by chunk count so trailing
+  // tasks never start for nothing, and by the pool size (more would only
+  // queue). Helper tasks hold shared ownership of the state: a task that
+  // fires after every chunk is claimed exits immediately.
+  const int helpers =
+      std::min({threads - 1, pool.workerCount(), numChunks - 1});
+  for (int h = 0; h < helpers; ++h) {
+    pool.submit([state, runChunks] { runChunks(); });
+  }
+  runChunks();
+  while (state->doneChunks.load(std::memory_order_acquire) < numChunks) {
+    if (!pool.tryRunOne()) std::this_thread::yield();
+  }
+}
+
+}  // namespace mbf

@@ -1,0 +1,81 @@
+// Work-stealing thread pool, the execution layer behind every parallel
+// path in the library (mdp batch fracturing, Verifier scans, IntensityMap
+// bulk application). Each worker owns a deque: tasks submitted from a
+// worker go to its own queue front (LIFO, cache-warm), idle workers steal
+// from other queues' backs (FIFO, oldest first). Threads that block on a
+// parallel region help drain the pool via tryRunOne(), so nested
+// parallelFor calls cannot deadlock.
+//
+// Determinism contract: the pool schedules *where* work runs, never what
+// it computes. Every parallel algorithm in the library writes to
+// per-index slots and folds partial results in a fixed order, so results
+// are byte-identical for any worker count (verified in parallel_test).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mbf {
+
+class ThreadPool {
+ public:
+  using Task = std::function<void()>;
+
+  /// Spawns `workers` threads (0 clamps to 1). The pool used by the
+  /// library is global(); standalone instances exist for tests.
+  explicit ThreadPool(int workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workerCount() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Called from a pool worker, the task lands on that
+  /// worker's own queue (depth-first execution of nested work); from any
+  /// other thread it is distributed round-robin.
+  void submit(Task task);
+
+  /// Runs one pending task on the calling thread, if any is queued.
+  /// Returns false when every queue was empty. This is the helping
+  /// primitive: threads waiting on a parallel region call it in their
+  /// wait loop instead of blocking.
+  bool tryRunOne();
+
+  /// Process-wide pool, created on first use and sized to the hardware
+  /// concurrency (minus nothing: the submitting thread helps, but a
+  /// dedicated worker per core keeps independent call sites busy).
+  static ThreadPool& global();
+
+  /// Resolves a user-facing thread knob: 0 = hardware concurrency,
+  /// otherwise the requested value itself (clamped to >= 1).
+  static int resolveThreads(int requested);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<Task> tasks;
+  };
+
+  void workerLoop(std::size_t index);
+  bool popOwn(std::size_t index, Task& out);
+  bool stealAny(std::size_t skip, Task& out);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex sleepMutex_;
+  std::condition_variable wake_;
+  std::atomic<std::size_t> pending_{0};
+  std::atomic<std::size_t> nextQueue_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace mbf

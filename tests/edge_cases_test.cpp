@@ -51,8 +51,8 @@ TEST(IntensityMapEdgeTest, DoseWeightedAddRemoveIdentity) {
   map.addShot({10, 10, 30, 30}, 0.7);
   map.removeShot({5, 5, 25, 25}, 1.3);
   map.removeShot({10, 10, 30, 30}, 0.7);
-  for (const float v : map.grid().data()) {
-    EXPECT_NEAR(v, 0.0f, 1e-5f);
+  for (const double v : map.grid().data()) {
+    EXPECT_NEAR(v, 0.0, 1e-9);
   }
 }
 

@@ -162,6 +162,43 @@ TEST(RdpTest, ToleranceGuarantee) {
   }
 }
 
+TEST(RdpTest, LongDenseContourDoesNotOverflowStack) {
+  // Dense zigzag (y alternating 0/1, chord y = 0, tolerance 0.5): every
+  // split point is adjacent to an interval endpoint, so the recursive
+  // formulation reached O(n) call depth and overflowed on contours this
+  // long. The work-stack version must simplify it without crashing.
+  std::vector<Vec2> pts;
+  const int n = 150001;  // odd so both endpoints sit on the chord
+  pts.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({double(i), double(i % 2)});
+  }
+  const std::vector<Vec2> out = simplifyPolyline(pts, 0.5);
+  // Every zigzag vertex deviates > tolerance from its local chord.
+  EXPECT_EQ(out.size(), pts.size());
+}
+
+TEST(RdpTest, RingOfCoincidentVerticesFallsBackToSafeSplit) {
+  // All-duplicate ring, large enough to take the strided farthest-pair
+  // path: the sampled anchors are coincident (best distance 0), which
+  // used to produce a degenerate split. The guard falls back to an index
+  // split and the ring collapses cleanly.
+  std::vector<Vec2> ring(5000, Vec2{3.0, 4.0});
+  const std::vector<Vec2> out = simplifyRing(ring, 0.5);
+  EXPECT_GE(out.size(), 2u);
+  EXPECT_LE(out.size(), 4u);
+  for (const Vec2& p : out) {
+    EXPECT_DOUBLE_EQ(p.x, 3.0);
+    EXPECT_DOUBLE_EQ(p.y, 4.0);
+  }
+}
+
+TEST(RdpTest, SmallDegenerateRingSurvives) {
+  const std::vector<Vec2> ring(5, Vec2{1.0, 1.0});
+  const std::vector<Vec2> out = simplifyRing(ring, 0.5);
+  EXPECT_GE(out.size(), 2u);
+}
+
 TEST(RdpTest, RingSimplification) {
   // Staircase approximating a square ring simplifies to few vertices.
   std::vector<Vec2> ring;

@@ -2,6 +2,11 @@
 // operation in isolation plus the full Algorithm 1 loop.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+#include <tuple>
+
+#include "benchgen/opc_synth.h"
 #include "fracture/refiner.h"
 
 namespace mbf {
@@ -128,6 +133,102 @@ TEST_F(RefinerTest, MergeRemovesContainedShot) {
   r.mergeShots(v);
   ASSERT_EQ(v.shots().size(), 1u);
   EXPECT_EQ(v.shots()[0], Rect(0, 0, 40, 40));
+}
+
+// Reference merge: the textbook formulation that restarts the full
+// O(n^2) pair scan after every applied merge. Same eligibility rules as
+// Refiner::mergeShots; quadratic restarts make a merge cascade
+// worst-case cubic, which is why the production code continues the scan
+// from the modified index instead. This oracle pins down that the
+// optimisation changes complexity only, not results.
+int referenceMergeShots(const Problem& problem, std::vector<Rect>& shots) {
+  const double gamma = problem.params().gamma;
+  const double frac = problem.params().mergeInsideFraction;
+  int merges = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < shots.size() && !changed; ++i) {
+      for (std::size_t j = i + 1; j < shots.size() && !changed; ++j) {
+        const Rect a = shots[i];
+        const Rect b = shots[j];
+        if (a.contains(b)) {
+          shots.erase(shots.begin() + static_cast<std::ptrdiff_t>(j));
+          ++merges;
+          changed = true;
+          break;
+        }
+        if (b.contains(a)) {
+          shots.erase(shots.begin() + static_cast<std::ptrdiff_t>(i));
+          ++merges;
+          changed = true;
+          break;
+        }
+        const bool xAligned = std::abs(a.x0 - b.x0) <= gamma &&
+                              std::abs(a.x1 - b.x1) <= gamma;
+        const bool yAligned = std::abs(a.y0 - b.y0) <= gamma &&
+                              std::abs(a.y1 - b.y1) <= gamma;
+        if (xAligned || yAligned) {
+          const Rect merged = a.unionWith(b);
+          if (static_cast<double>(problem.insideArea(merged)) >=
+              frac * static_cast<double>(merged.area())) {
+            shots.erase(shots.begin() + static_cast<std::ptrdiff_t>(j));
+            shots.erase(shots.begin() + static_cast<std::ptrdiff_t>(i));
+            shots.push_back(merged);
+            ++merges;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return merges;
+}
+
+std::vector<Rect> sorted(std::vector<Rect> shots) {
+  std::sort(shots.begin(), shots.end(), [](const Rect& a, const Rect& b) {
+    return std::tie(a.x0, a.y0, a.x1, a.y1) <
+           std::tie(b.x0, b.y0, b.x1, b.y1);
+  });
+  return shots;
+}
+
+TEST(MergeEqualityTest, ContinueScanMatchesRestartScanOnOpcSuite) {
+  const std::vector<OpcSynthConfig> suite = opcSuiteConfigs();
+  std::mt19937 rng(99);
+  for (const std::size_t k : {0u, 3u, 7u}) {
+    const Polygon shape = makeOpcShape(suite[k]);
+    const Problem problem(shape, FractureParams{});
+    const Rect box = shape.bbox();
+
+    // Shot set: overlapping vertical strips (aligned y extents, so
+    // extension merges cascade), contained duplicates, plus random
+    // jitter rects that mostly fail the inside-fraction test.
+    std::vector<Rect> shots;
+    const int strip = std::max(8, box.width() / 6);
+    for (int x = box.x0; x < box.x1; x += strip / 2) {
+      shots.push_back({x, box.y0, std::min(box.x1, x + strip), box.y1});
+    }
+    shots.push_back({box.x0 + 2, box.y0 + 2,
+                     box.x0 + 2 + strip / 2, box.y1 - 2});
+    std::uniform_int_distribution<int> dx(-6, 6);
+    for (int r = 0; r < 6; ++r) {
+      const Rect base = shots[static_cast<std::size_t>(r) % shots.size()];
+      shots.push_back({base.x0 + dx(rng), base.y0 + dx(rng),
+                       base.x1 + dx(rng), base.y1 + dx(rng)});
+    }
+
+    std::vector<Rect> reference = shots;
+    const int refMerges = referenceMergeShots(problem, reference);
+
+    Verifier v(problem);
+    v.setShots(shots);
+    Refiner refiner(problem);
+    const int merges = refiner.mergeShots(v);
+
+    EXPECT_EQ(merges, refMerges) << "suite clip " << k;
+    EXPECT_EQ(sorted(v.shots()), sorted(reference)) << "suite clip " << k;
+  }
 }
 
 TEST_F(RefinerTest, RefineFixesUndersizedSeed) {

@@ -8,7 +8,7 @@
 //   --lmin=<nm>                  minimum shot side        (default 12)
 //   --eta=<0..1>                 backscatter mixture      (default 0)
 //   --sigma-back=<nm>            backscatter sigma        (default sigma)
-//   --threads=<n>                worker threads           (default 1)
+//   --threads=<n>                worker threads; 0 = all cores (default 1)
 //   --order                      order shots for the writer (NN + 2-opt)
 //   --svg=<path>                 write an overlay SVG of shapes + shots
 //   --gds-out=<path>             also write shots as GDSII rectangles
@@ -102,7 +102,10 @@ int main(int argc, char** argv) {
       gdsOutPath = value;
       ok = !gdsOutPath.empty();
     } else if (key == "--threads") {
-      ok = parseInt(value, config.threads) && config.threads > 0;
+      // 0 = hardware concurrency; the knob drives both the per-shape job
+      // parallelism and the in-problem scan parallelism.
+      ok = parseInt(value, config.threads) && config.threads >= 0;
+      if (ok) config.params.numThreads = config.threads;
     } else if (key == "--svg") {
       svgPath = value;
       ok = !svgPath.empty();
@@ -211,7 +214,8 @@ int main(int argc, char** argv) {
 
   std::cout << "total: " << result.totalShots << " shots, "
             << result.totalFailingPixels << " failing px, "
-            << Table::fmt(result.wallSeconds, 2) << " s ("
+            << Table::fmt(result.wallSeconds, 2) << " s wall / "
+            << Table::fmt(result.shapeSecondsSum, 2) << " s shape-sum ("
             << config.threads << " thread(s))\n";
   return result.totalFailingPixels == 0 ? 0 : 1;
 }
