@@ -167,12 +167,16 @@ Rect placeShotForClass(const Problem& problem,
 ColoringArtifacts ColoringFracturer::fractureWithArtifacts(
     const Problem& problem) const {
   ColoringArtifacts art;
+  problem.checkpoint("corner-extraction");
   art.extraction = extractCornerPoints(problem);
+  problem.checkpoint("shot-graph");
   art.compatibility = buildShotGraph(problem, art.extraction.corners);
   const Graph inverse = art.compatibility.complement();
+  problem.checkpoint("coloring");
   art.coloring = greedyColoring(inverse, problem.params().coloringOrder);
 
   for (const std::vector<int>& cls : art.coloring.classes()) {
+    problem.checkpoint("shot-placement");
     std::vector<CornerPoint> pts;
     pts.reserve(cls.size());
     for (const int v : cls) {

@@ -1,0 +1,133 @@
+#include "fracture/fallback.h"
+
+#include <chrono>
+#include <utility>
+
+#include "baselines/rect_partition.h"
+#include "fracture/refiner.h"
+#include "fracture/verifier.h"
+
+namespace mbf {
+namespace {
+
+/// Bias-repair passes after the partition. An exact full-dose cover
+/// underdoses Pon pixels near convex corners (the two edge profiles
+/// multiply); one or two uniform 1 nm expansions fix that for isolated
+/// shapes. More passes start overdosing Poff, so the loop is short and
+/// keeps the best snapshot.
+constexpr int kMaxRepairPasses = 4;
+
+struct Snapshot {
+  std::vector<Rect> shots;
+  Violations v;
+
+  bool betterThan(const Snapshot& o) const {
+    if (v.total() != o.v.total()) return v.total() < o.v.total();
+    if (shots.size() != o.shots.size()) return shots.size() < o.shots.size();
+    return v.cost < o.v.cost;
+  }
+};
+
+// Minimum rectangular partition when the target is one clean rectilinear
+// ring; empty when the route does not apply or its output fails the
+// validity check (possible for inputs that violate rect_partition's
+// simple-polygon precondition, e.g. self-intersecting rings).
+std::vector<Rect> minPartitionShots(const Problem& problem) {
+  if (problem.rings().size() != 1) return {};
+  Polygon ring = problem.rings().front();
+  ring.normalize();
+  if (ring.size() < 4 || !ring.isRectilinear()) return {};
+
+  PartitionResult part = minRectPartition(ring);
+  std::int64_t covered = 0;
+  for (const Rect& r : part.rects) {
+    if (r.empty()) return {};
+    // Every cell of every piece must be target-interior...
+    if (problem.insideArea(r) != r.area()) return {};
+    covered += r.area();
+  }
+  // ...and the pieces (disjoint faces by construction) must cover all of
+  // it. Anything else means the precondition was violated upstream.
+  const std::int64_t inside =
+      problem.insideMask().count([](std::uint8_t v) { return v != 0; });
+  if (covered != inside) return {};
+  return std::move(part.rects);
+}
+
+}  // namespace
+
+std::vector<Rect> gridRunPartition(const MaskGrid& inside, Point origin) {
+  std::vector<Rect> out;
+  std::vector<Rect> open;  // rects extending through the previous row
+  std::vector<Rect> next;
+  for (int y = 0; y <= inside.height(); ++y) {
+    next.clear();
+    std::size_t i = 0;  // cursor into `open` (sorted by x0, disjoint)
+    int x = 0;
+    while (y < inside.height() && x < inside.width()) {
+      if (!inside.at(x, y)) {
+        ++x;
+        continue;
+      }
+      int xEnd = x;
+      while (xEnd < inside.width() && inside.at(xEnd, y)) ++xEnd;
+      const int rx0 = origin.x + x;
+      const int rx1 = origin.x + xEnd;
+      // Close open rects strictly left of this run.
+      while (i < open.size() && open[i].x1 <= rx0) out.push_back(open[i++]);
+      if (i < open.size() && open[i].x0 == rx0 && open[i].x1 == rx1) {
+        Rect ext = open[i++];
+        ext.y1 += 1;  // same span continues: grow the open rect
+        next.push_back(ext);
+      } else {
+        // New span. Any open rect overlapping it without matching stays
+        // behind the cursor and is closed by a later run or the drain.
+        next.push_back({rx0, origin.y + y, rx1, origin.y + y + 1});
+      }
+      x = xEnd;
+    }
+    while (i < open.size()) out.push_back(open[i++]);  // drain
+    std::swap(open, next);
+  }
+  return out;
+}
+
+Solution fallbackFracture(const Problem& problem) {
+  const auto start = std::chrono::steady_clock::now();
+
+  std::vector<Rect> shots = minPartitionShots(problem);
+  if (shots.empty()) {
+    shots = gridRunPartition(problem.insideMask(), problem.origin());
+  }
+  const int lmin = problem.params().lmin;
+  for (Rect& s : shots) enforceMinSize(s, lmin);
+
+  Verifier verifier(problem);
+  verifier.setShots(shots);
+  const Refiner refiner(problem);
+
+  Snapshot best{verifier.shots(), verifier.violations()};
+  for (int pass = 0; pass < kMaxRepairPasses && best.v.total() > 0; ++pass) {
+    const Violations before = verifier.violations();
+    if (refiner.biasAllShots(verifier, before.failOn >= before.failOff) == 0) {
+      break;
+    }
+    Snapshot snap{verifier.shots(), verifier.violations()};
+    const bool improved = snap.betterThan(best);
+    if (improved) best = std::move(snap);
+    if (!improved && pass > 0) break;  // repair has stopped helping
+  }
+
+  Solution sol;
+  sol.method = "rect_partition";
+  sol.shots = std::move(best.shots);
+  Verifier finalCheck(problem);
+  finalCheck.setShots(sol.shots);
+  finalCheck.writeStats(sol);
+  sol.runtimeSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return sol;
+}
+
+}  // namespace mbf

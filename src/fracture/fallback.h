@@ -1,0 +1,39 @@
+// The degradation target of the fault-tolerant pipeline: conventional
+// rectangular-partition fracturing, always available and bounded by
+// construction. When the model-based flow fails on a shape — budget
+// exhausted, exception, degenerate geometry — the per-shape driver in
+// mdp/layout re-fractures it here and tags the result `degraded`.
+//
+// Two partition routes:
+//   - clean hole-free rectilinear rings use the minimum rectangular
+//     partition (baselines/rect_partition, Ohtsuki/Imai-Asano),
+//   - everything else (holes, diagonals, self-intersecting rings) is
+//     partitioned from the rasterized inside mask by run-merging, which
+//     cannot fail on any rasterizable input.
+// Both produce disjoint rectangles covering the target exactly; a short
+// capped bias-repair pass then fixes the convex-corner underdose an
+// exact cover leaves (best snapshot kept, so the repair never makes the
+// result worse). Runtime is O(grid + passes * scan) with no data-
+// dependent iteration, so the fallback needs no budget of its own.
+#pragma once
+
+#include <vector>
+
+#include "fracture/problem.h"
+#include "fracture/solution.h"
+#include "grid/grid.h"
+
+namespace mbf {
+
+/// Exact disjoint rectangle decomposition of the non-zero cells of
+/// `inside` (grid coordinates, translated by `origin` into world
+/// coordinates): maximal horizontal runs merged vertically while their
+/// span repeats. Deterministic; O(cells).
+std::vector<Rect> gridRunPartition(const MaskGrid& inside, Point origin);
+
+/// Fractures `problem` with the rectangular-partition baseline plus the
+/// capped repair pass. Never throws on a constructed Problem without an
+/// armed budget (the mdp driver builds the fallback Problem budget-free).
+Solution fallbackFracture(const Problem& problem);
+
+}  // namespace mbf

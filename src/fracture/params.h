@@ -4,10 +4,14 @@
 // DESIGN.md section 8.
 #pragma once
 
+#include <cstdint>
+
 #include "ebeam/proximity_model.h"
 #include "graph/coloring.h"
 
 namespace mbf {
+
+class FaultInjector;
 
 struct FractureParams {
   // --- model (section 2) ---
@@ -51,6 +55,22 @@ struct FractureParams {
   /// serial path. Results are byte-identical for every value; see
   /// DESIGN.md "Parallel architecture".
   int numThreads = 1;
+
+  // --- robustness budgets (DESIGN.md "Failure model") -------------------
+  /// Wall-clock budget per shape, milliseconds; 0 = unlimited. Enforced
+  /// cooperatively at stage boundaries (Refiner iterations, merge passes,
+  /// Verifier full-grid scans, coloring stages); on exhaustion the shape
+  /// degrades to the rectangular-partition baseline instead of aborting
+  /// the batch. nmax above is the companion iteration budget.
+  double shapeTimeBudgetMs = 0.0;
+  /// Cap on the estimated per-shape grid memory (bytes across the inside
+  /// mask, class grid, prefix sums and intensity map); 0 = unlimited.
+  /// A shape whose halo-inflated grid would exceed the cap degrades
+  /// before the allocation happens.
+  std::int64_t maxGridBytes = 0;
+  /// Deterministic fault-injection hook (tests only; see
+  /// support/fault_injector.h). Non-owning; nullptr = no faults.
+  const FaultInjector* faultInjector = nullptr;
 
   ProximityModel makeModel() const {
     return ProximityModel(sigma, rho, backscatterEta, backscatterSigma);

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 #include <vector>
 
 #include "geometry/edt.h"
@@ -88,8 +89,14 @@ Problem::Problem(std::vector<Polygon> rings, FractureParams params)
       params_(params),
       model_(params.makeModel()),
       lth_(params.resolvedLth(model_)) {
-  assert(!rings_.empty());
-  for ([[maybe_unused]] const Polygon& r : rings_) assert(r.size() >= 3);
+  if (rings_.empty()) {
+    throw std::invalid_argument("Problem: empty ring list");
+  }
+  for (const Polygon& r : rings_) {
+    if (r.size() < 3) {
+      throw std::invalid_argument("Problem: ring with fewer than 3 vertices");
+    }
+  }
 
   // Canonical ring orientation: the largest ring comes first and is
   // counter-clockwise. Every other ring nested inside an earlier ring is
@@ -135,6 +142,20 @@ Problem::Problem(std::vector<Polygon> rings, FractureParams params)
   origin_ = box.bl();
   const int w = box.width();
   const int h = box.height();
+
+  // Grid-memory budget: refuse before allocating, so a pathological
+  // shape degrades to the baseline instead of taking the process down.
+  if (params_.maxGridBytes > 0) {
+    const std::int64_t bytes =
+        static_cast<std::int64_t>(w) * h * kBytesPerGridCell;
+    if (bytes > params_.maxGridBytes) {
+      throw BudgetExceededError(
+          Status(StatusCode::kResourceExhausted,
+                 "shape grid needs ~" + std::to_string(bytes) +
+                     " bytes, budget is " +
+                     std::to_string(params_.maxGridBytes)));
+    }
+  }
 
   inside_ = MaskGrid(w, h, 0);
   rasterizeEvenOdd(rings_, origin_, inside_);

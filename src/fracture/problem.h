@@ -11,6 +11,7 @@
 #include "geometry/polygon.h"
 #include "grid/grid.h"
 #include "grid/prefix_sum.h"
+#include "support/exec_context.h"
 
 namespace mbf {
 
@@ -61,6 +62,24 @@ class Problem {
   /// Pon pixels covered by a world-coordinate rectangle. O(1).
   std::int64_t onArea(const Rect& worldRect) const;
 
+  /// Per-shape execution context (budget deadline). Non-owning; the
+  /// per-shape driver in mdp/layout sets it for the duration of the
+  /// fracture call. nullptr (the default) disables all budget checks.
+  void setExecContext(const ExecContext* ctx) { exec_ = ctx; }
+  const ExecContext* execContext() const { return exec_; }
+
+  /// Cooperative budget checkpoint; no-op without a context. Called by
+  /// the long-running loops in Refiner, ColoringFracturer and Verifier.
+  void checkpoint(const char* stage) const {
+    if (exec_ != nullptr) exec_->checkpoint(stage);
+  }
+
+  /// Estimated resident bytes per grid cell across the Problem's own
+  /// grids (inside mask + classes + two 8-byte prefix sums) plus the
+  /// Verifier's intensity map — the figure FractureParams::maxGridBytes
+  /// caps.
+  static constexpr std::int64_t kBytesPerGridCell = 1 + 1 + 8 + 8 + 8;
+
   Rect worldToGrid(const Rect& worldRect) const {
     return {worldRect.x0 - origin_.x, worldRect.y0 - origin_.y,
             worldRect.x1 - origin_.x, worldRect.y1 - origin_.y};
@@ -83,6 +102,7 @@ class Problem {
   PrefixSum2D onSum_;
   std::int64_t numOn_ = 0;
   std::int64_t numOff_ = 0;
+  const ExecContext* exec_ = nullptr;
 };
 
 }  // namespace mbf

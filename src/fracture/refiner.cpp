@@ -105,6 +105,7 @@ Refiner::Refiner(const Problem& problem) : problem_(&problem) {}
 
 int Refiner::greedyShotEdgeAdjustment(Verifier& verifier) const {
   const StageTimer timer(stats_.edgeMoveSeconds);
+  problem_->checkpoint("edge-moves");
   const int lmin = problem_->params().lmin;
   const std::vector<Rect>& shots = verifier.shots();
 
@@ -300,6 +301,7 @@ int Refiner::mergeShots(Verifier& verifier) const {
   // applies no merge.
   bool changedInPass = true;
   while (changedInPass) {
+    problem_->checkpoint("merge");
     changedInPass = false;
     std::size_t i = 0;
     while (i < verifier.shots().size()) {
@@ -381,6 +383,9 @@ Solution Refiner::refine(std::vector<Rect> initialShots) {
 
   int iter = 0;
   for (; iter < p.nmax; ++iter) {
+    // Cooperative per-shape budget: when the deadline passed, this throws
+    // and the mdp driver degrades the shape to the baseline fracturer.
+    problem_->checkpoint("refine");
     const Violations v = scanViolations();
     if (v.total() == 0) {
       // Feasible: keep the snapshot (it may beat `best` on shot count).

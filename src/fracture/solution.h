@@ -19,6 +19,11 @@ struct Solution {
   double cost = 0.0;         ///< sum of |Itot - rho| over failing pixels
   double runtimeSeconds = 0.0;
   std::string method;
+  /// True when the primary method failed (budget, exception, degenerate
+  /// geometry) and this solution came from the always-available
+  /// rectangular-partition fallback instead. See mdp::ShapeReport for
+  /// the causal Status.
+  bool degraded = false;
 
   int shotCount() const { return static_cast<int>(shots.size()); }
   std::int64_t failingPixels() const { return failOn + failOff; }

@@ -70,6 +70,7 @@ Violations Verifier::violationsRow(int y, int x0, int x1) const {
 }
 
 Violations Verifier::violationsInWindow(const Rect& gridWindow) const {
+  problem_->checkpoint("verify");
   // Per-row partials folded in row order: the serial and row-parallel
   // paths perform the identical sequence of double additions, so the
   // reported cost is byte-identical for every thread count.

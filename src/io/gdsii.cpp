@@ -96,10 +96,15 @@ void emitTimestamps(std::string& buf) {
 struct Reader {
   std::istream& is;
   bool ok = true;
+  std::int64_t offset = 0;  ///< bytes consumed so far (for diagnostics)
 
   std::uint8_t u8() {
     const int c = is.get();
-    if (c < 0) ok = false;
+    if (c < 0) {
+      ok = false;
+      return 0;
+    }
+    ++offset;
     return static_cast<std::uint8_t>(c);
   }
   std::uint16_t u16() {
@@ -127,12 +132,49 @@ struct Reader {
   std::string str(std::size_t n) {
     std::string s(n, '\0');
     is.read(s.data(), static_cast<std::streamsize>(n));
+    offset += is.gcount();
     if (!is) ok = false;
     while (!s.empty() && s.back() == '\0') s.pop_back();
     return s;
   }
-  void skip(std::size_t n) { is.ignore(static_cast<std::streamsize>(n)); }
+  void skip(std::size_t n) {
+    is.ignore(static_cast<std::streamsize>(n));
+    offset += is.gcount();
+    if (is.gcount() != static_cast<std::streamsize>(n)) ok = false;
+  }
 };
+
+const char* recordName(std::uint16_t type) {
+  switch (type) {
+    case kHeader: return "HEADER";
+    case kBgnLib: return "BGNLIB";
+    case kLibName: return "LIBNAME";
+    case kUnits: return "UNITS";
+    case kEndLib: return "ENDLIB";
+    case kBgnStr: return "BGNSTR";
+    case kStrName: return "STRNAME";
+    case kEndStr: return "ENDSTR";
+    case kBoundary: return "BOUNDARY";
+    case kSref: return "SREF";
+    case kAref: return "AREF";
+    case kColrow: return "COLROW";
+    case kLayer: return "LAYER";
+    case kDatatype: return "DATATYPE";
+    case kXy: return "XY";
+    case kEndEl: return "ENDEL";
+    case kSname: return "SNAME";
+    default: return "UNKNOWN";
+  }
+}
+
+Status badPayload(std::uint16_t type, std::size_t payload,
+                  const char* expected, std::int64_t recordStart) {
+  return Status(StatusCode::kParseError,
+                std::string(recordName(type)) + " record has a " +
+                    std::to_string(payload) + "-byte payload, expected " +
+                    expected)
+      .withOffset(recordStart);
+}
 
 void flattenInto(const GdsLibrary& lib, const GdsStructure& s, Point offset,
                  int depth, std::vector<GdsPolygon>& out) {
@@ -151,6 +193,11 @@ void flattenInto(const GdsLibrary& lib, const GdsStructure& s, Point offset,
   for (const GdsAref& ref : s.arefs) {
     const GdsStructure* child = lib.findStructure(ref.structName);
     if (!child || child == &s) continue;
+    // A malformed COLROW can declare up to 65535 x 65535 instances;
+    // refuse to materialise absurd arrays instead of exhausting memory.
+    if (static_cast<std::int64_t>(ref.rows) * ref.columns > (1 << 22)) {
+      continue;
+    }
     for (int r = 0; r < ref.rows; ++r) {
       for (int c = 0; c < ref.columns; ++c) {
         const Point at{
@@ -276,10 +323,27 @@ bool saveGds(const std::string& path, const GdsLibrary& lib) {
   return static_cast<bool>(os);
 }
 
-bool readGds(std::istream& is, GdsLibrary& out) {
+Status parseGds(std::istream& is, GdsLibrary& out) {
   Reader r{is};
   bool sawHeader = false;
   GdsStructure* cur = nullptr;
+
+  // Remaining stream length, when the stream is seekable: the cheap
+  // up-front defence against records whose declared payload runs past
+  // the end of the file.
+  std::int64_t streamSize = -1;
+  {
+    const std::streampos pos = is.tellg();
+    if (pos != std::streampos(-1)) {
+      is.seekg(0, std::ios::end);
+      const std::streampos end = is.tellg();
+      is.seekg(pos);
+      if (end != std::streampos(-1) && is) {
+        streamSize = static_cast<std::int64_t>(end - pos);
+      }
+      is.clear();
+    }
+  }
 
   enum class Element { kNone, kBoundary, kSref, kAref };
   Element element = Element::kNone;
@@ -288,11 +352,42 @@ bool readGds(std::istream& is, GdsLibrary& out) {
   GdsAref curAref;
 
   while (true) {
+    const std::int64_t recordStart = r.offset;
     const std::uint16_t len = r.u16();
-    if (!r.ok) return sawHeader;  // clean EOF after records
+    if (!r.ok) {
+      if (r.offset == recordStart && sawHeader) return {};  // clean EOF
+      if (r.offset == recordStart) {
+        return Status(StatusCode::kParseError,
+                      "stream ended before any HEADER record")
+            .withOffset(recordStart);
+      }
+      return Status(StatusCode::kTruncated,
+                    "stream ended inside a record header")
+          .withOffset(recordStart);
+    }
     const std::uint16_t type = r.u16();
-    if (!r.ok || len < 4) return false;
+    if (!r.ok) {
+      return Status(StatusCode::kTruncated,
+                    "stream ended inside a record header")
+          .withOffset(recordStart);
+    }
+    if (len < 4) {
+      return Status(StatusCode::kParseError,
+                    std::string("record length ") + std::to_string(len) +
+                        " is smaller than the 4-byte record header (" +
+                        recordName(type) + ")")
+          .withOffset(recordStart);
+    }
     const std::size_t payload = len - 4;
+    if (streamSize >= 0 &&
+        recordStart + len > streamSize) {
+      return Status(StatusCode::kTruncated,
+                    std::string(recordName(type)) + " record declares " +
+                        std::to_string(payload) + " payload bytes but only " +
+                        std::to_string(streamSize - r.offset) +
+                        " remain in the stream")
+          .withOffset(recordStart);
+    }
 
     switch (type) {
       case kHeader:
@@ -313,7 +408,7 @@ bool readGds(std::istream& is, GdsLibrary& out) {
         break;
       }
       case kUnits:
-        if (payload != 16) return false;
+        if (payload != 16) return badPayload(type, payload, "16", recordStart);
         out.userUnitsPerDbUnit = r.real8();
         out.metersPerDbUnit = r.real8();
         break;
@@ -330,7 +425,7 @@ bool readGds(std::istream& is, GdsLibrary& out) {
         curAref = GdsAref{};
         break;
       case kColrow:
-        if (payload != 4) return false;
+        if (payload != 4) return badPayload(type, payload, "4", recordStart);
         curAref.columns = r.u16();
         curAref.rows = r.u16();
         break;
@@ -342,15 +437,17 @@ bool readGds(std::istream& is, GdsLibrary& out) {
         }
         break;
       case kLayer:
-        if (payload != 2) return false;
+        if (payload != 2) return badPayload(type, payload, "2", recordStart);
         curPoly.layer = static_cast<std::int16_t>(r.u16());
         break;
       case kDatatype:
-        if (payload != 2) return false;
+        if (payload != 2) return badPayload(type, payload, "2", recordStart);
         curPoly.datatype = static_cast<std::int16_t>(r.u16());
         break;
       case kXy: {
-        if (payload % 8 != 0) return false;
+        if (payload % 8 != 0) {
+          return badPayload(type, payload, "a multiple of 8", recordStart);
+        }
         const std::size_t n = payload / 8;
         if (element == Element::kSref) {
           if (n >= 1) {
@@ -410,19 +507,45 @@ bool readGds(std::istream& is, GdsLibrary& out) {
         cur = nullptr;
         break;
       case kEndLib:
-        return sawHeader && r.ok;
+        if (!sawHeader) {
+          return Status(StatusCode::kParseError,
+                        "ENDLIB without a preceding HEADER record")
+              .withOffset(recordStart);
+        }
+        if (!r.ok) {
+          return Status(StatusCode::kTruncated,
+                        "stream ended inside an ENDLIB record")
+              .withOffset(recordStart);
+        }
+        return {};
       default:
         r.skip(payload);  // unsupported record: self-describing, skip
         break;
     }
-    if (!r.ok) return false;
+    if (!r.ok) {
+      return Status(StatusCode::kTruncated,
+                    std::string("stream ended inside a ") +
+                        recordName(type) + " record")
+          .withOffset(recordStart);
+    }
   }
 }
 
-bool loadGds(const std::string& path, GdsLibrary& out) {
+Status parseGdsFile(const std::string& path, GdsLibrary& out) {
   std::ifstream is(path, std::ios::binary);
-  if (!is) return false;
-  return readGds(is, out);
+  if (!is) {
+    return Status(StatusCode::kIoError,
+                  "cannot open '" + path + "' for reading");
+  }
+  return parseGds(is, out);
+}
+
+bool readGds(std::istream& is, GdsLibrary& out) {
+  return parseGds(is, out).ok();
+}
+
+bool loadGds(const std::string& path, GdsLibrary& out) {
+  return parseGdsFile(path, out).ok();
 }
 
 std::vector<GdsPolygon> flattenGds(const GdsLibrary& lib,

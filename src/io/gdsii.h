@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "geometry/polygon.h"
+#include "support/status.h"
 
 namespace mbf {
 
@@ -68,8 +69,16 @@ struct GdsLibrary {
 void writeGds(std::ostream& os, const GdsLibrary& lib);
 bool saveGds(const std::string& path, const GdsLibrary& lib);
 
-/// Parses a GDSII stream; returns false on malformed input. Unknown
-/// record types are skipped.
+/// Parses a GDSII stream. Unknown record types are skipped. On
+/// malformed input the Status names the offending record type and
+/// carries the byte offset of its record header (Status::byteOffset());
+/// a record whose declared payload exceeds the remaining stream is
+/// rejected as kTruncated before any of it is consumed.
+Status parseGds(std::istream& is, GdsLibrary& out);
+Status parseGdsFile(const std::string& path, GdsLibrary& out);
+
+/// Bool-convenience wrappers over parseGds / parseGdsFile (the original
+/// API; the Status with the failure detail is discarded).
 bool readGds(std::istream& is, GdsLibrary& out);
 bool loadGds(const std::string& path, GdsLibrary& out);
 

@@ -29,24 +29,68 @@ void writePolygons(std::ostream& os, std::span<const Polygon> polygons) {
 
 std::vector<Polygon> readPolygons(std::istream& is) {
   std::vector<Polygon> out;
+  parsePolygons(is, out);
+  return out;
+}
+
+Status parsePolygons(std::istream& is, std::vector<Polygon>& out,
+                     PolyReadStats* stats) {
+  Status first;
+  PolyReadStats local;
   std::vector<Point> cur;
   std::string raw;
   std::string line;
+  int lineNo = 0;
+  int ringStartLine = 0;
   auto flush = [&] {
-    if (cur.size() >= 3) out.emplace_back(cur);
+    if (cur.size() >= 3) {
+      out.emplace_back(cur);
+      ++local.polygons;
+    } else if (!cur.empty()) {
+      ++local.skippedRings;
+      if (first.ok()) {
+        first = Status(StatusCode::kInvalidArgument,
+                       "ring starting at line " +
+                           std::to_string(ringStartLine) + " has only " +
+                           std::to_string(cur.size()) +
+                           " vertex/vertices, need at least 3");
+      }
+    }
     cur.clear();
   };
   while (std::getline(is, raw)) {
+    ++lineNo;
     if (!contentLine(raw, line)) {
       flush();
       continue;
     }
     std::istringstream ls(line);
     Point p;
-    if (ls >> p.x >> p.y) cur.push_back(p);
+    if (ls >> p.x >> p.y) {
+      if (cur.empty()) ringStartLine = lineNo;
+      cur.push_back(p);
+    } else {
+      ++local.badLines;
+      if (first.ok()) {
+        first = Status(StatusCode::kParseError,
+                       "line " + std::to_string(lineNo) +
+                           " is not an \"x y\" vertex pair: '" + line + "'");
+      }
+    }
   }
   flush();
-  return out;
+  if (stats != nullptr) *stats = local;
+  return first;
+}
+
+Status parsePolygonsFile(const std::string& path, std::vector<Polygon>& out,
+                         PolyReadStats* stats) {
+  std::ifstream is(path);
+  if (!is) {
+    return Status(StatusCode::kIoError,
+                  "cannot open '" + path + "' for reading");
+  }
+  return parsePolygons(is, out, stats);
 }
 
 bool savePolygons(const std::string& path, std::span<const Polygon> polygons) {

@@ -12,11 +12,32 @@
 
 #include "geometry/polygon.h"
 #include "geometry/rect.h"
+#include "support/status.h"
 
 namespace mbf {
 
+/// What parsePolygons encountered besides the polygons it returned:
+/// rings dropped for having fewer than 3 vertices, and content lines
+/// that were not an "x y" pair.
+struct PolyReadStats {
+  int polygons = 0;
+  int skippedRings = 0;
+  int badLines = 0;
+};
+
 void writePolygons(std::ostream& os, std::span<const Polygon> polygons);
 std::vector<Polygon> readPolygons(std::istream& is);
+
+/// Status-reporting parse: well-formed polygons land in `out` even when
+/// the Status is an error (parsing is line-tolerant); the Status is the
+/// first problem found — a malformed content line (kParseError, with the
+/// 1-based line number in the message) or a ring with fewer than 3
+/// vertices (kInvalidArgument). `stats`, when non-null, counts
+/// everything that was skipped.
+Status parsePolygons(std::istream& is, std::vector<Polygon>& out,
+                     PolyReadStats* stats = nullptr);
+Status parsePolygonsFile(const std::string& path, std::vector<Polygon>& out,
+                         PolyReadStats* stats = nullptr);
 
 bool savePolygons(const std::string& path, std::span<const Polygon> polygons);
 std::vector<Polygon> loadPolygons(const std::string& path);

@@ -1,12 +1,17 @@
 #include "mdp/layout.h"
 
+#include <algorithm>
 #include <chrono>
+#include <new>
+#include <utility>
 
 #include "baselines/eda_proxy.h"
 #include "baselines/greedy_set_cover.h"
 #include "baselines/matching_pursuit.h"
+#include "fracture/fallback.h"
 #include "fracture/model_based_fracturer.h"
 #include "parallel/parallel_for.h"
+#include "support/fault_injector.h"
 
 namespace mbf {
 
@@ -72,12 +77,10 @@ bool parseMethod(const std::string& text, Method& out) {
   return true;
 }
 
-Solution fractureShape(const LayoutShape& shape, const FractureParams& params,
-                       Method method, RefinerStats* statsOut) {
-  // Per-job state: the Problem rasterizes the shape's rings onto a grid
-  // inflated by the gamma + 3*sigma influence halo, so concurrent jobs
-  // share nothing but the read-only inputs.
-  const Problem problem(shape.rings, params);
+namespace {
+
+Solution fractureProblem(const Problem& problem, Method method,
+                         RefinerStats* statsOut) {
   switch (method) {
     case Method::kOurs: {
       const ModelBasedFracturer fracturer;
@@ -95,21 +98,237 @@ Solution fractureShape(const LayoutShape& shape, const FractureParams& params,
   return {};
 }
 
+std::int64_t orient(Point a, Point b, Point c) {
+  return static_cast<std::int64_t>(b.x - a.x) * (c.y - a.y) -
+         static_cast<std::int64_t>(b.y - a.y) * (c.x - a.x);
+}
+
+bool onSegment(Point a, Point b, Point p) {
+  return orient(a, b, p) == 0 && std::min(a.x, b.x) <= p.x &&
+         p.x <= std::max(a.x, b.x) && std::min(a.y, b.y) <= p.y &&
+         p.y <= std::max(a.y, b.y);
+}
+
+bool segmentsIntersect(Point a, Point b, Point c, Point d) {
+  const std::int64_t o1 = orient(a, b, c);
+  const std::int64_t o2 = orient(a, b, d);
+  const std::int64_t o3 = orient(c, d, a);
+  const std::int64_t o4 = orient(c, d, b);
+  if (((o1 > 0) != (o2 > 0)) && o1 != 0 && o2 != 0 &&
+      ((o3 > 0) != (o4 > 0)) && o3 != 0 && o4 != 0) {
+    return true;
+  }
+  if (o1 == 0 && onSegment(a, b, c)) return true;
+  if (o2 == 0 && onSegment(a, b, d)) return true;
+  if (o3 == 0 && onSegment(c, d, a)) return true;
+  if (o4 == 0 && onSegment(c, d, b)) return true;
+  return false;
+}
+
+/// Shape-size cap on the O(n^2) self-intersection scan; dense staircase
+/// rings (ILT contours run to thousands of vertices) skip the check
+/// rather than pay quadratic time on the hot path.
+constexpr std::size_t kSelfIntersectCheckMaxVerts = 512;
+
+bool ringSelfIntersects(const Polygon& ring) {
+  const std::size_t n = ring.size();
+  if (n < 4 || n > kSelfIntersectCheckMaxVerts) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      // Edges sharing a vertex (cyclically adjacent) always "intersect"
+      // there; only non-adjacent pairs indicate a defect.
+      if (j == i + 1 || (i == 0 && j == n - 1)) continue;
+      if (segmentsIntersect(ring[i], ring.wrapped(i + 1), ring[j],
+                            ring.wrapped(j + 1))) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+struct SanitizedShape {
+  LayoutShape shape;
+  /// kOk when nothing was repaired; kOk-with-message when degenerate
+  /// rings were dropped; kInvalidArgument when nothing usable remains or
+  /// a ring self-intersects (the latter with forceFallback set).
+  Status status;
+  bool forceFallback = false;
+};
+
+SanitizedShape sanitizeShape(const LayoutShape& in) {
+  SanitizedShape out;
+  int dropped = 0;
+  for (const Polygon& original : in.rings) {
+    Polygon ring = original;
+    ring.normalize();
+    // A ring that collapses under normalization (duplicate or collinear
+    // vertices only) or encloses no area contributes nothing printable.
+    if (ring.size() < 3 || ring.area() == 0.0) {
+      ++dropped;
+      continue;
+    }
+    if (ringSelfIntersects(ring)) out.forceFallback = true;
+    out.shape.rings.push_back(std::move(ring));
+  }
+  if (out.shape.rings.empty()) {
+    out.status = Status(StatusCode::kInvalidArgument,
+                        "no usable ring: every ring is degenerate "
+                        "(collapsed, < 3 vertices, or zero area)");
+  } else if (out.forceFallback) {
+    out.status = Status(StatusCode::kInvalidArgument,
+                        "self-intersecting ring; the model-based flow "
+                        "requires simple rings");
+  } else if (dropped > 0) {
+    out.status = Status(StatusCode::kOk,
+                        "dropped " + std::to_string(dropped) +
+                            " degenerate ring(s) during sanitation");
+  }
+  return out;
+}
+
+}  // namespace
+
+Solution fractureShape(const LayoutShape& shape, const FractureParams& params,
+                       Method method, RefinerStats* statsOut) {
+  // Per-job state: the Problem rasterizes the shape's rings onto a grid
+  // inflated by the gamma + 3*sigma influence halo, so concurrent jobs
+  // share nothing but the read-only inputs.
+  const Problem problem(shape.rings, params);
+  return fractureProblem(problem, method, statsOut);
+}
+
+ShapeOutcome fractureShapeGuarded(const LayoutShape& shape,
+                                  const FractureParams& params, Method method,
+                                  int shapeIndex, bool allowDegradation,
+                                  RefinerStats* statsOut) {
+  ShapeOutcome out;
+  SanitizedShape clean = sanitizeShape(shape);
+
+  if (clean.shape.rings.empty()) {
+    // Nothing printable: an empty shot list is the (trivially feasible)
+    // right answer, but the shape is reported so the batch surfaces it.
+    out.status = clean.status.withShape(shapeIndex);
+    if (allowDegradation) {
+      out.degraded = true;
+      out.solution.degraded = true;
+      out.solution.method = "empty";
+    }
+    return out;
+  }
+
+  const FaultKind fault = params.faultInjector != nullptr
+                              ? params.faultInjector->faultFor(shapeIndex)
+                              : FaultKind::kNone;
+
+  Status failure;
+  bool failed = false;
+  if (clean.forceFallback) {
+    failure = clean.status.withShape(shapeIndex);
+    failed = true;
+  } else {
+    try {
+      // kOom simulates the primary path's grid allocation failing.
+      if (fault == FaultKind::kOom) throw std::bad_alloc();
+      ExecContext ctx;
+      ctx.shapeIndex = shapeIndex;
+      ctx.deadline = fault == FaultKind::kTimeout
+                         ? Deadline::expired()
+                         : Deadline::afterMs(params.shapeTimeBudgetMs);
+      Problem problem(clean.shape.rings, params);
+      problem.setExecContext(&ctx);
+      // First checkpoint before any stage, so an injected timeout fires
+      // at the same deterministic point for every method.
+      problem.checkpoint("fracture-start");
+      if (fault == FaultKind::kThrow) {
+        throw InjectedFaultError("injected fault (kThrow)");
+      }
+      Solution sol = fractureProblem(problem, method, statsOut);
+      if (sol.shots.empty() && problem.numOnPixels() > 0) {
+        failure = Status(StatusCode::kInternal,
+                         "primary method produced no shots for a "
+                         "non-empty target")
+                      .withShape(shapeIndex);
+        failed = true;
+      } else {
+        out.solution = std::move(sol);
+        out.status = clean.status;  // ok, possibly with a sanitation note
+        if (!out.status.ok() || !out.status.message().empty()) {
+          out.status.withShape(shapeIndex);
+        }
+        return out;
+      }
+    } catch (const BudgetExceededError& e) {
+      failure = e.status();
+      failure.withShape(shapeIndex);
+      failed = true;
+    } catch (const std::bad_alloc&) {
+      failure = Status(StatusCode::kResourceExhausted,
+                       "allocation failure in the primary fracture path")
+                    .withShape(shapeIndex);
+      failed = true;
+    } catch (const std::exception& e) {
+      failure = Status(StatusCode::kExecFault, e.what()).withShape(shapeIndex);
+      failed = true;
+    } catch (...) {
+      failure = Status(StatusCode::kExecFault,
+                       "unknown exception in the primary fracture path")
+                    .withShape(shapeIndex);
+      failed = true;
+    }
+  }
+
+  out.status = failure;
+  if (statsOut != nullptr) *statsOut = {};  // discard the failed attempt
+  if (!allowDegradation || !failed) return out;
+
+  // Degradation ladder, rung 2: rect-partition fallback on a budget-free
+  // problem (the fallback is bounded by construction, and a fallback
+  // that re-times-out would leave the shape with nothing at all).
+  try {
+    FractureParams fallbackParams = params;
+    fallbackParams.shapeTimeBudgetMs = 0.0;
+    fallbackParams.maxGridBytes = 0;
+    fallbackParams.faultInjector = nullptr;
+    const Problem problem(clean.shape.rings, fallbackParams);
+    out.solution = fallbackFracture(problem);
+  } catch (const std::exception& e) {
+    // Rung 3: even the fallback failed (true OOM, degenerate beyond
+    // rasterization). Keep the batch alive with an empty solution.
+    out.solution = {};
+    out.solution.method = "empty";
+    out.status = Status(StatusCode::kResourceExhausted,
+                        std::string("fallback fracture also failed: ") +
+                            e.what())
+                     .withShape(shapeIndex);
+  }
+  out.solution.degraded = true;
+  out.degraded = true;
+  return out;
+}
+
 BatchResult fractureLayoutParallel(const std::vector<LayoutShape>& shapes,
                                    const BatchConfig& config) {
   const auto start = std::chrono::steady_clock::now();
   BatchResult result;
   result.solutions.resize(shapes.size());
+  result.reports.resize(shapes.size());
   std::vector<RefinerStats> shapeStats(shapes.size());
 
   // One job per shape on the work-stealing pool. Jobs write only their
   // own output slot; the scheduler decides where a job runs, never what
-  // it computes, so any thread count produces identical solutions.
+  // it computes, so any thread count produces identical solutions. The
+  // guarded path converts every per-shape failure into a degraded (or,
+  // in strict mode, empty-with-status) slot, so one bad shape never
+  // aborts the batch and parallelFor never sees an exception from here.
   const int threads = ThreadPool::resolveThreads(config.threads);
   parallelFor(0, static_cast<int>(shapes.size()), threads, 1, [&](int i) {
     const std::size_t s = static_cast<std::size_t>(i);
-    result.solutions[s] = fractureShape(shapes[s], config.params,
-                                        config.method, &shapeStats[s]);
+    ShapeOutcome outcome =
+        fractureShapeGuarded(shapes[s], config.params, config.method, i,
+                             config.allowDegradation, &shapeStats[s]);
+    result.solutions[s] = std::move(outcome.solution);
+    result.reports[s] = {std::move(outcome.status), outcome.degraded};
   });
 
   // Deterministic merge in input order.
@@ -119,6 +338,7 @@ BatchResult fractureLayoutParallel(const std::vector<LayoutShape>& shapes,
     result.totalFailingPixels += sol.failingPixels();
     result.shapeSecondsSum += sol.runtimeSeconds;
     result.refinerStats += shapeStats[i];
+    if (result.reports[i].degraded) ++result.degradedShapes;
   }
   result.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)

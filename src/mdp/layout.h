@@ -15,6 +15,7 @@
 #include "fracture/refiner.h"
 #include "fracture/solution.h"
 #include "geometry/polygon.h"
+#include "support/status.h"
 
 namespace mbf {
 
@@ -45,10 +46,47 @@ bool parseMethod(const std::string& text, Method& out);
 Solution fractureShape(const LayoutShape& shape, const FractureParams& params,
                        Method method, RefinerStats* statsOut = nullptr);
 
+/// Outcome of the fault-tolerant per-shape path (see DESIGN.md "Failure
+/// model and degradation ladder"): the solution plus why (and whether)
+/// the primary method was abandoned for the rect-partition fallback.
+struct ShapeOutcome {
+  Solution solution;
+  /// kOk when the primary method succeeded (possibly with a note, e.g.
+  /// dropped degenerate rings); otherwise the failure that triggered
+  /// degradation — or, with allowDegradation == false, the failure that
+  /// left `solution` empty.
+  Status status;
+  bool degraded = false;
+};
+
+/// Fault-tolerant variant of fractureShape: sanitizes degenerate rings,
+/// honours the FractureParams budgets (time, grid bytes) and the fault
+/// injector, and — unless `allowDegradation` is false — converts every
+/// failure (budget exhausted, solver failure, any exception) into a
+/// rect-partition fallback solution tagged `degraded` instead of
+/// throwing. Never throws except on allocation failure of its own
+/// bookkeeping.
+ShapeOutcome fractureShapeGuarded(const LayoutShape& shape,
+                                  const FractureParams& params, Method method,
+                                  int shapeIndex, bool allowDegradation,
+                                  RefinerStats* statsOut = nullptr);
+
+/// Per-shape entry of BatchResult::reports.
+struct ShapeReport {
+  Status status;
+  bool degraded = false;
+};
+
 struct BatchResult {
   std::vector<Solution> solutions;  ///< one per shape, input order
+  /// One report per shape, input order: the Status explaining any
+  /// degradation or (strict mode) failure; status.ok() for clean shapes.
+  std::vector<ShapeReport> reports;
   int totalShots = 0;
   std::int64_t totalFailingPixels = 0;
+  /// Shapes that fell back to rect-partition fracturing (== number of
+  /// reports with degraded == true).
+  int degradedShapes = 0;
   double wallSeconds = 0.0;
   /// Sum of the per-shape fracture runtimes (== wallSeconds on one
   /// thread; the ratio is the end-to-end parallel speedup otherwise).
@@ -65,6 +103,11 @@ struct BatchConfig {
   /// concurrency, 1 = serial. Independent of params.numThreads (the
   /// in-problem scan parallelism); both share the global pool.
   int threads = 1;
+  /// When true (the default), a shape whose primary fracture fails is
+  /// re-fractured with the rect-partition baseline and tagged degraded;
+  /// when false (--strict), such a shape keeps an empty solution and its
+  /// error status, and the batch still completes.
+  bool allowDegradation = true;
 };
 
 /// Parallel layout fracturing on the work-stealing pool: every shape is

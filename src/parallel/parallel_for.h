@@ -10,11 +10,21 @@
 // The calling thread participates: it claims chunks like every helper,
 // and while waiting for stragglers it drains other pool tasks via
 // tryRunOne(), so nesting parallelFor inside a pool task cannot deadlock.
+//
+// Exception isolation: an exception thrown by fn(i) never reaches a pool
+// worker (which could not propagate it anywhere useful) and never stops
+// the other indices — every index still runs, then parallelFor rethrows
+// the captured exception of the lowest failing index on the calling
+// thread. The serial path behaves identically, so error behaviour does
+// not depend on the thread count.
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
+#include <limits>
 #include <memory>
+#include <mutex>
 #include <thread>
 
 #include "parallel/thread_pool.h"
@@ -33,7 +43,15 @@ void parallelFor(int begin, int end, int numThreads, int grain, Fn&& fn) {
   const int threads = ThreadPool::resolveThreads(numThreads);
   const int numChunks = (n + grain - 1) / grain;
   if (threads <= 1 || numChunks <= 1) {
-    for (int i = begin; i < end; ++i) fn(i);
+    std::exception_ptr error;
+    for (int i = begin; i < end; ++i) {
+      try {
+        fn(i);
+      } catch (...) {
+        if (!error) error = std::current_exception();
+      }
+    }
+    if (error) std::rethrow_exception(error);
     return;
   }
 
@@ -42,6 +60,9 @@ void parallelFor(int begin, int end, int numThreads, int grain, Fn&& fn) {
   struct State {
     std::atomic<int> nextChunk{0};
     std::atomic<int> doneChunks{0};
+    std::mutex errorMutex;
+    std::exception_ptr error;
+    int errorIndex = std::numeric_limits<int>::max();
   };
   auto state = std::make_shared<State>();
 
@@ -52,7 +73,17 @@ void parallelFor(int begin, int end, int numThreads, int grain, Fn&& fn) {
       if (chunk >= numChunks) return;
       const int lo = begin + chunk * grain;
       const int hi = std::min(end, lo + grain);
-      for (int i = lo; i < hi; ++i) fn(i);
+      for (int i = lo; i < hi; ++i) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->errorMutex);
+          if (i < state->errorIndex) {
+            state->error = std::current_exception();
+            state->errorIndex = i;
+          }
+        }
+      }
       state->doneChunks.fetch_add(1, std::memory_order_release);
     }
   };
@@ -70,6 +101,10 @@ void parallelFor(int begin, int end, int numThreads, int grain, Fn&& fn) {
   while (state->doneChunks.load(std::memory_order_acquire) < numChunks) {
     if (!pool.tryRunOne()) std::this_thread::yield();
   }
+  // Every chunk completed (the doneChunks join above is also the memory
+  // barrier for the error slot); surface the lowest-index failure here,
+  // on the calling thread.
+  if (state->error) std::rethrow_exception(state->error);
 }
 
 }  // namespace mbf

@@ -1,6 +1,8 @@
 #include "parallel/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
 
 namespace mbf {
 namespace {
@@ -9,6 +11,25 @@ namespace {
 // submit() can push to the worker's own queue.
 thread_local ThreadPool* tlsPool = nullptr;
 thread_local std::size_t tlsWorkerIndex = 0;
+
+std::atomic<bool> warnedTaskException{false};
+
+// A task that throws must not take down its worker thread (std::thread
+// would call std::terminate). parallelFor already captures and rethrows
+// its body's exceptions on the calling thread; this is the containment
+// of last resort for raw submit() tasks, which have no thread to report
+// to — the exception is dropped with a one-time warning.
+void runContained(const ThreadPool::Task& task) {
+  try {
+    task();
+  } catch (...) {
+    if (!warnedTaskException.exchange(true, std::memory_order_relaxed)) {
+      std::fprintf(stderr,
+                   "[mbf] warning: exception escaped a thread-pool task; "
+                   "submit() tasks must catch their own errors\n");
+    }
+  }
+}
 
 }  // namespace
 
@@ -81,7 +102,7 @@ bool ThreadPool::tryRunOne() {
   if (!got) got = stealAny(queues_.size() - 1, task);
   if (!got) return false;
   pending_.fetch_sub(1, std::memory_order_release);
-  task();
+  runContained(task);
   return true;
 }
 
@@ -92,7 +113,7 @@ void ThreadPool::workerLoop(std::size_t index) {
     Task task;
     if (popOwn(index, task) || stealAny(index, task)) {
       pending_.fetch_sub(1, std::memory_order_release);
-      task();
+      runContained(task);
       continue;
     }
     std::unique_lock<std::mutex> lock(sleepMutex_);

@@ -1,0 +1,56 @@
+// Cooperative per-shape execution deadline. The refinement and coloring
+// loops call ExecContext::checkpoint() at stage boundaries; when the
+// deadline has passed the checkpoint throws BudgetExceededError and the
+// per-shape driver degrades the shape to the baseline fracturer instead
+// of letting one pathological shape stall a whole batch.
+//
+// A Deadline can also be constructed already-expired: that is how the
+// deterministic FaultInjector simulates a timeout without touching the
+// wall clock (the first checkpoint fires, at the same point in the
+// computation on every run).
+#pragma once
+
+#include <chrono>
+
+namespace mbf {
+
+class Deadline {
+ public:
+  /// Default-constructed: unlimited, never exceeded.
+  Deadline() = default;
+
+  /// Deadline `ms` milliseconds from now; ms <= 0 means unlimited.
+  static Deadline afterMs(double ms) {
+    Deadline d;
+    if (ms > 0.0) {
+      d.armed_ = true;
+      d.at_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(ms));
+    }
+    return d;
+  }
+
+  /// Already-expired deadline (deterministic timeout injection).
+  static Deadline expired() {
+    Deadline d;
+    d.armed_ = true;
+    d.forced_ = true;
+    return d;
+  }
+
+  bool unlimited() const { return !armed_; }
+
+  bool exceeded() const {
+    if (!armed_) return false;
+    if (forced_) return true;
+    return std::chrono::steady_clock::now() >= at_;
+  }
+
+ private:
+  bool armed_ = false;
+  bool forced_ = false;
+  std::chrono::steady_clock::time_point at_{};
+};
+
+}  // namespace mbf

@@ -1,0 +1,34 @@
+// Per-shape execution context: the deadline and identity one fracture
+// job carries through the pipeline. The Problem holds a non-owning
+// pointer to the job's context; long-running loops (Refiner iterations,
+// merge passes, Verifier full-grid scans, coloring stages) call
+// checkpoint() at their stage boundaries. A passed deadline raises
+// BudgetExceededError, which the per-shape driver in mdp/layout converts
+// into a degraded-to-baseline result — the batch never aborts.
+#pragma once
+
+#include <string>
+
+#include "support/deadline.h"
+#include "support/status.h"
+
+namespace mbf {
+
+struct ExecContext {
+  Deadline deadline;
+  int shapeIndex = -1;
+
+  /// Cooperative budget check. `stage` names the loop for diagnostics
+  /// ("refine", "merge", "verify", ...). Cheap when the deadline is
+  /// unlimited (one bool test).
+  void checkpoint(const char* stage) const {
+    if (!deadline.exceeded()) return;
+    throw BudgetExceededError(
+        Status(StatusCode::kBudgetExceeded,
+               std::string("shape time budget exhausted in stage '") +
+                   stage + "'")
+            .withShape(shapeIndex));
+  }
+};
+
+}  // namespace mbf

@@ -1,0 +1,47 @@
+#include "support/fault_injector.h"
+
+namespace mbf {
+namespace {
+
+// splitmix64: tiny, stateless, well-mixed — the standard choice for
+// hashing an index into an independent pseudo-random stream.
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* toString(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone: return "none";
+    case FaultKind::kThrow: return "throw";
+    case FaultKind::kOom: return "oom";
+    case FaultKind::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+void FaultInjector::armShape(int shapeIndex, FaultKind kind) {
+  explicit_[shapeIndex] = kind;
+}
+
+void FaultInjector::armRandom(int permille, FaultKind kind) {
+  randomPermille_ = permille;
+  randomKind_ = kind;
+}
+
+FaultKind FaultInjector::faultFor(int shapeIndex) const {
+  const auto it = explicit_.find(shapeIndex);
+  if (it != explicit_.end()) return it->second;
+  if (randomPermille_ > 0) {
+    const std::uint64_t h =
+        splitmix64(seed_ ^ static_cast<std::uint64_t>(shapeIndex));
+    if (static_cast<int>(h % 1000) < randomPermille_) return randomKind_;
+  }
+  return FaultKind::kNone;
+}
+
+}  // namespace mbf

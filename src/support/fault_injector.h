@@ -1,0 +1,57 @@
+// Deterministic fault-injection hook for robustness tests. The injector
+// decides, from nothing but its configuration and the shape index, which
+// shapes fault and how — no wall clock, no global RNG — so a faulted run
+// is exactly reproducible at any thread count.
+//
+// Tests arm faults either explicitly (armShape) or pseudo-randomly from a
+// seed (armRandom: shape i faults iff splitmix64(seed ^ i) lands under
+// the requested permille). The per-shape driver in mdp/layout consults
+// faultFor(shapeIndex) once, before fracturing the shape:
+//   kThrow   -> throws InjectedFaultError from the primary path,
+//   kOom     -> throws std::bad_alloc (allocation-failure simulation),
+//   kTimeout -> arms an already-expired Deadline, so the first
+//               cooperative checkpoint raises BudgetExceededError.
+// All three exercise the same degradation ladder real faults take.
+//
+// Thread safety: configure (armShape/armRandom) before handing the
+// injector to FractureParams; afterwards it is only read concurrently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace mbf {
+
+enum class FaultKind : std::uint8_t {
+  kNone = 0,
+  kThrow,    ///< exception escapes the primary fracture path
+  kOom,      ///< std::bad_alloc from the primary fracture path
+  kTimeout,  ///< per-shape deadline reported as already expired
+};
+
+const char* toString(FaultKind kind);
+
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+  explicit FaultInjector(std::uint64_t seed) : seed_(seed) {}
+
+  /// Arms one explicit fault; later calls for the same index overwrite.
+  void armShape(int shapeIndex, FaultKind kind);
+
+  /// Arms `kind` pseudo-randomly on ~permille/1000 of all shapes,
+  /// decided per shape from the seed (deterministic, order-free).
+  void armRandom(int permille, FaultKind kind);
+
+  /// The fault armed for this shape, kNone when the shape runs clean.
+  /// Explicit arms take precedence over the random rule.
+  FaultKind faultFor(int shapeIndex) const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  int randomPermille_ = 0;
+  FaultKind randomKind_ = FaultKind::kNone;
+  std::map<int, FaultKind> explicit_;
+};
+
+}  // namespace mbf

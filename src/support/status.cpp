@@ -1,0 +1,61 @@
+#include "support/status.h"
+
+#include <cstring>
+#include <sstream>
+
+namespace mbf {
+
+const char* toString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kParseError: return "PARSE_ERROR";
+    case StatusCode::kTruncated: return "TRUNCATED";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kUnsupported: return "UNSUPPORTED";
+    case StatusCode::kBudgetExceeded: return "BUDGET_EXCEEDED";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
+    case StatusCode::kExecFault: return "EXEC_FAULT";
+    case StatusCode::kInfeasible: return "INFEASIBLE";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "?";
+}
+
+std::string Status::str() const {
+  if (ok() && message_.empty()) return "OK";
+  std::ostringstream os;
+  os << toString(code_);
+  if (shapeIndex_ >= 0) os << " [shape " << shapeIndex_ << "]";
+  if (byteOffset_ >= 0) os << " [offset " << byteOffset_ << "]";
+  if (file_ != nullptr && *file_ != '\0') {
+    // Basename only: full build paths add noise to user-facing output.
+    const char* base = std::strrchr(file_, '/');
+    os << " " << (base != nullptr ? base + 1 : file_) << ":" << line_;
+  }
+  if (!message_.empty()) os << ": " << message_;
+  return os.str();
+}
+
+void Diagnostics::add(Status status) { entries_.push_back(std::move(status)); }
+
+StatusCode Diagnostics::worst() const {
+  StatusCode worst = StatusCode::kOk;
+  for (const Status& s : entries_) {
+    if (static_cast<int>(s.code()) > static_cast<int>(worst)) {
+      worst = s.code();
+    }
+  }
+  return worst;
+}
+
+std::string Diagnostics::str() const {
+  std::string out;
+  for (const Status& s : entries_) {
+    out += s.str();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace mbf

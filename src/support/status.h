@@ -1,0 +1,123 @@
+// Structured error model for the fracturing pipeline. A production MDP
+// run cannot abort a multi-hour batch because one shape is degenerate or
+// one GDSII record is truncated, so failures travel as values: every
+// fallible boundary (io/gdsii, io/poly_io, mdp/layout, the per-shape
+// fracture driver) reports an mbf::Status carrying an error code, a
+// human-readable message, the source location that raised it, and the
+// per-shape / byte-offset context needed to act on it. `Diagnostics`
+// accumulates non-fatal findings across a batch.
+//
+// Status is also the payload of the two exception types the execution
+// budgets use internally (BudgetExceededError, InjectedFaultError); those
+// never escape the per-shape driver in mdp/layout — they are converted
+// back into Statuses on the shape's report.
+#pragma once
+
+#include <cstdint>
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mbf {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,    ///< degenerate/unsupported input geometry or value
+  kParseError,         ///< malformed record/line in an input stream
+  kTruncated,          ///< input stream ends inside a record
+  kIoError,            ///< file cannot be opened / written
+  kUnsupported,        ///< valid input outside the supported subset
+  kBudgetExceeded,     ///< per-shape time or iteration budget exhausted
+  kResourceExhausted,  ///< grid-memory cap hit or allocation failure
+  kExecFault,          ///< exception escaped a fracture stage
+  kInfeasible,         ///< completed but the Eq. 4 constraints fail
+  kInternal,           ///< invariant violation (a bug, not bad input)
+};
+
+const char* toString(StatusCode code);
+
+class Status {
+ public:
+  /// Default-constructed Status is success.
+  Status() = default;
+
+  Status(StatusCode code, std::string message,
+         std::source_location loc = std::source_location::current())
+      : code_(code),
+        message_(std::move(message)),
+        file_(loc.file_name()),
+        line_(static_cast<int>(loc.line())) {}
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  const char* file() const { return file_; }
+  int line() const { return line_; }
+
+  /// Context accessors: -1 when not set.
+  int shapeIndex() const { return shapeIndex_; }
+  std::int64_t byteOffset() const { return byteOffset_; }
+
+  Status& withShape(int shapeIndex) {
+    shapeIndex_ = shapeIndex;
+    return *this;
+  }
+  Status& withOffset(std::int64_t byteOffset) {
+    byteOffset_ = byteOffset;
+    return *this;
+  }
+
+  /// "BUDGET_EXCEEDED [shape 7] refiner.cpp:123: shape time budget ..."
+  std::string str() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+  const char* file_ = "";
+  int line_ = 0;
+  int shapeIndex_ = -1;
+  std::int64_t byteOffset_ = -1;
+};
+
+/// Accumulates non-fatal findings (per-shape degradations, dropped rings,
+/// skipped records) so a batch can report everything it repaired instead
+/// of stopping at the first problem.
+class Diagnostics {
+ public:
+  void add(Status status);
+
+  bool empty() const { return entries_.empty(); }
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<Status>& entries() const { return entries_; }
+
+  /// Worst (highest-severity-ordinal) code seen, kOk when empty.
+  StatusCode worst() const;
+
+  /// One line per entry, for logs and --report output.
+  std::string str() const;
+
+ private:
+  std::vector<Status> entries_;
+};
+
+/// Thrown by cooperative budget checkpoints (ExecContext::checkpoint)
+/// when a per-shape deadline passes. Caught by the per-shape driver in
+/// mdp/layout, never escapes to callers of fractureLayout*.
+class BudgetExceededError : public std::runtime_error {
+ public:
+  explicit BudgetExceededError(Status status)
+      : std::runtime_error(status.str()), status_(std::move(status)) {}
+  const Status& status() const { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// Thrown by FaultInjector::kThrow injection sites (tests only).
+class InjectedFaultError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+}  // namespace mbf

@@ -1,0 +1,136 @@
+// Corpus replay: feeds a set of malformed / degenerate input files
+// through the real mbf_cli binary and checks that every one of them is
+// answered with the documented exit code -- never a crash, never a
+// silent success. Run as:
+//
+//   mbf_corpus_replay <path-to-mbf_cli>
+//
+// Standalone driver (no gtest) because it exercises the CLI process
+// boundary, not library internals.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "io/gdsii.h"
+
+namespace {
+
+struct Case {
+  std::string name;
+  std::string file;
+  std::string extraArgs;
+  int wantExit = 0;
+};
+
+bool writeFile(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(os);
+}
+
+std::string validGdsBytes() {
+  mbf::GdsLibrary lib;
+  mbf::GdsStructure top;
+  mbf::GdsPolygon gp;
+  gp.polygon = mbf::Polygon({{0, 0}, {100, 0}, {100, 60}, {0, 60}});
+  top.polygons.push_back(std::move(gp));
+  lib.structures.push_back(std::move(top));
+  std::stringstream ss;
+  mbf::writeGds(ss, lib);
+  return ss.str();
+}
+
+int runCli(const std::string& cli, const Case& c, const std::string& outDir) {
+  const std::string cmd = "'" + cli + "' '" + c.file + "' '" + outDir + "/" +
+                          c.name + ".shots' " + c.extraArgs +
+                          " > /dev/null 2>&1";
+  const int raw = std::system(cmd.c_str());
+  if (raw == -1) return -1;
+#if defined(WIFEXITED)
+  if (!WIFEXITED(raw)) return -2;  // killed by a signal = crash
+  return WEXITSTATUS(raw);
+#else
+  return raw;
+#endif
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: mbf_corpus_replay <path-to-mbf_cli>\n";
+    return 2;
+  }
+  const std::string cli = argv[1];
+  const std::string dir = "corpus_replay_tmp";
+  std::system(("mkdir -p '" + dir + "'").c_str());
+
+  const std::string gds = validGdsBytes();
+  std::vector<Case> cases;
+
+  // --- .poly corpus -----------------------------------------------------
+  writeFile(dir + "/comments_only.poly", "# nothing here\n# still nothing\n");
+  cases.push_back({"comments_only", dir + "/comments_only.poly", "", 3});
+
+  writeFile(dir + "/two_point_ring.poly", "0 0\n10 0\n");
+  cases.push_back({"two_point_ring", dir + "/two_point_ring.poly", "", 3});
+
+  writeFile(dir + "/bad_lines_only.poly", "banana\napple pie crust\nx y\n");
+  cases.push_back({"bad_lines_only", dir + "/bad_lines_only.poly", "", 3});
+
+  // Symmetric bowtie: zero signed area, sanitation drops the ring and
+  // the shape degrades to an empty solution -> exit 1.
+  writeFile(dir + "/bowtie.poly", "0 0\n100 100\n100 0\n0 100\n");
+  cases.push_back({"bowtie", dir + "/bowtie.poly", "", 1});
+
+  writeFile(dir + "/duplicate_ring.poly", "5 5\n5 5\n5 5\n5 5\n");
+  cases.push_back({"duplicate_ring", dir + "/duplicate_ring.poly", "", 1});
+
+  // Strict mode turns that degradation into a hard failure.
+  cases.push_back({"bowtie_strict", dir + "/bowtie.poly", "--strict", 4});
+
+  // --- .gds corpus ------------------------------------------------------
+  writeFile(dir + "/garbage.gds", "this is not a gds stream at all......");
+  cases.push_back({"garbage", dir + "/garbage.gds", "", 3});
+
+  writeFile(dir + "/truncated.gds", gds.substr(0, gds.size() / 2));
+  cases.push_back({"truncated", dir + "/truncated.gds", "", 3});
+
+  writeFile(dir + "/short_record.gds",
+            std::string("\x00\x06\x00\x02\x02\x58", 6) +
+                std::string("\x00\x02\x00\x02", 4));
+  cases.push_back({"short_record", dir + "/short_record.gds", "", 3});
+
+  writeFile(dir + "/overrun.gds",
+            std::string("\x00\x06\x00\x02\x02\x58", 6) +
+                std::string("\x40\x00\x10\x03", 4) +
+                std::string(8, '\x00'));
+  cases.push_back({"overrun", dir + "/overrun.gds", "", 3});
+
+  // --- bad arguments on a valid file ------------------------------------
+  writeFile(dir + "/valid.poly", "0 0\n80 0\n80 50\n0 50\n");
+  cases.push_back({"neg_gamma", dir + "/valid.poly", "--gamma=-2", 2});
+  cases.push_back({"bad_eta", dir + "/valid.poly", "--eta=1.5", 2});
+
+  // And the happy path, to prove the harness itself works.
+  cases.push_back({"valid", dir + "/valid.poly", "", 0});
+
+  int failures = 0;
+  for (const Case& c : cases) {
+    const int got = runCli(cli, c, dir);
+    const bool pass = got == c.wantExit;
+    std::printf("%-16s exit=%d want=%d  %s\n", c.name.c_str(), got,
+                c.wantExit, pass ? "ok" : "FAIL");
+    if (!pass) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "%d corpus case(s) failed\n", failures);
+    return 1;
+  }
+  std::printf("all %zu corpus cases passed\n", cases.size());
+  return 0;
+}

@@ -9,6 +9,9 @@
 //   --eta=<0..1>                 backscatter mixture      (default 0)
 //   --sigma-back=<nm>            backscatter sigma        (default sigma)
 //   --threads=<n>                worker threads; 0 = all cores (default 1)
+//   --budget-ms=<ms>             per-shape time budget; 0 = none (default 0)
+//   --nmax=<n>                   max refinement iterations  (default 1500)
+//   --strict                     fail shapes instead of degrading them
 //   --order                      order shots for the writer (NN + 2-opt)
 //   --svg=<path>                 write an overlay SVG of shapes + shots
 //   --gds-out=<path>             also write shots as GDSII rectangles
@@ -17,6 +20,14 @@
 // Input: flat .poly ring list (blank-line separated) or a .gds file
 // (BOUNDARY elements); rings nested in another ring are holes. Output:
 // one "x0 y0 x1 y1" shot per line, with '#' comments separating shapes.
+//
+// Exit codes:
+//   0  every shape fractured by the primary method, Eq. 4 feasible
+//   1  completed, but some shapes degraded to rect-partition fracturing
+//   2  usage / bad argument
+//   3  input or output I/O error (unreadable, unparseable, empty input)
+//   4  completed without degradation but with failing pixels — or, with
+//      --strict, any per-shape failure
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -54,7 +65,8 @@ bool parseInt(const std::string& value, int& out) {
 int usage() {
   std::cerr << "usage: mbf_cli <input.poly> <output.shots> "
                "[--method=ours|gsc|mp|proxy] [--gamma=nm] [--sigma=nm] "
-               "[--lmin=nm] [--threads=n] [--svg=path] [--report]\n";
+               "[--lmin=nm] [--eta=0..1] [--threads=n] [--budget-ms=ms] "
+               "[--nmax=n] [--strict] [--svg=path] [--report]\n";
   return 2;
 }
 
@@ -78,44 +90,74 @@ int main(int argc, char** argv) {
     const std::string key = arg.substr(0, eq);
     const std::string value =
         eq == std::string::npos ? std::string{} : arg.substr(eq + 1);
-    bool ok = true;
+    // Each flag reports its own constraint so a rejected value explains
+    // itself instead of the generic "bad argument".
+    std::string error;
     if (key == "--method") {
-      ok = parseMethod(value, config.method);
+      if (!parseMethod(value, config.method)) {
+        error = "must be ours, gsc, mp or proxy";
+      }
     } else if (key == "--gamma") {
-      ok = parseDouble(value, config.params.gamma) &&
-           config.params.gamma > 0.0;
+      if (!parseDouble(value, config.params.gamma) ||
+          config.params.gamma < 0.0) {
+        error = "must be a number >= 0 (nm)";
+      }
     } else if (key == "--sigma") {
-      ok = parseDouble(value, config.params.sigma) &&
-           config.params.sigma > 0.0;
+      if (!parseDouble(value, config.params.sigma) ||
+          config.params.sigma <= 0.0) {
+        error = "must be a number > 0 (nm)";
+      }
     } else if (key == "--lmin") {
-      ok = parseInt(value, config.params.lmin) && config.params.lmin > 0;
+      if (!parseInt(value, config.params.lmin) || config.params.lmin < 1) {
+        error = "must be an integer >= 1 (nm)";
+      }
     } else if (key == "--eta") {
-      ok = parseDouble(value, config.params.backscatterEta) &&
-           config.params.backscatterEta >= 0.0 &&
-           config.params.backscatterEta < 1.0;
+      if (!parseDouble(value, config.params.backscatterEta) ||
+          config.params.backscatterEta < 0.0 ||
+          config.params.backscatterEta > 1.0) {
+        error = "must be a number in [0, 1]";
+      }
     } else if (key == "--sigma-back") {
-      ok = parseDouble(value, config.params.backscatterSigma) &&
-           config.params.backscatterSigma > 0.0;
+      if (!parseDouble(value, config.params.backscatterSigma) ||
+          config.params.backscatterSigma <= 0.0) {
+        error = "must be a number > 0 (nm)";
+      }
+    } else if (key == "--budget-ms") {
+      if (!parseDouble(value, config.params.shapeTimeBudgetMs) ||
+          config.params.shapeTimeBudgetMs < 0.0) {
+        error = "must be a number >= 0 (milliseconds, 0 = unlimited)";
+      }
+    } else if (key == "--nmax") {
+      if (!parseInt(value, config.params.nmax) || config.params.nmax < 0) {
+        error = "must be an integer >= 0";
+      }
+    } else if (key == "--strict") {
+      config.allowDegradation = false;
     } else if (key == "--order") {
       orderForWriter = true;
     } else if (key == "--gds-out") {
       gdsOutPath = value;
-      ok = !gdsOutPath.empty();
+      if (gdsOutPath.empty()) error = "must be a path";
     } else if (key == "--threads") {
       // 0 = hardware concurrency; the knob drives both the per-shape job
       // parallelism and the in-problem scan parallelism.
-      ok = parseInt(value, config.threads) && config.threads >= 0;
-      if (ok) config.params.numThreads = config.threads;
+      if (!parseInt(value, config.threads) || config.threads < 0) {
+        error = "must be an integer >= 0 (0 = all cores)";
+      } else {
+        config.params.numThreads = config.threads;
+      }
     } else if (key == "--svg") {
       svgPath = value;
-      ok = !svgPath.empty();
+      if (svgPath.empty()) error = "must be a path";
     } else if (key == "--report") {
       report = true;
     } else {
-      ok = false;
+      std::cerr << "unknown argument: " << arg << "\n";
+      return usage();
     }
-    if (!ok) {
-      std::cerr << "bad argument: " << arg << "\n";
+    if (!error.empty()) {
+      std::cerr << "invalid " << key << "='" << value << "': " << error
+                << "\n";
       return usage();
     }
   }
@@ -124,19 +166,32 @@ int main(int argc, char** argv) {
   if (inputPath.size() > 4 &&
       inputPath.substr(inputPath.size() - 4) == ".gds") {
     GdsLibrary lib;
-    if (!loadGds(inputPath, lib)) {
-      std::cerr << "cannot parse GDSII " << inputPath << "\n";
-      return 1;
+    const Status st = parseGdsFile(inputPath, lib);
+    if (!st.ok()) {
+      std::cerr << "cannot parse GDSII " << inputPath << ": " << st.str()
+                << "\n";
+      return 3;
     }
     for (GdsPolygon& gp : flattenGds(lib)) {
       rings.push_back(std::move(gp.polygon));
     }
   } else {
-    rings = loadPolygons(inputPath);
+    PolyReadStats stats;
+    const Status st = parsePolygonsFile(inputPath, rings, &stats);
+    if (!st.ok()) {
+      if (rings.empty()) {
+        std::cerr << "cannot parse " << inputPath << ": " << st.str() << "\n";
+        return 3;
+      }
+      // Line-tolerant parse: some polygons survived, report and go on.
+      std::cerr << "warning: " << inputPath << ": " << st.str() << " ("
+                << stats.badLines << " bad line(s), " << stats.skippedRings
+                << " skipped ring(s))\n";
+    }
   }
   if (rings.empty()) {
     std::cerr << "no polygons in " << inputPath << "\n";
-    return 1;
+    return 3;
   }
   const std::vector<LayoutShape> shapes = groupRings(std::move(rings));
   std::cerr << "fracturing " << shapes.size() << " shape(s) with method '"
@@ -152,26 +207,41 @@ int main(int argc, char** argv) {
   std::ofstream os(outputPath);
   if (!os) {
     std::cerr << "cannot write " << outputPath << "\n";
-    return 1;
+    return 3;
   }
   for (std::size_t i = 0; i < result.solutions.size(); ++i) {
     os << "# shape " << i << ": " << result.solutions[i].shotCount()
        << " shots, " << result.solutions[i].failingPixels()
-       << " failing px\n";
+       << " failing px" << (result.solutions[i].degraded ? ", degraded" : "")
+       << "\n";
     writeShots(os, result.solutions[i].shots);
   }
 
   if (report) {
-    Table table({"shape", "rings", "shots", "fail px", "s"});
+    Table table({"shape", "rings", "shots", "fail px", "s", "status"});
     for (std::size_t i = 0; i < shapes.size(); ++i) {
       const Solution& sol = result.solutions[i];
+      const ShapeReport& rep = result.reports[i];
+      std::string status = rep.degraded ? "degraded" : "ok";
+      if (!rep.status.ok()) {
+        status += " (" + std::string(toString(rep.status.code())) + ")";
+      }
       table.addRow({std::to_string(i),
                     Table::fmt(std::int64_t(shapes[i].rings.size())),
                     Table::fmt(sol.shotCount()),
                     Table::fmt(sol.failingPixels()),
-                    Table::fmt(sol.runtimeSeconds, 2)});
+                    Table::fmt(sol.runtimeSeconds, 2), status});
     }
     table.print(std::cout);
+    if (result.degradedShapes > 0) {
+      std::cout << "degraded shapes (" << result.degradedShapes << "):\n";
+      for (std::size_t i = 0; i < result.reports.size(); ++i) {
+        if (result.reports[i].degraded) {
+          std::cout << "  shape " << i << ": " << result.reports[i].status.str()
+                    << "\n";
+        }
+      }
+    }
   }
 
   if (!svgPath.empty()) {
@@ -214,8 +284,21 @@ int main(int argc, char** argv) {
 
   std::cout << "total: " << result.totalShots << " shots, "
             << result.totalFailingPixels << " failing px, "
+            << result.degradedShapes << " degraded shape(s), "
             << Table::fmt(result.wallSeconds, 2) << " s wall / "
             << Table::fmt(result.shapeSecondsSum, 2) << " s shape-sum ("
             << config.threads << " thread(s))\n";
-  return result.totalFailingPixels == 0 ? 0 : 1;
+
+  if (!config.allowDegradation) {
+    // Strict mode: a shape that would have degraded is a failure.
+    for (const ShapeReport& rep : result.reports) {
+      if (!rep.status.ok()) {
+        std::cerr << "strict: " << rep.status.str() << "\n";
+        return 4;
+      }
+    }
+    return result.totalFailingPixels == 0 ? 0 : 4;
+  }
+  if (result.degradedShapes > 0) return 1;
+  return result.totalFailingPixels == 0 ? 0 : 4;
 }
