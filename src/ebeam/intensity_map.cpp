@@ -1,6 +1,7 @@
 #include "ebeam/intensity_map.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -57,7 +58,15 @@ void IntensityMap::applyShot(const Rect& shot, double sign) {
   // outer product over the window.
   std::vector<double> ax;
   std::vector<double> by;
-  computeProfiles(*model_, origin_, shot, w, sign, ax, by);
+  {
+    const PerfTimer timer(perf_, &PerfCounters::profileNanos);
+    computeProfiles(*model_, origin_, shot, w, sign, ax, by);
+    if (perf_ != nullptr) {
+      // 2 scalar edgeProfile evaluations per profile entry.
+      perf_->profileEvals +=
+          2 * static_cast<std::uint64_t>(w.width() + w.height());
+    }
+  }
   for (int y = w.y0; y < w.y1; ++y) {
     const double b = by[static_cast<std::size_t>(y - w.y0)];
     double* row = grid_.row(y);
@@ -67,28 +76,50 @@ void IntensityMap::applyShot(const Rect& shot, double sign) {
   }
 }
 
-void IntensityMap::setShots(std::span<const Rect> shots, int numThreads) {
+void IntensityMap::setShots(std::span<const Rect> shots,
+                            std::span<const double> doses, int numThreads) {
+  assert(doses.empty() || doses.size() == shots.size());
   clear();
+  const auto doseOf = [&doses](std::size_t i) {
+    return doses.empty() ? 1.0 : doses[i];
+  };
   const int threads = ThreadPool::resolveThreads(numThreads);
   if (threads <= 1 || shots.size() < 2 || grid_.height() < 2) {
-    for (const Rect& s : shots) applyShot(s, +1.0);
+    for (std::size_t i = 0; i < shots.size(); ++i) {
+      applyShot(shots[i], +doseOf(i));
+    }
     return;
   }
 
   // Stage 1: per-shot windows and 1D profiles, independent across shots.
+  // The dose folds into the x-profile exactly like applyShot's sign does,
+  // so the bulk and sequential paths round identically. Profile-eval
+  // accounting happens after the join (a shared sink must not be written
+  // from inside the parallelFor).
   struct ShotProfile {
     Rect window;
     std::vector<double> ax;
     std::vector<double> by;
   };
   std::vector<ShotProfile> profiles(shots.size());
-  parallelFor(0, static_cast<int>(shots.size()), threads, 1, [&](int i) {
-    ShotProfile& p = profiles[static_cast<std::size_t>(i)];
-    p.window = influenceWindow(shots[static_cast<std::size_t>(i)]);
-    if (p.window.empty()) return;
-    computeProfiles(*model_, origin_, shots[static_cast<std::size_t>(i)],
-                    p.window, +1.0, p.ax, p.by);
-  });
+  {
+    const PerfTimer timer(perf_, &PerfCounters::profileNanos);
+    parallelFor(0, static_cast<int>(shots.size()), threads, 1, [&](int i) {
+      ShotProfile& p = profiles[static_cast<std::size_t>(i)];
+      p.window = influenceWindow(shots[static_cast<std::size_t>(i)]);
+      if (p.window.empty()) return;
+      computeProfiles(*model_, origin_, shots[static_cast<std::size_t>(i)],
+                      p.window, +doseOf(static_cast<std::size_t>(i)), p.ax,
+                      p.by);
+    });
+  }
+  if (perf_ != nullptr) {
+    for (const ShotProfile& p : profiles) {
+      if (p.window.empty()) continue;
+      perf_->profileEvals += 2 * static_cast<std::uint64_t>(
+                                     p.window.width() + p.window.height());
+    }
+  }
 
   // Stage 2: row-parallel outer products. Every grid row is owned by one
   // task, and the per-row shot lists are built in input order, so each

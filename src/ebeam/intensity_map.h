@@ -15,6 +15,7 @@
 #include "ebeam/proximity_model.h"
 #include "geometry/rect.h"
 #include "grid/grid.h"
+#include "support/perf_counters.h"
 
 namespace mbf {
 
@@ -50,11 +51,25 @@ class IntensityMap {
   /// across `numThreads` workers (0 = hardware concurrency, 1 = serial).
   /// Each grid row accumulates its shots in input order, so the result is
   /// byte-identical to sequential addShot calls for any thread count.
-  void setShots(std::span<const Rect> shots, int numThreads = 1);
+  void setShots(std::span<const Rect> shots, int numThreads = 1) {
+    setShots(shots, {}, numThreads);
+  }
+
+  /// Dose-aware bulk application: shot `i` contributes with multiplier
+  /// `doses[i]` (the variable-dose extension's path onto the row-parallel
+  /// engine). An empty `doses` span means unit dose for every shot;
+  /// otherwise doses.size() must equal shots.size(). Byte-identical to a
+  /// sequential addShot(shots[i], doses[i]) loop for any thread count.
+  void setShots(std::span<const Rect> shots, std::span<const double> doses,
+                int numThreads);
 
   /// Grid-local pixel window affected by `shot` (shot bbox inflated by the
   /// influence radius, clamped to the grid). Cell range [x0,x1) x [y0,y1).
   Rect influenceWindow(const Rect& shot) const;
+
+  /// Non-owning counter sink for profile-evaluation accounting (nullptr
+  /// disables). Must not be shared with another thread's writer.
+  void setPerfSink(PerfCounters* sink) { perf_ = sink; }
 
  private:
   void applyShot(const Rect& shot, double sign);
@@ -62,6 +77,7 @@ class IntensityMap {
   const ProximityModel* model_;
   Point origin_;
   Grid<double> grid_;
+  PerfCounters* perf_ = nullptr;
 };
 
 }  // namespace mbf

@@ -25,6 +25,22 @@ ProximityModel::ProximityModel(double sigma, double rho, double backscatterEta,
     const double t = -lutRange_ + i * lutStep_;
     lut_[static_cast<std::size_t>(i)] = edgeProfileExact(t);
   }
+  // Max of edgeProfile(t + 1) - edgeProfile(t). The interpolated profile
+  // is piecewise linear with knot spacing 1/16 nm, so t and t + 1 always
+  // sit at the same fraction of their pieces (16 pieces apart), g(t) =
+  // E(t+1) - E(t) is piecewise linear too, and its maximum is attained at
+  // a knot. The clamp boundaries (E = 0 below the range, 1 above) only
+  // shrink the step, but the pairs straddling them are included anyway.
+  const int stride = static_cast<int>(std::lround(1.0 / lutStep_));
+  double m = 0.0;
+  for (std::size_t i = 0; i + static_cast<std::size_t>(stride) < lut_.size();
+       ++i) {
+    m = std::max(m, lut_[i + static_cast<std::size_t>(stride)] - lut_[i]);
+  }
+  m = std::max(m, lut_[static_cast<std::size_t>(std::min(stride, n - 1))]);
+  m = std::max(m, 1.0 - lut_[static_cast<std::size_t>(
+                      std::max(0, n - 1 - stride))]);
+  maxUnitStep_ = m;
 }
 
 double ProximityModel::edgeProfileExact(double t) const {

@@ -62,6 +62,14 @@ class ProximityModel {
   /// LUT + linear interpolation version (max error < 1e-6).
   double edgeProfile(double t) const;
 
+  /// Tight upper bound of edgeProfile(t + 1) - edgeProfile(t) over all t,
+  /// for the LUT-interpolated profile actually used by the hot paths.
+  /// This bounds how far a +-1 nm single-edge shot move can change the
+  /// intensity of any pixel (the unmoved-axis factor is <= 1), which is
+  /// what lets the candidate evaluator skip pixels whose intensity is
+  /// farther than this from rho (see Verifier's interesting-band masks).
+  double maxUnitStep() const { return maxUnitStep_; }
+
   /// Intensity of shot `s` (geometric rect, nm) at point (x, y).
   double shotIntensity(const Rect& s, double x, double y) const;
 
@@ -101,6 +109,7 @@ class ProximityModel {
   double lutRange_;
   double lutStep_;
   std::vector<double> lut_;
+  double maxUnitStep_ = 0.0;
 };
 
 }  // namespace mbf

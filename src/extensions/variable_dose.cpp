@@ -34,9 +34,18 @@ DoseVerifier::DoseVerifier(const Problem& problem)
            problem.gridHeight()) {}
 
 void DoseVerifier::setShots(std::span<const DosedShot> shots) {
-  map_.clear();
   shots_.assign(shots.begin(), shots.end());
-  for (const DosedShot& s : shots_) map_.addShot(s.rect, s.dose);
+  // Bulk rebuild through the dose-aware row-parallel path; byte-identical
+  // to the sequential addShot(rect, dose) loop for any thread count.
+  std::vector<Rect> rects;
+  std::vector<double> doses;
+  rects.reserve(shots_.size());
+  doses.reserve(shots_.size());
+  for (const DosedShot& s : shots_) {
+    rects.push_back(s.rect);
+    doses.push_back(s.dose);
+  }
+  map_.setShots(rects, doses, problem_->params().numThreads);
 }
 
 void DoseVerifier::addShot(const DosedShot& shot) {

@@ -95,6 +95,13 @@ std::vector<Rect> gridRunPartition(const MaskGrid& inside, Point origin) {
 Solution fallbackFracture(const Problem& problem) {
   const auto start = std::chrono::steady_clock::now();
 
+  // Cooperative budget checkpoints bracket the rebuild and every repair
+  // pass: the degradation ladder itself must respect shapeTimeBudgetMs
+  // when a caller runs the fallback on a budgeted Problem. (The mdp
+  // driver strips the budget before degrading a shape here, so the
+  // driver's fallback never throws; direct callers with an armed budget
+  // get BudgetExceededError instead of an overrun.)
+  problem.checkpoint("fallback-partition");
   std::vector<Rect> shots = minPartitionShots(problem);
   if (shots.empty()) {
     shots = gridRunPartition(problem.insideMask(), problem.origin());
@@ -102,12 +109,14 @@ Solution fallbackFracture(const Problem& problem) {
   const int lmin = problem.params().lmin;
   for (Rect& s : shots) enforceMinSize(s, lmin);
 
+  problem.checkpoint("fallback-verify");
   Verifier verifier(problem);
   verifier.setShots(shots);
   const Refiner refiner(problem);
 
   Snapshot best{verifier.shots(), verifier.violations()};
   for (int pass = 0; pass < kMaxRepairPasses && best.v.total() > 0; ++pass) {
+    problem.checkpoint("fallback-repair");
     const Violations before = verifier.violations();
     if (refiner.biasAllShots(verifier, before.failOn >= before.failOff) == 0) {
       break;

@@ -34,6 +34,9 @@ std::vector<Rect> gridRunPartition(const MaskGrid& inside, Point origin);
 /// Fractures `problem` with the rectangular-partition baseline plus the
 /// capped repair pass. Never throws on a constructed Problem without an
 /// armed budget (the mdp driver builds the fallback Problem budget-free).
+/// With an armed budget, cooperative checkpoints bracket the partition
+/// rebuild and each repair pass, so a direct caller's deadline raises
+/// BudgetExceededError instead of silently overrunning the budget.
 Solution fallbackFracture(const Problem& problem);
 
 }  // namespace mbf

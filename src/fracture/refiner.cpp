@@ -1,6 +1,7 @@
 #include "fracture/refiner.h"
 
 #include <algorithm>
+#include <cassert>
 #include <chrono>
 #include <cmath>
 #include <limits>
@@ -109,8 +110,12 @@ int Refiner::greedyShotEdgeAdjustment(Verifier& verifier) const {
   const int lmin = problem_->params().lmin;
   const std::vector<Rect>& shots = verifier.shots();
 
-  // Best of the two +-dp moves per edge (paper 4.1).
+  // Best of the two +-dp moves per edge (paper 4.1). One eval cache per
+  // shot: the old-shot profiles are hoisted on the shot's first candidate
+  // and reused by the remaining (up to seven) candidates; only the moved
+  // edge's strip profile is recomputed per candidate.
   std::vector<CandidateMove> moves;
+  CandidateEvalCache cache;
   for (std::size_t i = 0; i < shots.size(); ++i) {
     for (int edge = 0; edge < 4; ++edge) {
       CandidateMove best;
@@ -119,7 +124,7 @@ int Refiner::greedyShotEdgeAdjustment(Verifier& verifier) const {
       for (const int dir : {-1, +1}) {
         const Rect cand = moveEdge(shots[i], edge, dir);
         if (cand.width() < lmin || cand.height() < lmin) continue;
-        const double d = verifier.costDeltaForReplace(i, cand);
+        const double d = verifier.costDeltaForReplace(i, cand, cache);
         if (d < best.delta) {
           best = {d, i, edge, dir};
           found = true;
@@ -365,10 +370,13 @@ Solution Refiner::refine(std::vector<Rect> initialShots) {
     const StageTimer timer(stats_.setupSeconds);
     verifier.setShots(initialShots);
   }
-  // Timed wrapper for the full-grid scans issued by the loop itself (the
-  // in-op scans are attributed to their stage timers instead).
+  // The loop's violation queries are O(1) ledger reads (the mutations
+  // already refreshed the touched row partials). In debug builds every
+  // query is cross-checked bit for bit against a fresh full-grid scan —
+  // the ledger's consistency oracle; release builds never rescan.
   auto scanViolations = [this, &verifier] {
     const StageTimer timer(stats_.violationSeconds);
+    assert(verifier.ledgerMatchesScan());
     return verifier.violations();
   };
 
@@ -450,6 +458,8 @@ Solution Refiner::refine(std::vector<Rect> initialShots) {
   Verifier finalCheck(*problem_);
   finalCheck.setShots(sol.shots);
   finalCheck.writeStats(sol);
+  stats_.perf += verifier.perfCounters();
+  stats_.perf += finalCheck.perfCounters();
   return sol;
 }
 

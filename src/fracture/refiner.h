@@ -29,11 +29,16 @@ struct RefinerStats {
   // run shows where the time went.
   double totalSeconds = 0.0;
   double setupSeconds = 0.0;       ///< initial setShots bulk application
-  double violationSeconds = 0.0;   ///< full-grid violation scans
+  double violationSeconds = 0.0;   ///< violation queries (ledger folds)
   double edgeMoveSeconds = 0.0;    ///< greedyShotEdgeAdjustment
   double biasSeconds = 0.0;        ///< biasAllShots
   double structuralSeconds = 0.0;  ///< addShot / removeShot
   double mergeSeconds = 0.0;       ///< mergeShots
+
+  /// Hot-path perf counters of the shape's Verifier (profile evals,
+  /// ledger row refreshes, candidate evaluations and cache hits; see
+  /// support/perf_counters.h). Aggregates across shapes like the rest.
+  PerfCounters perf;
 
   /// Aggregation across shapes (mdp batch reporting).
   RefinerStats& operator+=(const RefinerStats& o) {
@@ -50,6 +55,7 @@ struct RefinerStats {
     biasSeconds += o.biasSeconds;
     structuralSeconds += o.structuralSeconds;
     mergeSeconds += o.mergeSeconds;
+    perf += o.perf;
     return *this;
   }
 };

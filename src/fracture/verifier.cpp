@@ -1,6 +1,7 @@
 #include "fracture/verifier.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
 #include <vector>
@@ -12,34 +13,157 @@ namespace mbf {
 Verifier::Verifier(const Problem& problem)
     : problem_(&problem),
       map_(problem.model(), problem.origin(), problem.gridWidth(),
-           problem.gridHeight()) {}
+           problem.gridHeight()),
+      rowViol_(static_cast<std::size_t>(problem.gridHeight())),
+      dirtyLo_(0),
+      dirtyHi_(problem.gridHeight()),
+      maskDirtyLo_(0),
+      maskDirtyHi_(problem.gridHeight()),
+      maskStride_((problem.gridWidth() + 63) / 64) {
+  map_.setPerfSink(&perf_);
+  rowMask_.assign(static_cast<std::size_t>(problem.gridHeight()) *
+                      static_cast<std::size_t>(maskStride_),
+                  0);
+  // Safety-inflated skip bound: the true bound is the model's max +-1 nm
+  // profile step times an unmoved-axis factor <= 1; the margin dwarfs
+  // every rounding error in the iNew expression while excluding almost
+  // nothing extra from the band.
+  stepBound_ = problem.model().maxUnitStep() * (1.0 + 1e-9) + 1e-9;
+  bandHi_ = problem.model().rho() + stepBound_;
+  bandLo_ = problem.model().rho() - stepBound_;
+}
 
 void Verifier::setShots(std::span<const Rect> shots) {
   shots_.assign(shots.begin(), shots.end());
   map_.setShots(shots_, problem_->params().numThreads);
+  ++generation_;
+  dirtyLo_ = 0;
+  dirtyHi_ = problem_->gridHeight();
+  maskDirtyLo_ = 0;
+  maskDirtyHi_ = problem_->gridHeight();
+  totalValid_ = false;
 }
 
 void Verifier::addShot(const Rect& shot) {
   shots_.push_back(shot);
   map_.addShot(shot);
+  ++generation_;
+  markDirtyFor(shot);
 }
 
 void Verifier::removeShot(std::size_t index) {
   assert(index < shots_.size());
-  map_.removeShot(shots_[index]);
+  const Rect old = shots_[index];
+  map_.removeShot(old);
   shots_.erase(shots_.begin() + static_cast<std::ptrdiff_t>(index));
+  ++generation_;
+  markDirtyFor(old);
 }
 
 void Verifier::replaceShot(std::size_t index, const Rect& replacement) {
   assert(index < shots_.size());
-  map_.removeShot(shots_[index]);
+  const Rect old = shots_[index];
+  map_.removeShot(old);
   map_.addShot(replacement);
   shots_[index] = replacement;
+  ++generation_;
+  // One dirty band over the union window covers both applications' rows.
+  markDirtyFor(old.unionWith(replacement));
+}
+
+void Verifier::markDirtyFor(const Rect& shot) {
+  const Rect w = map_.influenceWindow(shot);
+  if (w.empty()) return;
+  dirtyLo_ = std::min(dirtyLo_, w.y0);
+  dirtyHi_ = std::max(dirtyHi_, w.y1);
+  maskDirtyLo_ = std::min(maskDirtyLo_, w.y0);
+  maskDirtyHi_ = std::max(maskDirtyHi_, w.y1);
+  totalValid_ = false;
+}
+
+void Verifier::ensureLedgerFresh() const {
+  if (dirtyLo_ >= dirtyHi_) return;
+  refreshLedgerRows(dirtyLo_, dirtyHi_);
+  dirtyLo_ = problem_->gridHeight();
+  dirtyHi_ = 0;
+}
+
+void Verifier::ensureMasksFresh() const {
+  if (maskDirtyLo_ >= maskDirtyHi_) return;
+  const PerfTimer timer(&perf_, &PerfCounters::ledgerNanos);
+  const int width = problem_->gridWidth();
+  const auto& classes = problem_->classGrid();
+  const std::uint8_t on = static_cast<std::uint8_t>(PixelClass::kOn);
+  const std::uint8_t off = static_cast<std::uint8_t>(PixelClass::kOff);
+  for (int y = maskDirtyLo_; y < maskDirtyHi_; ++y) {
+    // Rebuild the row's interesting-band mask from the current
+    // intensity: on-cells close enough to rho to dip below it after a
+    // +-1 nm move, off-cells close enough to rise above it.
+    std::uint64_t* mask = rowMask_.data() +
+                          static_cast<std::size_t>(y) *
+                              static_cast<std::size_t>(maskStride_);
+    std::fill(mask, mask + maskStride_, 0);
+    const std::uint8_t* cls = classes.row(y);
+    const double* inten = map_.grid().row(y);
+    for (int x = 0; x < width; ++x) {
+      const bool interesting = cls[x] == on    ? inten[x] < bandHi_
+                               : cls[x] == off ? inten[x] >= bandLo_
+                                               : false;
+      mask[x >> 6] |= static_cast<std::uint64_t>(interesting) << (x & 63);
+    }
+  }
+  maskDirtyLo_ = problem_->gridHeight();
+  maskDirtyHi_ = 0;
+}
+
+void Verifier::refreshLedgerRows(int y0, int y1) const {
+  if (y0 >= y1) return;
+  // Same cooperative budget granularity the full scans used to provide.
+  problem_->checkpoint("ledger");
+  const PerfTimer timer(&perf_, &PerfCounters::ledgerNanos);
+  const int width = problem_->gridWidth();
+  const int rows = y1 - y0;
+  const int threads = ThreadPool::resolveThreads(problem_->params().numThreads);
+  const std::int64_t cells = static_cast<std::int64_t>(rows) * width;
+  // Each row partial is computed by the identical full-row scan a fresh
+  // violation scan performs, and rows are independent, so the parallel
+  // refresh is bitwise-deterministic for any thread count.
+  if (threads <= 1 || rows < 2 || cells < 4096) {
+    for (int y = y0; y < y1; ++y) {
+      rowViol_[static_cast<std::size_t>(y)] = violationsRow(y, 0, width);
+    }
+  } else {
+    parallelFor(y0, y1, threads, 16, [&](int y) {
+      rowViol_[static_cast<std::size_t>(y)] = violationsRow(y, 0, width);
+    });
+  }
+  perf_.ledgerRowUpdates += static_cast<std::uint64_t>(rows);
+  totalValid_ = false;
 }
 
 Violations Verifier::violations() const {
+  ensureLedgerFresh();
+  if (!totalValid_) {
+    // Fold the row partials in row order: the exact addition sequence a
+    // fresh serial (or row-parallel) scan performs, hence bitwise equal.
+    Violations v;
+    for (const Violations& p : rowViol_) v += p;
+    total_ = v;
+    totalValid_ = true;
+    ++perf_.ledgerFolds;
+  }
+  return total_;
+}
+
+Violations Verifier::scanViolations() const {
+  ++perf_.fullScans;
+  const PerfTimer timer(&perf_, &PerfCounters::scanNanos);
   return violationsInWindow(
       {0, 0, problem_->gridWidth(), problem_->gridHeight()});
+}
+
+bool Verifier::ledgerMatchesScan() const {
+  return violations() == scanViolations();
 }
 
 Violations Verifier::violationsRow(int y, int x0, int x1) const {
@@ -71,6 +195,7 @@ Violations Verifier::violationsRow(int y, int x0, int x1) const {
 
 Violations Verifier::violationsInWindow(const Rect& gridWindow) const {
   problem_->checkpoint("verify");
+  ++perf_.windowScans;
   // Per-row partials folded in row order: the serial and row-parallel
   // paths perform the identical sequence of double additions, so the
   // reported cost is byte-identical for every thread count.
@@ -94,16 +219,15 @@ Violations Verifier::violationsInWindow(const Rect& gridWindow) const {
   return v;
 }
 
-double Verifier::costDeltaForReplace(std::size_t index,
-                                     const Rect& replacement) const {
-  assert(index < shots_.size());
-  const Rect& oldShot = shots_[index];
+Rect Verifier::changedRect(const Rect& oldShot, const Rect& replacement) {
   // Intensity only changes near coordinates that moved; when a single
   // edge moved (the refiner's bread-and-butter query) the change window
   // is a thin strip around that edge instead of the whole shot halo.
   Rect changed = oldShot.unionWith(replacement);
-  const bool xSame = oldShot.x0 == replacement.x0 && oldShot.x1 == replacement.x1;
-  const bool ySame = oldShot.y0 == replacement.y0 && oldShot.y1 == replacement.y1;
+  const bool xSame =
+      oldShot.x0 == replacement.x0 && oldShot.x1 == replacement.x1;
+  const bool ySame =
+      oldShot.y0 == replacement.y0 && oldShot.y1 == replacement.y1;
   if (xSame && !ySame) {
     if (oldShot.y0 == replacement.y0) {
       changed.y0 = std::min(oldShot.y1, replacement.y1);  // top edge moved
@@ -117,48 +241,47 @@ double Verifier::costDeltaForReplace(std::size_t index,
       changed.x1 = std::max(oldShot.x0, replacement.x0);  // left edge
     }
   }
-  const Rect w = map_.influenceWindow(changed);
-  if (w.empty()) return 0.0;
+  return changed;
+}
 
+void Verifier::xProfile(const Rect& shot, int x0, int x1, double* out) const {
   const ProximityModel& model = problem_->model();
-  const double rho = model.rho();
   const Point origin = problem_->origin();
-
-  // 1D edge profiles of the old and new shot over the window.
-  const std::size_t nw = static_cast<std::size_t>(w.width());
-  const std::size_t nh = static_cast<std::size_t>(w.height());
-  std::vector<double> axOld(nw), axNew(nw), byOld(nh), byNew(nh);
-  for (int x = w.x0; x < w.x1; ++x) {
+  for (int x = x0; x < x1; ++x) {
     const double px = origin.x + x + 0.5;
-    axOld[static_cast<std::size_t>(x - w.x0)] =
-        model.edgeProfile(oldShot.x1 - px) - model.edgeProfile(oldShot.x0 - px);
-    axNew[static_cast<std::size_t>(x - w.x0)] =
-        model.edgeProfile(replacement.x1 - px) -
-        model.edgeProfile(replacement.x0 - px);
+    out[x - x0] =
+        model.edgeProfile(shot.x1 - px) - model.edgeProfile(shot.x0 - px);
   }
-  for (int y = w.y0; y < w.y1; ++y) {
-    const double py = origin.y + y + 0.5;
-    byOld[static_cast<std::size_t>(y - w.y0)] =
-        model.edgeProfile(oldShot.y1 - py) - model.edgeProfile(oldShot.y0 - py);
-    byNew[static_cast<std::size_t>(y - w.y0)] =
-        model.edgeProfile(replacement.y1 - py) -
-        model.edgeProfile(replacement.y0 - py);
-  }
+  perf_.profileEvals += 2 * static_cast<std::uint64_t>(x1 - x0);
+}
 
+void Verifier::yProfile(const Rect& shot, int y0, int y1, double* out) const {
+  const ProximityModel& model = problem_->model();
+  const Point origin = problem_->origin();
+  for (int y = y0; y < y1; ++y) {
+    const double py = origin.y + y + 0.5;
+    out[y - y0] =
+        model.edgeProfile(shot.y1 - py) - model.edgeProfile(shot.y0 - py);
+  }
+  perf_.profileEvals += 2 * static_cast<std::uint64_t>(y1 - y0);
+}
+
+double Verifier::deltaOverWindow(const Rect& w, const double* axOld,
+                                 const double* axNew, const double* byOld,
+                                 const double* byNew) const {
   double delta = 0.0;
+  const double rho = problem_->model().rho();
   const auto& classes = problem_->classGrid();
   for (int y = w.y0; y < w.y1; ++y) {
     const std::uint8_t* cls = classes.row(y);
     const double* inten = map_.grid().row(y);
-    const double bo = byOld[static_cast<std::size_t>(y - w.y0)];
-    const double bn = byNew[static_cast<std::size_t>(y - w.y0)];
+    const double bo = byOld[y - w.y0];
+    const double bn = byNew[y - w.y0];
     for (int x = w.x0; x < w.x1; ++x) {
       const PixelClass c = static_cast<PixelClass>(cls[x]);
       if (c == PixelClass::kDontCare) continue;
       const double iOld = inten[x];
-      const double iNew = iOld -
-                          axOld[static_cast<std::size_t>(x - w.x0)] * bo +
-                          axNew[static_cast<std::size_t>(x - w.x0)] * bn;
+      const double iNew = iOld - axOld[x - w.x0] * bo + axNew[x - w.x0] * bn;
       if (c == PixelClass::kOn) {
         if (iOld < rho) delta -= rho - iOld;
         if (iNew < rho) delta += rho - iNew;
@@ -169,6 +292,167 @@ double Verifier::costDeltaForReplace(std::size_t index,
     }
   }
   return delta;
+}
+
+double Verifier::costDeltaForReplace(std::size_t index,
+                                     const Rect& replacement) const {
+  assert(index < shots_.size());
+  ++perf_.candidateEvals;
+  const PerfTimer timer(&perf_, &PerfCounters::candidateNanos);
+  const Rect& oldShot = shots_[index];
+  const Rect w = map_.influenceWindow(changedRect(oldShot, replacement));
+  if (w.empty()) return 0.0;
+
+  // 1D edge profiles of the old and new shot over the window.
+  const std::size_t nw = static_cast<std::size_t>(w.width());
+  const std::size_t nh = static_cast<std::size_t>(w.height());
+  std::vector<double> axOld(nw), axNew(nw), byOld(nh), byNew(nh);
+  xProfile(oldShot, w.x0, w.x1, axOld.data());
+  xProfile(replacement, w.x0, w.x1, axNew.data());
+  yProfile(oldShot, w.y0, w.y1, byOld.data());
+  yProfile(replacement, w.y0, w.y1, byNew.data());
+  return deltaOverWindow(w, axOld.data(), axNew.data(), byOld.data(),
+                         byNew.data());
+}
+
+double Verifier::deltaOverWindowMasked(const Rect& w, const double* axOld,
+                                       const double* axNew,
+                                       const double* byOld,
+                                       const double* byNew) const {
+  double delta = 0.0;
+  const double rho = problem_->model().rho();
+  const auto& classes = problem_->classGrid();
+  const std::uint8_t on = static_cast<std::uint8_t>(PixelClass::kOn);
+  const int j0 = w.x0 >> 6;
+  const int j1 = (w.x1 - 1) >> 6;
+  const std::uint64_t headMask = ~0ULL << (w.x0 & 63);
+  const std::uint64_t tailMask =
+      (w.x1 & 63) != 0 ? ~0ULL >> (64 - (w.x1 & 63)) : ~0ULL;
+  for (int y = w.y0; y < w.y1; ++y) {
+    const std::uint64_t* mask = rowMask_.data() +
+                                static_cast<std::size_t>(y) *
+                                    static_cast<std::size_t>(maskStride_);
+    const std::uint8_t* cls = classes.row(y);
+    const double* inten = map_.grid().row(y);
+    const double bo = byOld[y - w.y0];
+    const double bn = byNew[y - w.y0];
+    for (int j = j0; j <= j1; ++j) {
+      std::uint64_t bits = mask[j];
+      if (j == j0) bits &= headMask;
+      if (j == j1) bits &= tailMask;
+      while (bits != 0) {
+        const int x = (j << 6) + std::countr_zero(bits);
+        bits &= bits - 1;
+        // Same per-cell arithmetic and left-to-right, top-to-bottom
+        // accumulation order as deltaOverWindow; cells the masks skip
+        // fire none of these branches, so the sum is bit-identical.
+        const double iOld = inten[x];
+        const double iNew = iOld - axOld[x - w.x0] * bo + axNew[x - w.x0] * bn;
+        if (cls[x] == on) {
+          if (iOld < rho) delta -= rho - iOld;
+          if (iNew < rho) delta += rho - iNew;
+        } else {
+          if (iOld >= rho) delta -= iOld - rho;
+          if (iNew >= rho) delta += iNew - rho;
+        }
+      }
+    }
+  }
+  return delta;
+}
+
+namespace {
+
+// True when `replacement` differs from `oldShot` by exactly one edge
+// moved by exactly +-1 nm — the only geometry the interesting-band skip
+// bound (ProximityModel::maxUnitStep) is valid for.
+bool isUnitSingleEdgeMove(const Rect& oldShot, const Rect& replacement) {
+  const int dx0 = replacement.x0 - oldShot.x0;
+  const int dx1 = replacement.x1 - oldShot.x1;
+  const int dy0 = replacement.y0 - oldShot.y0;
+  const int dy1 = replacement.y1 - oldShot.y1;
+  const int moved =
+      (dx0 != 0 ? 1 : 0) + (dx1 != 0 ? 1 : 0) + (dy0 != 0 ? 1 : 0) +
+      (dy1 != 0 ? 1 : 0);
+  return moved == 1 && std::abs(dx0 + dx1 + dy0 + dy1) == 1;
+}
+
+}  // namespace
+
+double Verifier::costDeltaForReplace(std::size_t index, const Rect& replacement,
+                                     CandidateEvalCache& cache) const {
+  assert(index < shots_.size());
+  ++perf_.candidateEvals;
+  const PerfTimer timer(&perf_, &PerfCounters::candidateNanos);
+  const Rect& oldShot = shots_[index];
+  const Rect w = map_.influenceWindow(changedRect(oldShot, replacement));
+  if (w.empty()) return 0.0;
+  // The interesting-band masks must reflect the current intensity map
+  // before they can prune the walk (no-op when nothing is dirty).
+  ensureMasksFresh();
+
+  if (cache.primed_ && cache.generation_ == generation_ &&
+      cache.shotIndex_ == index) {
+    ++perf_.candidateCacheHits;
+  } else {
+    // Prime: hoist the old-shot profiles over the widest window any
+    // +-1 nm single-edge candidate can touch (the shot inflated by the
+    // move margin). Every candidate's change strip is a sub-range, so
+    // slicing these arrays is bitwise-identical to recomputing them.
+    cache.window_ = map_.influenceWindow(oldShot.inflated(1));
+    cache.axOld_.resize(static_cast<std::size_t>(cache.window_.width()));
+    cache.byOld_.resize(static_cast<std::size_t>(cache.window_.height()));
+    xProfile(oldShot, cache.window_.x0, cache.window_.x1, cache.axOld_.data());
+    yProfile(oldShot, cache.window_.y0, cache.window_.y1, cache.byOld_.data());
+    cache.primed_ = true;
+    cache.generation_ = generation_;
+    cache.shotIndex_ = index;
+  }
+
+  const Rect& cw = cache.window_;
+  if (w.x0 < cw.x0 || w.x1 > cw.x1 || w.y0 < cw.y0 || w.y1 > cw.y1) {
+    // The replacement moved further than the hoisted margin (not a +-1
+    // candidate); evaluate it generically. Rare by construction.
+    const std::size_t nw = static_cast<std::size_t>(w.width());
+    const std::size_t nh = static_cast<std::size_t>(w.height());
+    cache.axOldScratch_.resize(nw);
+    cache.axNew_.resize(nw);
+    cache.byOldScratch_.resize(nh);
+    cache.byNew_.resize(nh);
+    xProfile(oldShot, w.x0, w.x1, cache.axOldScratch_.data());
+    xProfile(replacement, w.x0, w.x1, cache.axNew_.data());
+    yProfile(oldShot, w.y0, w.y1, cache.byOldScratch_.data());
+    yProfile(replacement, w.y0, w.y1, cache.byNew_.data());
+    return deltaOverWindow(w, cache.axOldScratch_.data(), cache.axNew_.data(),
+                           cache.byOldScratch_.data(), cache.byNew_.data());
+  }
+
+  const double* axOld = cache.axOld_.data() + (w.x0 - cw.x0);
+  const double* byOld = cache.byOld_.data() + (w.y0 - cw.y0);
+
+  // The unmoved axis of a candidate has the old shot's extent, so its
+  // profile *is* the hoisted old profile; only the moved axis needs a
+  // fresh evaluation, over the thin change strip.
+  const bool xSame =
+      oldShot.x0 == replacement.x0 && oldShot.x1 == replacement.x1;
+  const bool ySame =
+      oldShot.y0 == replacement.y0 && oldShot.y1 == replacement.y1;
+  const double* axNew = axOld;
+  const double* byNew = byOld;
+  if (!xSame) {
+    cache.axNew_.resize(static_cast<std::size_t>(w.width()));
+    xProfile(replacement, w.x0, w.x1, cache.axNew_.data());
+    axNew = cache.axNew_.data();
+  }
+  if (!ySame) {
+    cache.byNew_.resize(static_cast<std::size_t>(w.height()));
+    yProfile(replacement, w.y0, w.y1, cache.byNew_.data());
+    byNew = cache.byNew_.data();
+  }
+  if (isUnitSingleEdgeMove(oldShot, replacement)) {
+    return deltaOverWindowMasked(w, axOld, axNew, byOld, byNew);
+  }
+  return deltaOverWindow(w, axOld, axNew, byOld, byNew);
 }
 
 MaskGrid Verifier::failingOnMask() const {

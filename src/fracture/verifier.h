@@ -2,8 +2,29 @@
 // intensity map for a shot set and answers, globally or over a window:
 // how many Pon / Poff pixels fail, and what is the refinement cost
 // (Eq. 5, sum of |Itot - rho| over failing pixels).
+//
+// The global answer is served from a violation ledger: one Violations
+// partial per grid row. Mutations only mark the rows their influence
+// window touches dirty; the first query after any burst of mutations
+// refreshes the dirty band once (so a bias pass over every shot costs
+// one refresh, not one per shot) and folds the partials in row order
+// into a cached total. Each row partial is recomputed by the same
+// per-row scan a fresh full-grid scan uses, and fresh scans (serial or
+// row-parallel) fold the identical row partials in the identical order —
+// so violations() is bit-for-bit equal to scanViolations() at every
+// thread count, while costing at most one dirty-band refresh per query
+// instead of O(grid) per query (see DESIGN.md section 13).
+//
+// The same refresh pass maintains per-row "interesting band" bitmasks:
+// a bit per cell whose intensity lies within the model's max +-1 nm
+// step of rho. Any cell outside the band provably cannot change the
+// cost delta of a +-1 single-edge shot move (the profile is monotone
+// and the unmoved-axis factor is <= 1), so the cached candidate
+// evaluator walks only masked cells — bit-identical to the full window
+// walk because skipped cells never touch the accumulator at all.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -11,6 +32,7 @@
 #include "fracture/problem.h"
 #include "fracture/solution.h"
 #include "geometry/rect.h"
+#include "support/perf_counters.h"
 
 namespace mbf {
 
@@ -30,6 +52,51 @@ struct Violations {
   Violations operator-(const Violations& o) const {
     return {failOn - o.failOn, failOff - o.failOff, cost - o.cost};
   }
+  /// Bitwise equality (the determinism contract compares costs with ==,
+  /// not a tolerance).
+  friend bool operator==(const Violations& a, const Violations& b) {
+    return a.failOn == b.failOn && a.failOff == b.failOff &&
+           a.cost == b.cost;
+  }
+};
+
+/// Per-shot scratch for the refiner's candidate evaluations. The greedy
+/// edge adjustment asks costDeltaForReplace about up to eight +-1 nm
+/// single-edge variants of the same shot; the old-shot 1D profiles are
+/// invariant across that whole candidate set, and the unmoved axis of
+/// each candidate equals the old shot's profile. The cache hoists the
+/// old-shot profiles once, over the influence window of the shot
+/// inflated by the +-1 move margin, and each evaluation then recomputes
+/// only the moved-edge axis over the thin change strip.
+///
+/// Lifetime rules: a cache primes lazily on first use for a (verifier,
+/// shot index) pair and self-invalidates when the verifier mutates (every
+/// mutation bumps the verifier's generation counter) or when asked about
+/// a different shot index — stale reuse is impossible, not just an error.
+/// A candidate whose change window escapes the hoisted margin (a move
+/// larger than +-1 per edge) silently falls back to the uncached path.
+class CandidateEvalCache {
+ public:
+  CandidateEvalCache() = default;
+
+  /// Manual reset; normally unnecessary (generation checks handle it).
+  void invalidate() { primed_ = false; }
+
+ private:
+  friend class Verifier;
+
+  bool primed_ = false;
+  std::uint64_t generation_ = 0;  ///< verifier generation at prime time
+  std::size_t shotIndex_ = 0;
+  Rect window_;  ///< hoisted grid window: influenceWindow(shot.inflated(1))
+  std::vector<double> axOld_;  ///< old-shot x profile over window_ columns
+  std::vector<double> byOld_;  ///< old-shot y profile over window_ rows
+  // Scratch for the per-candidate moved-axis (or fallback) profiles;
+  // kept here so the hot loop never reallocates.
+  std::vector<double> axNew_;
+  std::vector<double> byNew_;
+  std::vector<double> axOldScratch_;
+  std::vector<double> byOldScratch_;
 };
 
 class Verifier {
@@ -49,8 +116,20 @@ class Verifier {
 
   const std::vector<Rect>& shots() const { return shots_; }
 
-  /// Full-grid violation scan.
+  /// Global violations from the ledger. The first query after a burst of
+  /// mutations refreshes the dirty row band once and folds the partials;
+  /// subsequent queries are O(1). Bit-for-bit equal to scanViolations()
+  /// at every thread count.
   Violations violations() const;
+
+  /// Fresh full-grid scan, bypassing the ledger. The debug consistency
+  /// oracle and the bench baseline; not for the hot path.
+  Violations scanViolations() const;
+
+  /// True when the ledger total equals a fresh scan bit for bit (debug
+  /// consistency check; always true unless there is a bug).
+  bool ledgerMatchesScan() const;
+
   /// Violation scan restricted to a grid-local window (cells
   /// [x0, x1) x [y0, y1), already clamped by the caller). Row-chunked
   /// across FractureParams::numThreads workers when the window is large
@@ -63,6 +142,13 @@ class Verifier {
   /// separable 1D profiles (the "three convolutions" of paper 4.1).
   double costDeltaForReplace(std::size_t index, const Rect& replacement) const;
 
+  /// Cached variant for a shot's candidate set: identical result bit for
+  /// bit, but the old-shot profiles come from `cache` (primed on first
+  /// use, reused across the shot's candidates) and only the moved-edge
+  /// axis is recomputed per candidate.
+  double costDeltaForReplace(std::size_t index, const Rect& replacement,
+                             CandidateEvalCache& cache) const;
+
   /// Grid-local failing-pixel mask restricted to Pon (for AddShot).
   MaskGrid failingOnMask() const;
 
@@ -72,13 +158,73 @@ class Verifier {
   /// Fills the statistics fields of `solution` from the current state.
   void writeStats(Solution& solution) const;
 
+  /// Hot-path counters accumulated by this verifier (and its intensity
+  /// map) since construction.
+  const PerfCounters& perfCounters() const { return perf_; }
+
  private:
   /// Violations of one grid row over cells [x0, x1).
   Violations violationsRow(int y, int x0, int x1) const;
 
+  /// Recomputes the ledger partials and interesting-band masks of rows
+  /// [y0, y1) from the intensity map (each row by the same full-row scan
+  /// a fresh scan performs) and marks the cached total stale.
+  void refreshLedgerRows(int y0, int y1) const;
+  /// Marks the grid rows influenced by a world-space shot dirty.
+  void markDirtyFor(const Rect& shot);
+  /// Refreshes any dirty ledger row partials (violations() path).
+  void ensureLedgerFresh() const;
+  /// Refreshes any dirty interesting-band mask rows (cached candidate
+  /// evaluation path; kept separate so plain violation queries never pay
+  /// for mask rebuilds).
+  void ensureMasksFresh() const;
+
+  /// Old/new-shot 1D profiles; shared by every cost-delta path so cached
+  /// and uncached evaluations round identically.
+  void xProfile(const Rect& shot, int x0, int x1, double* out) const;
+  void yProfile(const Rect& shot, int y0, int y1, double* out) const;
+  /// The shared inner loop: cost delta over window `w`, with the four
+  /// profile slices indexed [0, w.width) / [0, w.height).
+  double deltaOverWindow(const Rect& w, const double* axOld,
+                         const double* axNew, const double* byOld,
+                         const double* byNew) const;
+  /// Same contract as deltaOverWindow, but walks only the cells set in
+  /// the interesting-band masks. Valid ONLY for replacements that move a
+  /// single edge by +-1 nm (the masks' skip bound) and only after
+  /// ensureLedgerFresh(); bit-identical to the full walk because every
+  /// skipped cell fires none of the accumulator branches.
+  double deltaOverWindowMasked(const Rect& w, const double* axOld,
+                               const double* axNew, const double* byOld,
+                               const double* byNew) const;
+  /// Change window of a replacement, narrowed to the moved-edge strip
+  /// when exactly one edge moved.
+  static Rect changedRect(const Rect& oldShot, const Rect& replacement);
+
   const Problem* problem_;
   IntensityMap map_;
   std::vector<Rect> shots_;
+
+  // --- violation ledger (lazily refreshed; see ensureLedgerFresh) ---
+  mutable std::vector<Violations> rowViol_;  ///< one partial per grid row
+  mutable Violations total_;                 ///< cached row-order fold
+  mutable bool totalValid_ = false;
+  mutable int dirtyLo_ = 0;  ///< dirty row band [dirtyLo_, dirtyHi_)
+  mutable int dirtyHi_ = 0;
+  mutable int maskDirtyLo_ = 0;  ///< dirty mask row band (tracked apart)
+  mutable int maskDirtyHi_ = 0;
+  std::uint64_t generation_ = 0;  ///< bumped by every mutation
+
+  // --- interesting-band masks (maintained by the same refresh pass) ---
+  // One bit per cell, row-major in 64-bit words: set when the cell's
+  // on/off class and current intensity leave it within `stepBound_` of
+  // rho — the only cells a +-1 nm single-edge move can possibly affect.
+  mutable std::vector<std::uint64_t> rowMask_;
+  int maskStride_ = 0;   ///< words per row
+  double stepBound_ = 0;  ///< model maxUnitStep with safety margin
+  double bandHi_ = 0;     ///< rho + stepBound_ (on-cells below are masked)
+  double bandLo_ = 0;     ///< rho - stepBound_ (off-cells above are masked)
+
+  mutable PerfCounters perf_;
 };
 
 /// One-call convenience: evaluate `shots` against `problem`.

@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <random>
 #include <thread>
 #include <vector>
@@ -149,6 +150,94 @@ TEST(ParallelVerifierTest, ViolationsBitwiseEqualAcrossThreadCounts) {
     EXPECT_EQ(v.failOff, serial.failOff) << "threads=" << threads;
     // Exact ==: per-row partials fold in row order on every path.
     EXPECT_EQ(v.cost, serial.cost) << "threads=" << threads;
+  }
+}
+
+// --- Violation ledger property test -------------------------------------
+//
+// The ledger's contract: after ANY interleaving of add/remove/replace
+// mutations, the lazily refreshed per-row ledger folds to exactly the
+// same Violations a fresh full-grid scan produces — bit for bit, at
+// every thread count — and the totals agree across thread counts.
+
+TEST(ParallelVerifierTest, LedgerEqualsFreshScanOverRandomMutationCycles) {
+  const Polygon shape = makeOpcShape(opcSuiteConfigs()[2]);
+
+  std::vector<std::unique_ptr<Problem>> problems;
+  std::vector<std::unique_ptr<Verifier>> verifiers;
+  const int threadCounts[] = {1, 4, 8};
+  for (const int threads : threadCounts) {
+    FractureParams params;
+    params.numThreads = threads;
+    problems.push_back(std::make_unique<Problem>(shape, params));
+    verifiers.push_back(std::make_unique<Verifier>(*problems.back()));
+  }
+
+  std::mt19937 rng(1729);
+  std::uniform_int_distribution<int> pos(-10, 90);
+  std::uniform_int_distribution<int> len(4, 40);
+  std::uniform_int_distribution<int> op(0, 2);
+  std::uniform_int_distribution<int> jitter(-2, 2);
+  const auto randomRect = [&]() -> Rect {
+    const int x0 = pos(rng);
+    const int y0 = pos(rng);
+    return {x0, y0, x0 + len(rng), y0 + len(rng)};
+  };
+
+  std::vector<Rect> shots = {randomRect(), randomRect(), randomRect()};
+  for (auto& v : verifiers) v->setShots(shots);
+
+  const int kCycles = 10000;
+  for (int step = 0; step < kCycles; ++step) {
+    switch (shots.size() < 2 ? 0 : op(rng)) {
+      case 0: {  // add
+        const Rect s = randomRect();
+        shots.push_back(s);
+        for (auto& v : verifiers) v->addShot(s);
+        break;
+      }
+      case 1: {  // remove
+        const std::size_t i = static_cast<std::size_t>(
+            std::uniform_int_distribution<int>(
+                0, static_cast<int>(shots.size()) - 1)(rng));
+        shots.erase(shots.begin() + static_cast<std::ptrdiff_t>(i));
+        for (auto& v : verifiers) v->removeShot(i);
+        break;
+      }
+      default: {  // replace (the refiner's edge-move pattern)
+        const std::size_t i = static_cast<std::size_t>(
+            std::uniform_int_distribution<int>(
+                0, static_cast<int>(shots.size()) - 1)(rng));
+        Rect r = shots[i];
+        r.x0 += jitter(rng);
+        r.y1 += jitter(rng);
+        if (r.empty()) r = randomRect();
+        shots[i] = r;
+        for (auto& v : verifiers) v->replaceShot(i, r);
+        break;
+      }
+    }
+    // Spot-check mid-stream (every mutation would be O(cycles * grid));
+    // the final check below covers the fully mixed history.
+    if (step % 997 == 0) {
+      const Violations reference = verifiers[0]->violations();
+      for (std::size_t k = 0; k < verifiers.size(); ++k) {
+        EXPECT_EQ(verifiers[k]->violations(), verifiers[k]->scanViolations())
+            << "step " << step << ", threads=" << threadCounts[k];
+        EXPECT_EQ(verifiers[k]->violations(), reference)
+            << "step " << step << ", threads=" << threadCounts[k];
+      }
+    }
+  }
+
+  const Violations reference = verifiers[0]->violations();
+  for (std::size_t k = 0; k < verifiers.size(); ++k) {
+    // Exact ==: Violations comparison is bitwise on the cost double.
+    EXPECT_EQ(verifiers[k]->violations(), verifiers[k]->scanViolations())
+        << "threads=" << threadCounts[k];
+    EXPECT_EQ(verifiers[k]->violations(), reference)
+        << "threads=" << threadCounts[k];
+    EXPECT_TRUE(verifiers[k]->ledgerMatchesScan());
   }
 }
 

@@ -284,6 +284,55 @@ TEST(BudgetTest, UnlimitedBudgetsLeaveResultUntouched) {
   EXPECT_EQ(guarded.solution.shots, direct.shots);
 }
 
+// --- fallback budget checkpoints -----------------------------------------
+
+TEST(FallbackTest, ExpiredDeadlineRaisesBudgetErrorDirectly) {
+  // The degradation ladder itself honours an armed budget: a direct
+  // caller with an expired deadline gets BudgetExceededError from the
+  // fallback's own checkpoints instead of a silent overrun.
+  Problem problem(rectShape(120, 80).rings, FractureParams{});
+  ExecContext ctx;
+  ctx.deadline = Deadline::expired();
+  ctx.shapeIndex = 7;
+  problem.setExecContext(&ctx);
+  try {
+    fallbackFracture(problem);
+    FAIL() << "expected BudgetExceededError";
+  } catch (const BudgetExceededError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kBudgetExceeded);
+    EXPECT_EQ(e.status().shapeIndex(), 7);
+  }
+}
+
+TEST(FallbackTest, UnlimitedDeadlineLeavesFallbackUnchanged) {
+  Problem plain(rectShape(120, 80).rings, FractureParams{});
+  const Solution base = fallbackFracture(plain);
+
+  Problem budgeted(rectShape(120, 80).rings, FractureParams{});
+  ExecContext ctx;  // default: unlimited deadline
+  budgeted.setExecContext(&ctx);
+  const Solution guarded = fallbackFracture(budgeted);
+  EXPECT_EQ(guarded.shots, base.shots);
+  EXPECT_EQ(guarded.cost, base.cost);
+}
+
+TEST(FaultInjectionTest, TimeoutFaultDegradesGuardedShapeToUsableFallback) {
+  // kTimeout arms an already-expired deadline on the primary path; the
+  // driver must strip the budget before degrading, so the fallback
+  // completes and yields a feasible rect-partition solution.
+  FaultInjector injector;
+  injector.armShape(0, FaultKind::kTimeout);
+  FractureParams params;
+  params.faultInjector = &injector;
+  const ShapeOutcome out =
+      fractureShapeGuarded(rectShape(100, 70), params, Method::kOurs, 0, true);
+  EXPECT_TRUE(out.degraded);
+  EXPECT_EQ(out.status.code(), StatusCode::kBudgetExceeded);
+  EXPECT_EQ(out.status.shapeIndex(), 0);
+  EXPECT_EQ(out.solution.method, "rect_partition");
+  EXPECT_TRUE(out.solution.feasible());
+}
+
 // --- fallback fracturer --------------------------------------------------
 
 TEST(FallbackTest, GridRunPartitionCoversMaskExactly) {

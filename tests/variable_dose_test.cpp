@@ -2,6 +2,9 @@
 // edge+dose refinement, and shot-count reduction under dose freedom.
 #include <gtest/gtest.h>
 
+#include <random>
+
+#include "ebeam/intensity_map.h"
 #include "extensions/variable_dose.h"
 #include "fracture/model_based_fracturer.h"
 
@@ -124,6 +127,64 @@ TEST_F(VariableDoseTest, WithUnitDoseLifts) {
   ASSERT_EQ(dosed.size(), 2u);
   EXPECT_EQ(dosed[0].rect, rects[0]);
   EXPECT_DOUBLE_EQ(dosed[1].dose, 1.0);
+}
+
+// --- dose-aware bulk rebuild ---------------------------------------------
+
+TEST_F(VariableDoseTest, BulkDoseSetShotsMatchesSequentialAddBitwise) {
+  const ProximityModel model(6.25);
+  std::mt19937 rng(314);
+  std::uniform_int_distribution<int> pos(0, 60);
+  std::uniform_int_distribution<int> len(4, 30);
+  std::uniform_real_distribution<double> dose(0.6, 1.6);
+  std::vector<Rect> rects;
+  std::vector<double> doses;
+  for (int i = 0; i < 120; ++i) {
+    const int x0 = pos(rng);
+    const int y0 = pos(rng);
+    rects.push_back({x0, y0, x0 + len(rng), y0 + len(rng)});
+    doses.push_back(dose(rng));
+  }
+
+  IntensityMap sequential(model, {-20, -20}, 150, 150);
+  for (std::size_t i = 0; i < rects.size(); ++i) {
+    sequential.addShot(rects[i], doses[i]);
+  }
+
+  for (const int threads : {1, 2, 4, 8}) {
+    IntensityMap bulk(model, {-20, -20}, 150, 150);
+    bulk.setShots(rects, doses, threads);
+    // Exact ==: the row-parallel bulk path must accumulate each row's
+    // shots in input order, making it bitwise equal to sequential adds.
+    ASSERT_EQ(bulk.grid().data(), sequential.grid().data())
+        << "threads=" << threads;
+  }
+}
+
+TEST_F(VariableDoseTest, DoseVerifierSetShotsIsThreadCountInvariant) {
+  std::vector<DosedShot> shots;
+  shots.push_back({{0, 0, 40, 40}, 0.9});
+  shots.push_back({{5, 5, 25, 25}, 1.2});
+  shots.push_back({{12, 18, 38, 36}, 0.7});
+
+  FractureParams serialParams;
+  serialParams.numThreads = 1;
+  Problem serialProblem(square(40), serialParams);
+  DoseVerifier serial(serialProblem);
+  serial.setShots(shots);
+  const Violations reference = serial.violations();
+
+  for (const int threads : {2, 4, 8}) {
+    FractureParams params;
+    params.numThreads = threads;
+    Problem problem(square(40), params);
+    DoseVerifier v(problem);
+    v.setShots(shots);
+    const Violations viol = v.violations();
+    EXPECT_EQ(viol.failOn, reference.failOn) << "threads=" << threads;
+    EXPECT_EQ(viol.failOff, reference.failOff) << "threads=" << threads;
+    EXPECT_EQ(viol.cost, reference.cost) << "threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -2,6 +2,8 @@
 // updates and the cost-delta evaluation the refiner relies on.
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "fracture/verifier.h"
 
 namespace mbf {
@@ -126,6 +128,130 @@ TEST_F(VerifierTest, WriteStatsFillsSolution) {
   EXPECT_GT(sol.failOn, 0);
   EXPECT_GT(sol.cost, 0.0);
   EXPECT_FALSE(sol.feasible());
+}
+
+// --- ledger consistency --------------------------------------------------
+
+TEST_F(VerifierTest, LedgerMatchesScanAfterEveryMutationKind) {
+  Verifier v(problem_);
+  v.setShots(std::vector<Rect>{{0, 0, 40, 40}, {5, 5, 22, 22}});
+  EXPECT_TRUE(v.ledgerMatchesScan());
+  v.addShot({18, 3, 39, 20});
+  EXPECT_TRUE(v.ledgerMatchesScan());
+  v.replaceShot(1, {6, 5, 22, 22});
+  EXPECT_TRUE(v.ledgerMatchesScan());
+  v.removeShot(2);
+  EXPECT_TRUE(v.ledgerMatchesScan());
+  // The exact contract: ledger total equals a fresh scan bit for bit.
+  EXPECT_EQ(v.violations(), v.scanViolations());
+}
+
+// --- cost-delta oracle regression ----------------------------------------
+//
+// costDeltaForReplace (cached and uncached) against the ground truth of
+// actually performing the replacement and re-measuring violations over
+// the union influence window. Exercises the refiner's +-1 single-edge
+// hot path (the masked walk), multi-edge moves (the generic fallback),
+// Lmin-sized shots and windows clamped at the grid boundary.
+
+TEST_F(VerifierTest, CostDeltaMatchesWindowedOracleOverRandomMoves) {
+  const int lmin = problem_.params().lmin;
+  Verifier v(problem_);
+  v.setShots(std::vector<Rect>{
+      {0, 0, 40, 40},              // influence window clamps at the border
+      {5, 5, 5 + lmin, 5 + lmin},  // minimum-size shot
+      {18, 3, 39, 21},
+      {-6, 12, 14, 30},  // sticks out past the grid edge
+  });
+
+  std::mt19937 rng(20150601);
+  std::uniform_int_distribution<int> pickShot(
+      0, static_cast<int>(v.shots().size()) - 1);
+  std::uniform_int_distribution<int> pickEdge(0, 3);
+  std::uniform_int_distribution<int> pickDelta(-2, 2);
+
+  int tested = 0;
+  for (int attempt = 0; attempt < 2000 && tested < 300; ++attempt) {
+    const std::size_t i = static_cast<std::size_t>(pickShot(rng));
+    const Rect old = v.shots()[i];
+    Rect cand = old;
+    // One moved edge is the refiner's candidate shape; two and four
+    // moved edges force the generic (unmasked) evaluation path.
+    const int movedEdges = 1 + (attempt % 3 == 2 ? 3 : attempt % 3);
+    for (int e = 0; e < movedEdges; ++e) {
+      const int d = pickDelta(rng);
+      switch (pickEdge(rng)) {
+        case 0: cand.x0 += d; break;
+        case 1: cand.x1 += d; break;
+        case 2: cand.y0 += d; break;
+        default: cand.y1 += d; break;
+      }
+    }
+    if (cand == old || cand.width() < lmin || cand.height() < lmin) continue;
+    ++tested;
+
+    const double uncached = v.costDeltaForReplace(i, cand);
+    CandidateEvalCache cache;
+    const double cached = v.costDeltaForReplace(i, cand, cache);
+    // Bitwise: the cached path must round identically to the uncached one.
+    EXPECT_EQ(uncached, cached) << old.str() << " -> " << cand.str();
+
+    const Rect w = v.intensity().influenceWindow(old.unionWith(cand));
+    const Violations before = v.violationsInWindow(w);
+    v.replaceShot(i, cand);
+    const Violations after = v.violationsInWindow(w);
+    v.replaceShot(i, old);  // restore
+    // The prediction is evaluated over the moved-edge strip's 3-sigma
+    // influence window while the actual update spans the whole shot's;
+    // the Gaussian tail beyond the horizon bounds the gap at ~1e-4
+    // (DESIGN.md deviation 2), which is the accuracy contract here.
+    EXPECT_NEAR(after.cost - before.cost, uncached, 2e-4)
+        << old.str() << " -> " << cand.str();
+  }
+  EXPECT_GE(tested, 200);
+}
+
+TEST_F(VerifierTest, CostDeltaOffGridWindowIsZero) {
+  Verifier v(problem_);
+  // Second shot lies so far outside the grid that the union influence
+  // window clamps to empty; the contract is exactly 0.0, not "small".
+  v.setShots(std::vector<Rect>{{0, 0, 40, 40}, {300, 300, 340, 340}});
+  CandidateEvalCache cache;
+  EXPECT_EQ(v.costDeltaForReplace(1, {301, 300, 341, 340}), 0.0);
+  EXPECT_EQ(v.costDeltaForReplace(1, {301, 300, 341, 340}, cache), 0.0);
+}
+
+TEST_F(VerifierTest, SharedCacheCandidateSetMatchesUncachedBitwise) {
+  Verifier v(problem_);
+  v.setShots(std::vector<Rect>{{0, 0, 40, 40}, {8, 6, 30, 27}});
+
+  // The refiner's exact access pattern: one cache reused across a shot's
+  // whole +-1 single-edge candidate set.
+  const Rect base = v.shots()[1];
+  const Rect candidates[] = {
+      {base.x0 - 1, base.y0, base.x1, base.y1},
+      {base.x0 + 1, base.y0, base.x1, base.y1},
+      {base.x0, base.y0, base.x1 - 1, base.y1},
+      {base.x0, base.y0, base.x1 + 1, base.y1},
+      {base.x0, base.y0 - 1, base.x1, base.y1},
+      {base.x0, base.y0 + 1, base.x1, base.y1},
+      {base.x0, base.y0, base.x1, base.y1 - 1},
+      {base.x0, base.y0, base.x1, base.y1 + 1},
+  };
+  CandidateEvalCache cache;
+  for (const Rect& cand : candidates) {
+    EXPECT_EQ(v.costDeltaForReplace(1, cand, cache),
+              v.costDeltaForReplace(1, cand))
+        << cand.str();
+  }
+
+  // Mutating the verifier bumps its generation; the stale cache must
+  // re-prime instead of reusing dead profiles.
+  v.replaceShot(1, {base.x0 + 1, base.y0, base.x1, base.y1});
+  const Rect moved = v.shots()[1];
+  const Rect cand{moved.x0, moved.y0 - 1, moved.x1, moved.y1};
+  EXPECT_EQ(v.costDeltaForReplace(1, cand, cache),
+            v.costDeltaForReplace(1, cand));
 }
 
 }  // namespace

@@ -39,6 +39,7 @@
 #include "io/table.h"
 #include "mdp/layout.h"
 #include "mdp/ordering.h"
+#include "support/perf_counters.h"
 
 namespace {
 
@@ -233,6 +234,7 @@ int main(int argc, char** argv) {
                     Table::fmt(sol.runtimeSeconds, 2), status});
     }
     table.print(std::cout);
+    std::cout << "perf: " << summarize(result.refinerStats.perf) << "\n";
     if (result.degradedShapes > 0) {
       std::cout << "degraded shapes (" << result.degradedShapes << "):\n";
       for (std::size_t i = 0; i < result.reports.size(); ++i) {
