@@ -28,6 +28,14 @@ struct Solution {
   int shotCount() const { return static_cast<int>(shots.size()); }
   std::int64_t failingPixels() const { return failOn + failOff; }
   bool feasible() const { return failingPixels() == 0; }
+
+  /// Bitwise equality (doubles compared with ==, not a tolerance): the
+  /// contract the crash-recovery layer is tested against — a journal
+  /// round trip must reproduce the record exactly, runtimeSeconds
+  /// included. Two independent fractures of the same shape compare
+  /// unequal only in runtimeSeconds (wall clock); cross-run tests
+  /// compare field-by-field, skipping it.
+  friend bool operator==(const Solution&, const Solution&) = default;
 };
 
 }  // namespace mbf

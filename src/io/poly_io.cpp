@@ -112,6 +112,15 @@ void writeShots(std::ostream& os, std::span<const Rect> shots) {
   }
 }
 
+void writeBatchShots(std::ostream& os, std::span<const Solution> solutions) {
+  for (std::size_t i = 0; i < solutions.size(); ++i) {
+    os << "# shape " << i << ": " << solutions[i].shotCount() << " shots, "
+       << solutions[i].failingPixels() << " failing px"
+       << (solutions[i].degraded ? ", degraded" : "") << "\n";
+    writeShots(os, solutions[i].shots);
+  }
+}
+
 std::vector<Rect> readShots(std::istream& is) {
   std::vector<Rect> out;
   std::string raw;

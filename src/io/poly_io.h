@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "fracture/solution.h"
 #include "geometry/polygon.h"
 #include "geometry/rect.h"
 #include "support/status.h"
@@ -44,6 +45,13 @@ std::vector<Polygon> loadPolygons(const std::string& path);
 
 void writeShots(std::ostream& os, std::span<const Rect> shots);
 std::vector<Rect> readShots(std::istream& is);
+
+/// The sectioned .shots layout mbf_cli emits: one "# shape i: N shots,
+/// M failing px[, degraded]" comment per shape followed by its shots.
+/// Factored here so every driver (plain, resumed, supervised) formats
+/// output through the same code — the resume byte-identity contract
+/// covers the exact bytes of this writer.
+void writeBatchShots(std::ostream& os, std::span<const Solution> solutions);
 
 bool saveShots(const std::string& path, std::span<const Rect> shots);
 std::vector<Rect> loadShots(const std::string& path);

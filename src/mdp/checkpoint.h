@@ -1,0 +1,82 @@
+// Journaled batch fracturing (DESIGN.md section 14). A journaled run
+// appends one serialized ShapeRecord — shots, quality stats, the causal
+// Status — to a support/journal file the moment each shape completes;
+// `--resume` replays every intact record, fractures only the missing
+// shapes, and merges both populations in input order, so an
+// interrupted-then-resumed run produces byte-identical final output to
+// an uninterrupted one (tested at 1/4/8 threads and against SIGKILL at
+// randomized points in tests/crash_drill_test.cpp).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mdp/layout.h"
+#include "support/journal.h"
+#include "support/status.h"
+
+namespace mbf {
+
+/// One journaled unit of work: a shape's solution and report, addressed
+/// by its index in the ORIGINAL layout (shard-invariant, so per-worker
+/// journals merge without translation).
+struct ShapeRecord {
+  int shapeIndex = -1;
+  Solution solution;
+  ShapeReport report;
+};
+
+/// Binary little-endian serialization of a ShapeRecord. Doubles round
+/// trip bit-for-bit (memcpy, no text formatting), which is what makes a
+/// replayed shape byte-identical to a freshly fractured one. The Status
+/// source location is not serialized (it is a pointer into the binary
+/// that wrote the record); code, message, shapeIndex and byteOffset are.
+std::string encodeShapeRecord(const ShapeRecord& record);
+Status decodeShapeRecord(std::string_view bytes, ShapeRecord& out);
+
+/// Fingerprint of a run, stored as the journal's header meta: shape
+/// count, index base, and an FNV-1a hash over every ring vertex and the
+/// result-relevant FractureParams. Resume refuses a journal whose
+/// fingerprint differs — replaying records of a different layout or
+/// parameter set would silently corrupt the output.
+std::string journalMetaFor(const std::vector<LayoutShape>& shapes,
+                           const BatchConfig& config);
+
+/// Crash-recovery bookkeeping surfaced in the mbf_cli degradation
+/// report. The journal layer fills the first three; the supervisor
+/// (mdp/supervisor) fills the rest.
+struct RunCounters {
+  int resumedShapes = 0;   ///< replayed from the journal, not recomputed
+  int freshShapes = 0;     ///< fractured by this process
+  bool tornTail = false;   ///< recovery truncated a partial record
+  int retriedRanges = 0;   ///< worker ranges relaunched after a failure
+  int bisectedRanges = 0;  ///< failing ranges split to localize a culprit
+  int crashedWorkers = 0;  ///< abnormal worker exits (signal / bad code)
+  int hungWorkers = 0;     ///< workers SIGKILLed by the watchdog
+  int crashedShapes = 0;   ///< culprit shapes isolated by bisection
+};
+
+struct JournaledRunOptions {
+  std::string journalPath;
+  /// Replay an existing journal before fracturing (a missing journal
+  /// file is not an error — the run is simply fresh).
+  bool resume = false;
+  JournalFsync fsync = JournalFsync::kNone;
+};
+
+/// fractureLayoutParallel with a write-ahead result journal: identical
+/// merge semantics (the two share mergeBatchAggregates), plus one
+/// journal append per completed shape from the worker threads. Errors
+/// (unopenable journal, fingerprint mismatch, append failure) are
+/// returned as a Status; `out` still holds whatever completed.
+/// Journal-replayed shapes carry no RefinerStats (the journal stores
+/// results, not profiling), so a resumed run's perf aggregates cover
+/// only the freshly fractured shapes.
+Status fractureLayoutJournaled(const std::vector<LayoutShape>& shapes,
+                               const BatchConfig& config,
+                               const JournaledRunOptions& options,
+                               BatchResult& out,
+                               RunCounters* countersOut = nullptr);
+
+}  // namespace mbf

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <new>
+#include <thread>
 #include <utility>
 
 #include "baselines/eda_proxy.h"
@@ -198,10 +200,22 @@ Solution fractureShape(const LayoutShape& shape, const FractureParams& params,
   return fractureProblem(problem, method, statsOut);
 }
 
+namespace {
+
+/// kHang: a hard, non-cooperative hang. Deliberately past every budget
+/// checkpoint — only an external watchdog (mdp/supervisor) ends it.
+[[noreturn]] void hangForever() {
+  for (;;) {
+    std::this_thread::sleep_for(std::chrono::hours(1));
+  }
+}
+
+}  // namespace
+
 ShapeOutcome fractureShapeGuarded(const LayoutShape& shape,
                                   const FractureParams& params, Method method,
                                   int shapeIndex, bool allowDegradation,
-                                  RefinerStats* statsOut) {
+                                  RefinerStats* statsOut, bool fallbackOnly) {
   ShapeOutcome out;
   SanitizedShape clean = sanitizeShape(shape);
 
@@ -217,13 +231,24 @@ ShapeOutcome fractureShapeGuarded(const LayoutShape& shape,
     return out;
   }
 
-  const FaultKind fault = params.faultInjector != nullptr
+  // fallbackOnly skips the primary path AND the injector: the injected
+  // crash already killed a worker once, re-arming it here would poison
+  // the recovery attempt the mode exists for.
+  const FaultKind fault = params.faultInjector != nullptr && !fallbackOnly
                               ? params.faultInjector->faultFor(shapeIndex)
                               : FaultKind::kNone;
+  if (fault == FaultKind::kCrash) std::abort();
+  if (fault == FaultKind::kHang) hangForever();
 
   Status failure;
   bool failed = false;
-  if (clean.forceFallback) {
+  if (fallbackOnly) {
+    failure = Status(StatusCode::kExecFault,
+                     "primary path skipped: shape isolated after repeated "
+                     "worker crashes")
+                  .withShape(shapeIndex);
+    failed = true;
+  } else if (clean.forceFallback) {
     failure = clean.status.withShape(shapeIndex);
     failed = true;
   } else {
@@ -307,6 +332,27 @@ ShapeOutcome fractureShapeGuarded(const LayoutShape& shape,
   return out;
 }
 
+void mergeBatchAggregates(BatchResult& result,
+                          const std::vector<RefinerStats>& shapeStats) {
+  result.totalShots = 0;
+  result.totalFailingPixels = 0;
+  result.shapeSecondsSum = 0.0;
+  result.degradedShapes = 0;
+  result.refinerStats = {};
+  // Deterministic merge in input order, identical across the plain,
+  // journaled and supervised drivers (and any thread count).
+  for (std::size_t i = 0; i < result.solutions.size(); ++i) {
+    const Solution& sol = result.solutions[i];
+    result.totalShots += sol.shotCount();
+    result.totalFailingPixels += sol.failingPixels();
+    result.shapeSecondsSum += sol.runtimeSeconds;
+    if (i < shapeStats.size()) result.refinerStats += shapeStats[i];
+    if (i < result.reports.size() && result.reports[i].degraded) {
+      ++result.degradedShapes;
+    }
+  }
+}
+
 BatchResult fractureLayoutParallel(const std::vector<LayoutShape>& shapes,
                                    const BatchConfig& config) {
   const auto start = std::chrono::steady_clock::now();
@@ -324,22 +370,16 @@ BatchResult fractureLayoutParallel(const std::vector<LayoutShape>& shapes,
   const int threads = ThreadPool::resolveThreads(config.threads);
   parallelFor(0, static_cast<int>(shapes.size()), threads, 1, [&](int i) {
     const std::size_t s = static_cast<std::size_t>(i);
-    ShapeOutcome outcome =
-        fractureShapeGuarded(shapes[s], config.params, config.method, i,
-                             config.allowDegradation, &shapeStats[s]);
+    // Reports carry the ORIGINAL layout index: tile-local i offset by
+    // the shard base (0 for a full run).
+    ShapeOutcome outcome = fractureShapeGuarded(
+        shapes[s], config.params, config.method, config.shapeIndexBase + i,
+        config.allowDegradation, &shapeStats[s], config.fallbackOnly);
     result.solutions[s] = std::move(outcome.solution);
     result.reports[s] = {std::move(outcome.status), outcome.degraded};
   });
 
-  // Deterministic merge in input order.
-  for (std::size_t i = 0; i < shapes.size(); ++i) {
-    const Solution& sol = result.solutions[i];
-    result.totalShots += sol.shotCount();
-    result.totalFailingPixels += sol.failingPixels();
-    result.shapeSecondsSum += sol.runtimeSeconds;
-    result.refinerStats += shapeStats[i];
-    if (result.reports[i].degraded) ++result.degradedShapes;
-  }
+  mergeBatchAggregates(result, shapeStats);
   result.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -65,11 +65,18 @@ struct ShapeOutcome {
 /// failure (budget exhausted, solver failure, any exception) into a
 /// rect-partition fallback solution tagged `degraded` instead of
 /// throwing. Never throws except on allocation failure of its own
-/// bookkeeping.
+/// bookkeeping. `shapeIndex` is the shape's index in the ORIGINAL
+/// layout (not in whatever tile/shard the caller is iterating); it is
+/// stamped on every Status so reports stay addressable after sharding.
+/// `fallbackOnly` skips the primary method (and fault injection)
+/// entirely and goes straight to the fallback ladder — the supervisor
+/// uses it to re-fracture a crash-isolated culprit shape without
+/// re-entering the code path that killed its worker.
 ShapeOutcome fractureShapeGuarded(const LayoutShape& shape,
                                   const FractureParams& params, Method method,
                                   int shapeIndex, bool allowDegradation,
-                                  RefinerStats* statsOut = nullptr);
+                                  RefinerStats* statsOut = nullptr,
+                                  bool fallbackOnly = false);
 
 /// Per-shape entry of BatchResult::reports.
 struct ShapeReport {
@@ -108,7 +115,26 @@ struct BatchConfig {
   /// when false (--strict), such a shape keeps an empty solution and its
   /// error status, and the batch still completes.
   bool allowDegradation = true;
+  /// Original-layout index of shapes[0]. A full run leaves this 0; a
+  /// tiled/sharded run (supervisor worker ranges, journaled sub-batches)
+  /// sets it so every ShapeReport Status carries the index the shape has
+  /// in the complete layout, never a tile-local one.
+  int shapeIndexBase = 0;
+  /// Skip the primary method and fracture every shape with the fallback
+  /// ladder directly (supervisor crash-isolation; see
+  /// fractureShapeGuarded).
+  bool fallbackOnly = false;
 };
+
+/// Recomputes BatchResult's aggregate fields (totalShots,
+/// totalFailingPixels, shapeSecondsSum, degradedShapes, refinerStats)
+/// from its solutions/reports in input order. `shapeStats` pairs with
+/// solutions; pass an empty vector when no per-shape stats exist (e.g.
+/// journal-replayed shapes). Shared by the plain, journaled and
+/// supervised drivers so every path merges identically — the resume
+/// byte-identity contract depends on it.
+void mergeBatchAggregates(BatchResult& result,
+                          const std::vector<RefinerStats>& shapeStats);
 
 /// Parallel layout fracturing on the work-stealing pool: every shape is
 /// one job with private Problem/Verifier state. A shape's grid covers its

@@ -1,0 +1,399 @@
+#include "mdp/supervisor.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <limits>
+#include <thread>
+
+#include "support/journal.h"
+
+namespace mbf {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+struct RangeTask {
+  int begin = 0;
+  int end = 0;  ///< exclusive
+  int attempts = 0;
+  bool degradeOnly = false;
+  Clock::time_point eligible = Clock::time_point::min();
+};
+
+struct RunningWorker {
+  RangeTask task;
+  pid_t pid = -1;
+  Clock::time_point deadline = Clock::time_point::max();
+  bool killedByWatchdog = false;
+  std::string journalPath;
+  std::string logPath;
+};
+
+std::string rangeTag(const RangeTask& t) {
+  return std::to_string(t.begin) + "_" + std::to_string(t.end) +
+         (t.degradeOnly ? "_fb" : "");
+}
+
+double backoffMs(const SupervisorConfig& config, int attempts) {
+  double ms = config.backoffBaseMs;
+  for (int i = 0; i < attempts; ++i) {
+    ms *= 2.0;
+    if (ms >= config.backoffCapMs) return config.backoffCapMs;
+  }
+  return std::min(ms, config.backoffCapMs);
+}
+
+/// Last few lines of a worker log, for fatal-error diagnostics.
+std::string logTail(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return "(no worker log)";
+  std::string all;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) all.append(buf, n);
+  std::fclose(f);
+  if (all.size() > 500) all.erase(0, all.size() - 500);
+  for (char& c : all) {
+    if (c == '\n') c = ' ';
+  }
+  return all.empty() ? "(empty worker log)" : all;
+}
+
+pid_t spawnWorker(const SupervisorConfig& config, const RangeTask& task,
+                  const std::string& journalPath, const std::string& logPath,
+                  Status& error) {
+  std::vector<std::string> args;
+  args.push_back(config.cliPath);
+  args.push_back(config.inputPath);
+  args.push_back(config.workDir + "/w_" + rangeTag(task) + ".shots");
+  args.push_back("--worker");
+  args.push_back("--shape-range=" + std::to_string(task.begin) + ":" +
+                 std::to_string(task.end));
+  args.push_back("--journal=" + journalPath);
+  // Always resume: a retried range skips its already-journaled prefix.
+  args.push_back("--resume");
+  // Worker parallelism is process-level; inside one worker the shape
+  // order must be completion order so a crash leaves a contiguous
+  // journaled prefix (the requeue logic depends on it).
+  args.push_back("--threads=1");
+  if (task.degradeOnly) args.push_back("--degrade-only");
+  for (const std::string& a : config.workerArgs) args.push_back(a);
+
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    error = Status(StatusCode::kResourceExhausted,
+                   std::string("fork failed: ") + std::strerror(errno));
+    return -1;
+  }
+  if (pid == 0) {
+    // Child: only async-signal-safe calls between fork and exec.
+    const int logFd =
+        ::open(logPath.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (logFd >= 0) {
+      ::dup2(logFd, 1);
+      ::dup2(logFd, 2);
+      ::close(logFd);
+    }
+    ::execv(argv[0], argv.data());
+    _exit(127);
+  }
+  return pid;
+}
+
+}  // namespace
+
+std::string selfExePath(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0 != nullptr ? argv0 : "";
+}
+
+SupervisorResult superviseFracture(const SupervisorConfig& config) {
+  SupervisorResult result;
+  const int n = config.numShapes;
+  if (n <= 0) {
+    result.status =
+        Status(StatusCode::kInvalidArgument, "supervisor needs numShapes > 0");
+    return result;
+  }
+  if (::mkdir(config.workDir.c_str(), 0755) != 0 && errno != EEXIST) {
+    result.status = Status(StatusCode::kIoError,
+                           "cannot create supervisor work dir '" +
+                               config.workDir + "': " + std::strerror(errno));
+    return result;
+  }
+
+  const int jobs = std::max(1, config.jobs);
+  // Several chunks per worker slot: small enough that a crash forfeits
+  // little work and bisection starts close to the culprit, large enough
+  // that process spawn cost stays amortized.
+  int chunk = config.chunkShapes;
+  if (chunk <= 0) chunk = std::max(1, (n + jobs * 4 - 1) / (jobs * 4));
+
+  std::deque<RangeTask> queue;
+  for (int b = 0; b < n; b += chunk) {
+    queue.push_back(RangeTask{b, std::min(n, b + chunk)});
+  }
+  std::vector<RunningWorker> running;
+
+  auto log = [&](const std::string& line) {
+    if (config.verbose) std::cerr << "supervisor: " << line << "\n";
+  };
+
+  // Harvest every intact record of a (possibly dead) worker's journal.
+  auto harvest = [&](const std::string& journalPath) {
+    std::string meta;
+    std::vector<std::string> payloads;
+    if (!recoverJournal(journalPath, meta, payloads).ok()) return;
+    for (const std::string& bytes : payloads) {
+      ShapeRecord record;
+      if (!decodeShapeRecord(bytes, record).ok()) continue;
+      if (record.shapeIndex < 0 || record.shapeIndex >= n) continue;
+      result.records.emplace(record.shapeIndex, std::move(record));
+    }
+  };
+
+  auto firstMissing = [&](int begin, int end) {
+    for (int i = begin; i < end; ++i) {
+      if (result.records.find(i) == result.records.end()) return i;
+    }
+    return end;
+  };
+
+  Status fatal;
+  while ((!queue.empty() || !running.empty()) && fatal.ok()) {
+    const Clock::time_point now = Clock::now();
+
+    // Launch eligible tasks into free slots.
+    while (static_cast<int>(running.size()) < jobs && !queue.empty()) {
+      auto it = std::find_if(queue.begin(), queue.end(), [&](const RangeTask& t) {
+        return t.eligible <= now;
+      });
+      if (it == queue.end()) break;
+      RunningWorker w;
+      w.task = *it;
+      queue.erase(it);
+      w.journalPath = config.workDir + "/w_" + rangeTag(w.task) + ".jrnl";
+      w.logPath = config.workDir + "/w_" + rangeTag(w.task) + ".log";
+      Status spawnError;
+      w.pid = spawnWorker(config, w.task, w.journalPath, w.logPath,
+                          spawnError);
+      if (w.pid < 0) {
+        fatal = spawnError;
+        break;
+      }
+      if (config.workerTimeoutMs > 0.0) {
+        w.deadline = now + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double, std::milli>(
+                                   config.workerTimeoutMs));
+      }
+      log("launched pid " + std::to_string(w.pid) + " for shapes [" +
+          std::to_string(w.task.begin) + ", " + std::to_string(w.task.end) +
+          ")" + (w.task.degradeOnly ? " fallback-only" : ""));
+      running.push_back(std::move(w));
+    }
+
+    // Watchdog: SIGKILL workers past their wall-clock deadline.
+    for (RunningWorker& w : running) {
+      if (!w.killedByWatchdog && Clock::now() > w.deadline) {
+        log("watchdog: pid " + std::to_string(w.pid) + " exceeded " +
+            std::to_string(config.workerTimeoutMs) + " ms, SIGKILL");
+        ::kill(w.pid, SIGKILL);
+        w.killedByWatchdog = true;
+        ++result.counters.hungWorkers;
+      }
+    }
+
+    // Reap.
+    bool reaped = false;
+    for (std::size_t i = 0; i < running.size();) {
+      RunningWorker& w = running[i];
+      int wstatus = 0;
+      const pid_t r = ::waitpid(w.pid, &wstatus, WNOHANG);
+      if (r == 0) {
+        ++i;
+        continue;
+      }
+      reaped = true;
+      RunningWorker worker = std::move(w);
+      running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
+      const RangeTask& task = worker.task;
+
+      harvest(worker.journalPath);
+      const int missing = firstMissing(task.begin, task.end);
+      const bool exited = WIFEXITED(wstatus);
+      const int exitCode = exited ? WEXITSTATUS(wstatus) : -1;
+      const bool completed =
+          exited && (exitCode == 0 || exitCode == 1 || exitCode == 4) &&
+          missing == task.end;
+
+      if (completed) {
+        log("pid " + std::to_string(worker.pid) + " completed [" +
+            std::to_string(task.begin) + ", " + std::to_string(task.end) +
+            ") with exit " + std::to_string(exitCode));
+        continue;
+      }
+
+      // Config-level failures poison every future worker identically;
+      // retrying or bisecting them would only spin.
+      if (exited && (exitCode == 2 || exitCode == 3 || exitCode == 127)) {
+        fatal = Status(StatusCode::kInternal,
+                       "worker for shapes [" + std::to_string(task.begin) +
+                           ", " + std::to_string(task.end) + ") exited " +
+                           std::to_string(exitCode) +
+                           " (bad arguments / unrunnable): " +
+                           logTail(worker.logPath));
+        break;
+      }
+
+      ++result.counters.crashedWorkers;
+      const std::string why =
+          worker.killedByWatchdog
+              ? "hung (watchdog SIGKILL)"
+              : exited ? "exited " + std::to_string(exitCode)
+                       : "killed by signal " + std::to_string(WTERMSIG(wstatus));
+
+      if (task.degradeOnly) {
+        // Even the fallback-only worker died. Synthesize an empty
+        // degraded record so the batch still accounts for the shape.
+        if (task.attempts >= config.maxRetries) {
+          log("fallback-only worker for shape " + std::to_string(task.begin) +
+              " " + why + "; recording an empty degraded result");
+          ShapeRecord record;
+          record.shapeIndex = task.begin;
+          record.solution.method = "empty";
+          record.solution.degraded = true;
+          record.report.degraded = true;
+          record.report.status =
+              Status(StatusCode::kExecFault,
+                     "worker crashed even in fallback-only mode (" + why + ")")
+                  .withShape(task.begin);
+          result.records.emplace(task.begin, std::move(record));
+          continue;
+        }
+        RangeTask retry = task;
+        ++retry.attempts;
+        ++result.counters.retriedRanges;
+        retry.eligible = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                            std::chrono::duration<double, std::milli>(
+                                                backoffMs(config, retry.attempts)));
+        queue.push_back(retry);
+        continue;
+      }
+
+      if (missing == task.end) {
+        // Every shape journaled despite the abnormal exit (e.g. crash
+        // after the last append): the work is intact, move on.
+        log("pid " + std::to_string(worker.pid) + " " + why +
+            " after journaling its whole range; keeping the records");
+        continue;
+      }
+
+      if (missing > task.begin) {
+        // Progress was made; only the remainder goes back. Attempts
+        // reset — this is a different (smaller) range now.
+        log("pid " + std::to_string(worker.pid) + " " + why + " at shape " +
+            std::to_string(missing) + "; requeueing [" +
+            std::to_string(missing) + ", " + std::to_string(task.end) + ")");
+        ++result.counters.retriedRanges;
+        queue.push_back(RangeTask{missing, task.end, 0, false, Clock::now()});
+        continue;
+      }
+
+      if (task.attempts < config.maxRetries) {
+        RangeTask retry = task;
+        ++retry.attempts;
+        ++result.counters.retriedRanges;
+        const double delay = backoffMs(config, retry.attempts);
+        retry.eligible = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                            std::chrono::duration<double, std::milli>(delay));
+        log("pid " + std::to_string(worker.pid) + " " + why +
+            " with no progress; retry " + std::to_string(retry.attempts) +
+            "/" + std::to_string(config.maxRetries) + " in " +
+            std::to_string(static_cast<int>(delay)) + " ms");
+        queue.push_back(retry);
+        continue;
+      }
+
+      if (task.end - task.begin > 1) {
+        // Retries exhausted on a multi-shape range: bisect toward the
+        // culprit instead of abandoning every shape in it.
+        const int mid = task.begin + (task.end - task.begin) / 2;
+        log("bisecting [" + std::to_string(task.begin) + ", " +
+            std::to_string(task.end) + ") -> [" + std::to_string(task.begin) +
+            ", " + std::to_string(mid) + ") + [" + std::to_string(mid) +
+            ", " + std::to_string(task.end) + ")");
+        ++result.counters.bisectedRanges;
+        queue.push_back(RangeTask{task.begin, mid, 0, false, Clock::now()});
+        queue.push_back(RangeTask{mid, task.end, 0, false, Clock::now()});
+        continue;
+      }
+
+      // Single-shape culprit: degrade it via the fallback ladder in a
+      // fresh worker instead of poisoning the batch.
+      log("isolated culprit shape " + std::to_string(task.begin) + " (" +
+          why + "); degrading via fallback-only worker");
+      ++result.counters.crashedShapes;
+      result.isolatedShapes.push_back(task.begin);
+      queue.push_back(RangeTask{task.begin, task.end, 0, true, Clock::now()});
+    }
+
+    if (!reaped && fatal.ok()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  // Fatal path: reap whatever is still running so no zombies outlive us.
+  for (RunningWorker& w : running) {
+    ::kill(w.pid, SIGKILL);
+    int wstatus = 0;
+    ::waitpid(w.pid, &wstatus, 0);
+  }
+
+  if (fatal.ok()) {
+    // From the batch's viewpoint every shape was produced this run (the
+    // resume machinery workers use internally only avoids re-work
+    // across retries of one range).
+    result.counters.freshShapes = n;
+    std::sort(result.isolatedShapes.begin(), result.isolatedShapes.end());
+    // Belt and braces: a hole here is a supervisor bug, but the batch
+    // must still account for every shape.
+    for (int i = 0; i < n; ++i) {
+      if (result.records.find(i) != result.records.end()) continue;
+      ShapeRecord record;
+      record.shapeIndex = i;
+      record.solution.method = "empty";
+      record.solution.degraded = true;
+      record.report.degraded = true;
+      record.report.status =
+          Status(StatusCode::kInternal,
+                 "shape was never journaled by any worker")
+              .withShape(i);
+      result.records.emplace(i, std::move(record));
+    }
+  }
+  result.status = fatal;
+  return result;
+}
+
+}  // namespace mbf

@@ -1,0 +1,85 @@
+// Supervised multi-process fracturing (mbf_cli --isolate). The
+// supervisor shards the layout's shape ranges across worker
+// subprocesses — each worker is mbf_cli re-exec'd in a hidden worker
+// mode, journaling every completed shape to a per-range journal — and
+// survives what no in-process ladder can: segfaults, OOM-kills and hard
+// hangs of the fracture engine itself.
+//
+// State machine per range task:
+//
+//   queued -> running -> completed          (worker exit 0/1/4, range
+//                                            fully journaled)
+//                     -> progressed         (worker died mid-range; the
+//                                            journaled prefix is kept and
+//                                            the remainder is requeued)
+//                     -> retried            (no progress; relaunch after
+//                                            capped exponential backoff)
+//                     -> bisected           (retries exhausted on a
+//                                            multi-shape range: split in
+//                                            half, recurse)
+//                     -> isolated           (retries exhausted on a
+//                                            single shape: the culprit is
+//                                            re-fractured fallback-only,
+//                                            degrading one shape instead
+//                                            of poisoning the batch)
+//
+// A wall-clock watchdog SIGKILLs workers that exceed workerTimeoutMs
+// (hard hangs never reach a cooperative checkpoint). Because workers
+// journal as they go, every retry resumes instead of recomputing, and
+// the per-shape records the supervisor harvests are bitwise identical
+// to what a single-process run would have produced.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mdp/checkpoint.h"
+#include "support/status.h"
+
+namespace mbf {
+
+struct SupervisorConfig {
+  /// The mbf_cli binary to re-exec as workers (see selfExePath()).
+  std::string cliPath;
+  /// Input layout file; workers re-read and re-group it, so shape
+  /// indices agree across every process by construction.
+  std::string inputPath;
+  /// Scratch directory for per-range journals, worker outputs and logs;
+  /// created if missing.
+  std::string workDir;
+  /// Flags forwarded verbatim to every worker (--gamma=..., --inject=...
+  /// and friends). The supervisor adds the worker-mode plumbing itself.
+  std::vector<std::string> workerArgs;
+
+  int numShapes = 0;
+  int jobs = 2;            ///< concurrent worker processes
+  int chunkShapes = 0;     ///< shapes per initial range; 0 = derive
+  double workerTimeoutMs = 0.0;  ///< watchdog; 0 = no timeout
+  int maxRetries = 2;      ///< relaunches of one range before bisection
+  double backoffBaseMs = 50.0;
+  double backoffCapMs = 2000.0;
+  bool verbose = false;    ///< supervisor event log on stderr
+};
+
+struct SupervisorResult {
+  /// Supervisor-level fatal error (worker binary unrunnable, worker
+  /// rejected its arguments, scratch dir unwritable). Per-shape
+  /// failures never land here — they become degraded records.
+  Status status;
+  /// Harvested per-shape records, keyed by original shape index. On a
+  /// clean supervisor run every index in [0, numShapes) is present
+  /// (culprits included, as fallback-only or synthesized records).
+  std::map<int, ShapeRecord> records;
+  RunCounters counters;
+  /// Original indices of crash-isolated culprit shapes.
+  std::vector<int> isolatedShapes;
+};
+
+SupervisorResult superviseFracture(const SupervisorConfig& config);
+
+/// Absolute path of the running executable (/proc/self/exe), falling
+/// back to `argv0` when the proc link is unreadable.
+std::string selfExePath(const char* argv0);
+
+}  // namespace mbf

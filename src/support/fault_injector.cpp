@@ -20,8 +20,27 @@ const char* toString(FaultKind kind) {
     case FaultKind::kThrow: return "throw";
     case FaultKind::kOom: return "oom";
     case FaultKind::kTimeout: return "timeout";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kHang: return "hang";
   }
   return "?";
+}
+
+bool parseFaultKind(const std::string& text, FaultKind& out) {
+  if (text == "throw") {
+    out = FaultKind::kThrow;
+  } else if (text == "oom") {
+    out = FaultKind::kOom;
+  } else if (text == "timeout") {
+    out = FaultKind::kTimeout;
+  } else if (text == "crash") {
+    out = FaultKind::kCrash;
+  } else if (text == "hang") {
+    out = FaultKind::kHang;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 void FaultInjector::armShape(int shapeIndex, FaultKind kind) {
@@ -33,9 +52,19 @@ void FaultInjector::armRandom(int permille, FaultKind kind) {
   randomKind_ = kind;
 }
 
+void FaultInjector::armEveryNth(int n, FaultKind kind, int phase) {
+  everyNth_ = n;
+  everyNthKind_ = kind;
+  everyNthPhase_ = n > 0 ? ((phase % n) + n) % n : 0;
+}
+
 FaultKind FaultInjector::faultFor(int shapeIndex) const {
   const auto it = explicit_.find(shapeIndex);
   if (it != explicit_.end()) return it->second;
+  if (everyNth_ > 0 && shapeIndex >= 0 &&
+      shapeIndex % everyNth_ == everyNthPhase_) {
+    return everyNthKind_;
+  }
   if (randomPermille_ > 0) {
     const std::uint64_t h =
         splitmix64(seed_ ^ static_cast<std::uint64_t>(shapeIndex));

@@ -10,8 +10,15 @@
 //   kThrow   -> throws InjectedFaultError from the primary path,
 //   kOom     -> throws std::bad_alloc (allocation-failure simulation),
 //   kTimeout -> arms an already-expired Deadline, so the first
-//               cooperative checkpoint raises BudgetExceededError.
-// All three exercise the same degradation ladder real faults take.
+//               cooperative checkpoint raises BudgetExceededError,
+//   kCrash   -> std::abort() — process death past every cooperative
+//               checkpoint (segfault / OOM-kill stand-in); only the
+//               journal + supervisor layer can recover from it,
+//   kHang    -> an uninterruptible sleep loop — a hard hang the
+//               supervisor watchdog must SIGKILL.
+// The first three exercise the in-process degradation ladder; the last
+// two exercise the crash-recovery layer (DESIGN.md section 14) and are
+// armed through mbf_cli --inject in the crash drills.
 //
 // Thread safety: configure (armShape/armRandom) before handing the
 // injector to FractureParams; afterwards it is only read concurrently.
@@ -19,6 +26,7 @@
 
 #include <cstdint>
 #include <map>
+#include <string>
 
 namespace mbf {
 
@@ -27,9 +35,14 @@ enum class FaultKind : std::uint8_t {
   kThrow,    ///< exception escapes the primary fracture path
   kOom,      ///< std::bad_alloc from the primary fracture path
   kTimeout,  ///< per-shape deadline reported as already expired
+  kCrash,    ///< hard process death (std::abort) while fracturing
+  kHang,     ///< non-cooperative hang (sleep loop) while fracturing
 };
 
 const char* toString(FaultKind kind);
+/// Parses "throw" / "oom" / "timeout" / "crash" / "hang" (the mbf_cli
+/// --inject spelling); returns false on anything else.
+bool parseFaultKind(const std::string& text, FaultKind& out);
 
 class FaultInjector {
  public:
@@ -43,14 +56,23 @@ class FaultInjector {
   /// decided per shape from the seed (deterministic, order-free).
   void armRandom(int permille, FaultKind kind);
 
+  /// Arms `kind` on every nth shape: index i faults iff i % n == phase.
+  /// The deterministic "nth call" trigger of the crash drills — a batch
+  /// with n = 5 loses exactly shapes 0, 5, 10, ... on every run.
+  void armEveryNth(int n, FaultKind kind, int phase = 0);
+
   /// The fault armed for this shape, kNone when the shape runs clean.
-  /// Explicit arms take precedence over the random rule.
+  /// Explicit arms take precedence over the every-nth rule, which takes
+  /// precedence over the random rule.
   FaultKind faultFor(int shapeIndex) const;
 
  private:
   std::uint64_t seed_ = 0;
   int randomPermille_ = 0;
   FaultKind randomKind_ = FaultKind::kNone;
+  int everyNth_ = 0;
+  int everyNthPhase_ = 0;
+  FaultKind everyNthKind_ = FaultKind::kNone;
   std::map<int, FaultKind> explicit_;
 };
 

@@ -1,0 +1,425 @@
+// Tests for the journaled batch layer (mdp/checkpoint, DESIGN.md section
+// 14): ShapeRecord serialization round trips bitwise, a journaled run
+// matches a plain run exactly, and resuming from a partial journal at
+// any thread count reproduces the uninterrupted output byte for byte.
+// The process-level half of the contract (SIGKILL mid-run, supervisor
+// isolation) lives in tests/crash_drill_test.cpp.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "benchgen/ilt_synth.h"
+#include "io/poly_io.h"
+#include "mdp/checkpoint.h"
+#include "mdp/layout.h"
+#include "support/fault_injector.h"
+#include "support/journal.h"
+
+namespace mbf {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_("checkpoint_test_" + name + ".tmp") {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+Polygon square(int size, Point at = {0, 0}) {
+  return Polygon({{at.x, at.y},
+                  {at.x + size, at.y},
+                  {at.x + size, at.y + size},
+                  {at.x, at.y + size}});
+}
+
+/// A small mixed layout: synthesized ILT shapes so solutions carry
+/// non-trivial doubles, plus plain squares.
+std::vector<LayoutShape> testLayout(int n) {
+  std::vector<LayoutShape> shapes;
+  for (int i = 0; i < n; ++i) {
+    LayoutShape s;
+    if (i % 3 == 0) {
+      s.rings.push_back(square(40, {i * 100, 0}));
+    } else {
+      IltSynthConfig cfg;
+      cfg.seed = 900 + static_cast<unsigned>(i);
+      s.rings.push_back(makeIltShape(cfg));
+    }
+    shapes.push_back(s);
+  }
+  return shapes;
+}
+
+std::string shotsText(const BatchResult& result) {
+  std::ostringstream os;
+  writeBatchShots(os, result.solutions);
+  return os.str();
+}
+
+/// Result equality across two independent runs: everything the batch
+/// computed must match bitwise — except runtimeSeconds, which is wall
+/// clock, differs between any two fresh fractures of the same shape, and
+/// is not part of the .shots output the byte-identity contract covers.
+void expectSameSolution(const Solution& a, const Solution& b,
+                        std::size_t i) {
+  EXPECT_EQ(a.shots, b.shots) << "shape " << i;
+  EXPECT_EQ(a.failOn, b.failOn) << "shape " << i;
+  EXPECT_EQ(a.failOff, b.failOff) << "shape " << i;
+  EXPECT_EQ(a.cost, b.cost) << "shape " << i;  // bitwise, no tolerance
+  EXPECT_EQ(a.method, b.method) << "shape " << i;
+  EXPECT_EQ(a.degraded, b.degraded) << "shape " << i;
+}
+
+void expectSameBatch(const BatchResult& a, const BatchResult& b) {
+  ASSERT_EQ(a.solutions.size(), b.solutions.size());
+  for (std::size_t i = 0; i < a.solutions.size(); ++i) {
+    expectSameSolution(a.solutions[i], b.solutions[i], i);
+    EXPECT_EQ(a.reports[i].degraded, b.reports[i].degraded) << "shape " << i;
+    EXPECT_EQ(a.reports[i].status.code(), b.reports[i].status.code())
+        << "shape " << i;
+  }
+  EXPECT_EQ(a.totalShots, b.totalShots);
+  EXPECT_EQ(a.totalFailingPixels, b.totalFailingPixels);
+  EXPECT_EQ(a.degradedShapes, b.degradedShapes);
+  EXPECT_EQ(shotsText(a), shotsText(b));
+}
+
+// --- ShapeRecord serialization -----------------------------------------
+
+TEST(ShapeRecordTest, RoundTripsBitwise) {
+  ShapeRecord rec;
+  rec.shapeIndex = 42;
+  rec.solution.shots = {Rect(0, 0, 10, 10), Rect(-5, 3, 7, 9)};
+  rec.solution.failOn = 3;
+  rec.solution.failOff = 1;
+  rec.solution.cost = 0.1 + 0.2;  // not exactly 0.3 — bitwise must hold
+  rec.solution.runtimeSeconds = 1.25e-3;
+  rec.solution.method = "ours";
+  rec.solution.degraded = true;
+  rec.report.degraded = true;
+  rec.report.status =
+      Status(StatusCode::kBudgetExceeded, "shape time budget").withShape(42);
+
+  ShapeRecord out;
+  ASSERT_TRUE(decodeShapeRecord(encodeShapeRecord(rec), out).ok());
+  EXPECT_EQ(out.shapeIndex, 42);
+  EXPECT_EQ(out.solution, rec.solution);
+  EXPECT_EQ(out.report.degraded, true);
+  EXPECT_EQ(out.report.status.code(), StatusCode::kBudgetExceeded);
+  EXPECT_EQ(out.report.status.message(), "shape time budget");
+  EXPECT_EQ(out.report.status.shapeIndex(), 42);
+}
+
+TEST(ShapeRecordTest, RejectsTruncatedAndTrailingBytes) {
+  ShapeRecord rec;
+  rec.shapeIndex = 1;
+  rec.solution.shots = {Rect(0, 0, 4, 4)};
+  const std::string bytes = encodeShapeRecord(rec);
+  ShapeRecord out;
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(
+        decodeShapeRecord(std::string_view(bytes).substr(0, cut), out).ok())
+        << "cut=" << cut;
+  }
+  EXPECT_FALSE(decodeShapeRecord(bytes + "x", out).ok());
+}
+
+TEST(JournalMetaTest, FingerprintSeparatesRunsButNotThreadCounts) {
+  const std::vector<LayoutShape> shapes = testLayout(4);
+  BatchConfig config;
+  const std::string base = journalMetaFor(shapes, config);
+
+  BatchConfig eightThreads = config;
+  eightThreads.threads = 8;
+  EXPECT_EQ(journalMetaFor(shapes, eightThreads), base)
+      << "resume with a different thread count must be allowed";
+
+  BatchConfig otherMethod = config;
+  otherMethod.method = Method::kGsc;
+  EXPECT_NE(journalMetaFor(shapes, otherMethod), base);
+
+  std::vector<LayoutShape> otherShapes = shapes;
+  otherShapes[2].rings[0] = square(41, {200, 0});
+  EXPECT_NE(journalMetaFor(otherShapes, config), base);
+}
+
+// --- Journaled runs ------------------------------------------------------
+
+TEST(JournaledRunTest, MatchesPlainRunExactly) {
+  const std::vector<LayoutShape> shapes = testLayout(6);
+  BatchConfig config;
+  config.threads = 2;
+  const BatchResult plain = fractureLayoutParallel(shapes, config);
+
+  TempFile journal("plain_match");
+  JournaledRunOptions options;
+  options.journalPath = journal.path();
+  BatchResult journaled;
+  RunCounters counters;
+  ASSERT_TRUE(
+      fractureLayoutJournaled(shapes, config, options, journaled, &counters)
+          .ok());
+  expectSameBatch(plain, journaled);
+  EXPECT_EQ(counters.resumedShapes, 0);
+  EXPECT_EQ(counters.freshShapes, static_cast<int>(shapes.size()));
+}
+
+TEST(JournaledRunTest, ResumeFromPartialJournalIsByteIdentical) {
+  const std::vector<LayoutShape> shapes = testLayout(8);
+  BatchConfig config;
+  const BatchResult plain = fractureLayoutParallel(shapes, config);
+
+  // A full journal to harvest records from.
+  TempFile fullJournal("resume_full");
+  {
+    JournaledRunOptions options;
+    options.journalPath = fullJournal.path();
+    BatchResult ignored;
+    ASSERT_TRUE(
+        fractureLayoutJournaled(shapes, config, options, ignored).ok());
+  }
+  std::string meta;
+  std::vector<std::string> records;
+  ASSERT_TRUE(recoverJournal(fullJournal.path(), meta, records).ok());
+  ASSERT_EQ(records.size(), shapes.size());
+
+  // Resume from every prefix size, at several thread counts: the merged
+  // output must equal the uninterrupted run bit for bit.
+  for (const int threads : {1, 4, 8}) {
+    for (const std::size_t keep : {std::size_t{0}, std::size_t{3},
+                                   std::size_t{7}, records.size()}) {
+      TempFile partial("resume_partial");
+      {
+        JournalWriter writer;
+        ASSERT_TRUE(
+            writer.create(partial.path(), meta, JournalFsync::kNone).ok());
+        for (std::size_t i = 0; i < keep; ++i) {
+          ASSERT_TRUE(writer.append(records[i]).ok());
+        }
+      }
+      BatchConfig resumedConfig = config;
+      resumedConfig.threads = threads;
+      JournaledRunOptions options;
+      options.journalPath = partial.path();
+      options.resume = true;
+      BatchResult resumed;
+      RunCounters counters;
+      ASSERT_TRUE(fractureLayoutJournaled(shapes, resumedConfig, options,
+                                          resumed, &counters)
+                      .ok())
+          << "threads=" << threads << " keep=" << keep;
+      expectSameBatch(plain, resumed);
+      EXPECT_EQ(counters.resumedShapes, static_cast<int>(keep));
+      EXPECT_EQ(counters.freshShapes,
+                static_cast<int>(shapes.size() - keep));
+      // The journal is now complete: a second resume replays everything.
+      BatchResult replayed;
+      RunCounters replayCounters;
+      ASSERT_TRUE(fractureLayoutJournaled(shapes, resumedConfig, options,
+                                          replayed, &replayCounters)
+                      .ok());
+      expectSameBatch(plain, replayed);
+      EXPECT_EQ(replayCounters.freshShapes, 0);
+    }
+  }
+}
+
+TEST(JournaledRunTest, ResumePreservesDegradedReports) {
+  const std::vector<LayoutShape> shapes = testLayout(5);
+  FaultInjector injector;
+  injector.armShape(2, FaultKind::kThrow);
+  BatchConfig config;
+  config.params.faultInjector = &injector;
+  const BatchResult plain = fractureLayoutParallel(shapes, config);
+  ASSERT_TRUE(plain.reports[2].degraded);
+
+  TempFile journal("degraded");
+  JournaledRunOptions options;
+  options.journalPath = journal.path();
+  options.resume = true;
+  BatchResult first;
+  ASSERT_TRUE(fractureLayoutJournaled(shapes, config, options, first).ok());
+  expectSameBatch(plain, first);
+
+  // Replay: the degraded report (status code, message, shape index) must
+  // come back from the journal, not be recomputed.
+  BatchResult second;
+  RunCounters counters;
+  ASSERT_TRUE(
+      fractureLayoutJournaled(shapes, config, options, second, &counters)
+          .ok());
+  EXPECT_EQ(counters.freshShapes, 0);
+  expectSameBatch(plain, second);
+  EXPECT_EQ(second.reports[2].status.code(), StatusCode::kExecFault);
+  EXPECT_EQ(second.reports[2].status.shapeIndex(), 2);
+}
+
+TEST(JournaledRunTest, RefusesJournalOfDifferentRun) {
+  const std::vector<LayoutShape> shapes = testLayout(3);
+  BatchConfig config;
+  TempFile journal("mismatch");
+  JournaledRunOptions options;
+  options.journalPath = journal.path();
+  options.resume = true;
+  BatchResult out;
+  ASSERT_TRUE(fractureLayoutJournaled(shapes, config, options, out).ok());
+
+  BatchConfig other = config;
+  other.method = Method::kGsc;
+  BatchResult ignored;
+  const Status st = fractureLayoutJournaled(shapes, other, options, ignored);
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JournaledRunTest, RejectsOutOfRangeRecord) {
+  const std::vector<LayoutShape> shapes = testLayout(3);
+  BatchConfig config;
+  TempFile journal("out_of_range");
+  ShapeRecord rogue;
+  rogue.shapeIndex = 99;
+  {
+    JournalWriter writer;
+    ASSERT_TRUE(writer
+                    .create(journal.path(), journalMetaFor(shapes, config),
+                            JournalFsync::kNone)
+                    .ok());
+    ASSERT_TRUE(writer.append(encodeShapeRecord(rogue)).ok());
+  }
+  JournaledRunOptions options;
+  options.journalPath = journal.path();
+  options.resume = true;
+  BatchResult out;
+  EXPECT_FALSE(fractureLayoutJournaled(shapes, config, options, out).ok());
+}
+
+TEST(JournaledRunTest, FirstDuplicateRecordWins) {
+  const std::vector<LayoutShape> shapes = testLayout(2);
+  BatchConfig config;
+  const BatchResult plain = fractureLayoutParallel(shapes, config);
+
+  // Journal shape 0 twice: once genuine, once tampered. Replay must keep
+  // the first (a retried worker re-journals work an earlier attempt
+  // already completed; the earlier record is the canonical one).
+  TempFile full("dup_src");
+  JournaledRunOptions srcOptions;
+  srcOptions.journalPath = full.path();
+  BatchResult ignored;
+  ASSERT_TRUE(fractureLayoutJournaled(shapes, config, srcOptions, ignored)
+                  .ok());
+  std::string meta;
+  std::vector<std::string> records;
+  ASSERT_TRUE(recoverJournal(full.path(), meta, records).ok());
+
+  std::vector<std::string> ordered(records);
+  // recoverJournal returns records in completion order; index them.
+  std::vector<std::string> byIndex(shapes.size());
+  for (const std::string& r : records) {
+    ShapeRecord rec;
+    ASSERT_TRUE(decodeShapeRecord(r, rec).ok());
+    byIndex[static_cast<std::size_t>(rec.shapeIndex)] = r;
+  }
+  ShapeRecord tampered;
+  ASSERT_TRUE(decodeShapeRecord(byIndex[0], tampered).ok());
+  tampered.solution.shots.clear();
+
+  TempFile dup("dup");
+  {
+    JournalWriter writer;
+    ASSERT_TRUE(writer.create(dup.path(), meta, JournalFsync::kNone).ok());
+    ASSERT_TRUE(writer.append(byIndex[0]).ok());
+    ASSERT_TRUE(writer.append(byIndex[1]).ok());
+    ASSERT_TRUE(writer.append(encodeShapeRecord(tampered)).ok());
+  }
+  JournaledRunOptions options;
+  options.journalPath = dup.path();
+  options.resume = true;
+  BatchResult out;
+  RunCounters counters;
+  ASSERT_TRUE(
+      fractureLayoutJournaled(shapes, config, options, out, &counters).ok());
+  expectSameBatch(plain, out);
+  EXPECT_EQ(counters.freshShapes, 0);
+}
+
+// --- Sharded indexing (the tile-local index regression) ------------------
+
+// Fracturing a layout in shards must report every failure against the
+// shape's index in the ORIGINAL layout. Before shapeIndexBase, a shard
+// starting at shape 4 reported its faults as shapes 0..3 — the operator
+// then re-ran (or excluded) the wrong shapes.
+TEST(ShardedBatchTest, ReportsCarryOriginalLayoutIndices) {
+  const std::vector<LayoutShape> shapes = testLayout(6);
+  FaultInjector injector;
+  injector.armShape(4, FaultKind::kThrow);  // inside the second shard
+
+  BatchConfig whole;
+  whole.params.faultInjector = &injector;
+  const BatchResult plain = fractureLayoutParallel(shapes, whole);
+  ASSERT_TRUE(plain.reports[4].degraded);
+  ASSERT_EQ(plain.reports[4].status.shapeIndex(), 4);
+
+  // Two shards of three shapes, like a supervisor worker range or a tile.
+  // The injector (like everything in FractureParams) addresses shapes by
+  // original index, so the shard must translate via shapeIndexBase both
+  // when consulting it and when stamping reports.
+  BatchResult merged;
+  for (int base = 0; base < 6; base += 3) {
+    std::vector<LayoutShape> shard(shapes.begin() + base,
+                                   shapes.begin() + base + 3);
+    BatchConfig config = whole;
+    config.shapeIndexBase = base;
+    const BatchResult part = fractureLayoutParallel(shard, config);
+    merged.solutions.insert(merged.solutions.end(), part.solutions.begin(),
+                            part.solutions.end());
+    merged.reports.insert(merged.reports.end(), part.reports.begin(),
+                          part.reports.end());
+  }
+  mergeBatchAggregates(merged, {});
+
+  ASSERT_EQ(merged.solutions.size(), 6u);
+  for (int i = 0; i < 6; ++i) {
+    expectSameSolution(merged.solutions[static_cast<std::size_t>(i)],
+                       plain.solutions[static_cast<std::size_t>(i)],
+                       static_cast<std::size_t>(i));
+    EXPECT_EQ(merged.reports[static_cast<std::size_t>(i)].degraded, i == 4);
+  }
+  // The regression: the degraded report names shape 4, not shard-local 1.
+  EXPECT_EQ(merged.reports[4].status.shapeIndex(), 4);
+  EXPECT_EQ(merged.degradedShapes, plain.degradedShapes);
+  EXPECT_EQ(merged.totalShots, plain.totalShots);
+}
+
+TEST(MergeBatchAggregatesTest, RecomputesFromScratch) {
+  BatchResult result;
+  result.solutions.resize(2);
+  result.solutions[0].shots = {Rect(0, 0, 1, 1)};
+  result.solutions[0].failOn = 2;
+  result.solutions[1].shots = {Rect(0, 0, 1, 1), Rect(1, 0, 2, 1)};
+  result.solutions[1].failOff = 1;
+  result.solutions[1].runtimeSeconds = 0.5;
+  result.reports.resize(2);
+  result.reports[1].degraded = true;
+  // Stale garbage that merge must overwrite, not accumulate into.
+  result.totalShots = 999;
+  result.totalFailingPixels = 999;
+  result.degradedShapes = 999;
+  result.shapeSecondsSum = 999.0;
+
+  mergeBatchAggregates(result, {});
+  EXPECT_EQ(result.totalShots, 3);
+  EXPECT_EQ(result.totalFailingPixels, 3);
+  EXPECT_EQ(result.degradedShapes, 1);
+  EXPECT_DOUBLE_EQ(result.shapeSecondsSum, 0.5);
+}
+
+}  // namespace
+}  // namespace mbf

@@ -1,0 +1,224 @@
+// Crash drills: process-level verification of the crash-recovery layer
+// (DESIGN.md section 14) against the real mbf_cli binary. Run as:
+//
+//   mbf_crash_drill <path-to-mbf_cli>
+//
+// Drills:
+//   1. SIGKILL + resume: a journaled run is SIGKILLed at randomized
+//      points; `--resume` completes it and the final .shots output is
+//      byte-identical to an uninterrupted run, at 1, 4 and 8 threads.
+//   2. Supervised crash isolation: `--isolate` with an injected kCrash
+//      survives the dying workers, bisects to the culprit shape,
+//      degrades only it (output identical to an in-process degradation
+//      of the same shape), and exits with the partial-success code 5.
+//   3. Watchdog: `--isolate` with an injected kHang is SIGKILLed by the
+//      wall-clock watchdog and converges exactly like the crash case.
+//
+// Standalone driver (no gtest) because it exercises the CLI process
+// boundary — fork/exec, signals, exit codes — not library internals.
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "benchgen/ilt_synth.h"
+#include "io/poly_io.h"
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::printf("%-56s %s\n", what.c_str(), ok ? "ok" : "FAIL");
+  if (!ok) ++g_failures;
+}
+
+std::string readBytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Runs mbf_cli to completion; returns the exit code, -2 on signal death.
+int runCli(const std::string& cli, const std::vector<std::string>& args) {
+  std::string cmd = "'" + cli + "'";
+  for (const std::string& a : args) cmd += " '" + a + "'";
+  cmd += " > /dev/null 2>&1";
+  const int raw = std::system(cmd.c_str());
+  if (raw == -1) return -1;
+  if (!WIFEXITED(raw)) return -2;
+  return WEXITSTATUS(raw);
+}
+
+/// Launches mbf_cli, SIGKILLs it after `delayMs`, reaps it. Returns true
+/// when the process was actually killed mid-run (false = it finished
+/// first, which is fine — the drill then just replays a full journal).
+bool runAndKill(const std::string& cli, const std::vector<std::string>& args,
+                int delayMs) {
+  std::vector<std::string> storage = args;
+  std::vector<char*> argv;
+  argv.push_back(const_cast<char*>(cli.c_str()));
+  for (std::string& a : storage) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid == 0) {
+    const int nul = open("/dev/null", O_WRONLY);
+    if (nul >= 0) {
+      dup2(nul, STDOUT_FILENO);
+      dup2(nul, STDERR_FILENO);
+      close(nul);
+    }
+    execv(cli.c_str(), argv.data());
+    _exit(127);
+  }
+  if (pid < 0) return false;
+  usleep(static_cast<useconds_t>(delayMs) * 1000);
+  const bool killed = kill(pid, SIGKILL) == 0;
+  int wstatus = 0;
+  waitpid(pid, &wstatus, 0);
+  return killed && WIFSIGNALED(wstatus);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: mbf_crash_drill <path-to-mbf_cli>\n";
+    return 2;
+  }
+  const std::string cli = argv[1];
+  const std::string dir = "crash_drill_tmp";
+  std::system(("rm -rf '" + dir + "' && mkdir -p '" + dir + "'").c_str());
+
+  // A layout heavy enough that the kill points land mid-batch: spaced-out
+  // ILT shapes (the translate keeps groupRings from nesting them).
+  const int numShapes = 12;
+  std::vector<mbf::Polygon> rings;
+  for (int i = 0; i < numShapes; ++i) {
+    mbf::IltSynthConfig cfg;
+    cfg.seed = 7000 + static_cast<unsigned>(i);
+    mbf::Polygon ring = mbf::makeIltShape(cfg);
+    ring.translate({i * 4000, 0});
+    rings.push_back(std::move(ring));
+  }
+  const std::string input = dir + "/layout.poly";
+  if (!mbf::savePolygons(input, rings)) {
+    std::cerr << "cannot write " << input << "\n";
+    return 2;
+  }
+  const std::vector<std::string> baseFlags = {"--nmax=3000"};
+
+  // The uninterrupted reference output.
+  const std::string refShots = dir + "/ref.shots";
+  {
+    std::vector<std::string> args = {input, refShots};
+    args.insert(args.end(), baseFlags.begin(), baseFlags.end());
+    check(runCli(cli, args) == 0, "reference run exits 0");
+  }
+  const std::string refBytes = readBytes(refShots);
+  check(!refBytes.empty(), "reference run produced output");
+
+  // --- Drill 1: SIGKILL at randomized points, then --resume -------------
+  std::mt19937 rng(20260806);  // fixed seed: reproducible kill points
+  const int resumeThreads[] = {1, 4, 8};
+  for (int point = 0; point < 5; ++point) {
+    const int delayMs = 20 + static_cast<int>(rng() % 350);
+    const int threads = resumeThreads[point % 3];
+    const std::string tag = "k" + std::to_string(point);
+    const std::string journal = dir + "/" + tag + ".journal";
+    const std::string shots = dir + "/" + tag + ".shots";
+
+    std::vector<std::string> killArgs = {input, shots, "--threads=2",
+                                         "--journal=" + journal};
+    killArgs.insert(killArgs.end(), baseFlags.begin(), baseFlags.end());
+    const bool killed = runAndKill(cli, killArgs, delayMs);
+
+    std::vector<std::string> resumeArgs = {
+        input, shots, "--threads=" + std::to_string(threads),
+        "--journal=" + journal, "--resume"};
+    resumeArgs.insert(resumeArgs.end(), baseFlags.begin(), baseFlags.end());
+    const int exit = runCli(cli, resumeArgs);
+    check(exit == 0, tag + ": resume (" + std::to_string(delayMs) + "ms" +
+                         (killed ? ", killed" : ", finished") + ", " +
+                         std::to_string(threads) + " threads) exits 0");
+    check(readBytes(shots) == refBytes,
+          tag + ": resumed output byte-identical");
+  }
+
+  // --- Drill 2: --isolate survives an injected worker crash -------------
+  // In-process reference: the same shape degraded via kThrow lands on the
+  // same fallback fracture the crash-isolated culprit gets.
+  const int culprit = 5;
+  const std::string throwShots = dir + "/throw.shots";
+  {
+    std::vector<std::string> args = {
+        input, throwShots, "--inject=throw@" + std::to_string(culprit)};
+    args.insert(args.end(), baseFlags.begin(), baseFlags.end());
+    check(runCli(cli, args) == 1, "in-process throw reference exits 1");
+  }
+  const std::string throwBytes = readBytes(throwShots);
+  check(!throwBytes.empty() && throwBytes != refBytes,
+        "throw reference degraded exactly one shape");
+
+  const std::string crashShots = dir + "/crash.shots";
+  {
+    std::vector<std::string> args = {
+        input, crashShots, "--isolate", "--jobs=3",
+        "--inject=crash@" + std::to_string(culprit)};
+    args.insert(args.end(), baseFlags.begin(), baseFlags.end());
+    check(runCli(cli, args) == 5,
+          "isolate + injected crash exits 5 (partial success)");
+  }
+  check(readBytes(crashShots) == throwBytes,
+        "crash-isolated output == in-process degradation");
+
+  // A clean supervised run, for contrast: identical output, exit 0.
+  const std::string cleanShots = dir + "/clean.shots";
+  {
+    std::vector<std::string> args = {input, cleanShots, "--isolate",
+                                     "--jobs=3"};
+    args.insert(args.end(), baseFlags.begin(), baseFlags.end());
+    check(runCli(cli, args) == 0, "clean isolate run exits 0");
+  }
+  check(readBytes(cleanShots) == refBytes,
+        "clean isolate output == plain output");
+
+  // --- Drill 3: the watchdog SIGKILLs hung workers ----------------------
+  const int hangCulprit = 3;
+  const std::string hangRefShots = dir + "/hang_ref.shots";
+  {
+    std::vector<std::string> args = {
+        input, hangRefShots,
+        "--inject=throw@" + std::to_string(hangCulprit)};
+    args.insert(args.end(), baseFlags.begin(), baseFlags.end());
+    check(runCli(cli, args) == 1, "hang reference run exits 1");
+  }
+  const std::string hangShots = dir + "/hang.shots";
+  {
+    std::vector<std::string> args = {
+        input, hangShots, "--isolate", "--jobs=2",
+        "--worker-timeout-ms=1500", "--retries=1",
+        "--inject=hang@" + std::to_string(hangCulprit)};
+    args.insert(args.end(), baseFlags.begin(), baseFlags.end());
+    check(runCli(cli, args) == 5,
+          "isolate + injected hang exits 5 (watchdog fired)");
+  }
+  check(readBytes(hangShots) == readBytes(hangRefShots),
+        "hang-isolated output == in-process degradation");
+
+  if (g_failures > 0) {
+    std::fprintf(stderr, "%d crash drill check(s) failed\n", g_failures);
+    return 1;
+  }
+  std::printf("all crash drills passed\n");
+  return 0;
+}

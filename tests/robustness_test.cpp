@@ -127,6 +127,47 @@ TEST(FaultInjectorTest, RandomArmIsDeterministicAndSeedDriven) {
   EXPECT_LT(hits, 350);
 }
 
+TEST(FaultInjectorTest, ParseRoundTripsEveryKind) {
+  for (const FaultKind k : {FaultKind::kThrow, FaultKind::kOom,
+                            FaultKind::kTimeout, FaultKind::kCrash,
+                            FaultKind::kHang}) {
+    FaultKind parsed = FaultKind::kNone;
+    ASSERT_TRUE(parseFaultKind(toString(k), parsed)) << toString(k);
+    EXPECT_EQ(parsed, k);
+  }
+  FaultKind dummy = FaultKind::kNone;
+  EXPECT_FALSE(parseFaultKind("none", dummy));
+  EXPECT_FALSE(parseFaultKind("segv", dummy));
+  EXPECT_FALSE(parseFaultKind("", dummy));
+}
+
+TEST(FaultInjectorTest, EveryNthIsDeterministicAndPhased) {
+  FaultInjector fi;
+  fi.armEveryNth(5, FaultKind::kCrash);
+  for (int i = 0; i < 25; ++i) {
+    EXPECT_EQ(fi.faultFor(i),
+              i % 5 == 0 ? FaultKind::kCrash : FaultKind::kNone)
+        << i;
+  }
+  FaultInjector phased;
+  phased.armEveryNth(4, FaultKind::kHang, 2);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(phased.faultFor(i),
+              i % 4 == 2 ? FaultKind::kHang : FaultKind::kNone)
+        << i;
+  }
+}
+
+TEST(FaultInjectorTest, ExplicitArmOverridesEveryNth) {
+  FaultInjector fi(11);
+  fi.armRandom(1000, FaultKind::kTimeout);  // every shape, lowest tier
+  fi.armEveryNth(2, FaultKind::kHang);      // every even shape, middle tier
+  fi.armShape(4, FaultKind::kThrow);        // highest tier
+  EXPECT_EQ(fi.faultFor(4), FaultKind::kThrow);
+  EXPECT_EQ(fi.faultFor(6), FaultKind::kHang);
+  EXPECT_EQ(fi.faultFor(3), FaultKind::kTimeout);
+}
+
 // --- parallel layer: exception isolation -------------------------------
 
 TEST(ParallelForIsolation, AllIndicesRunAndLowestFailureRethrown) {

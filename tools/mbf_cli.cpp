@@ -17,6 +17,39 @@
 //   --gds-out=<path>             also write shots as GDSII rectangles
 //   --report                     print per-shape statistics
 //
+// Crash recovery (DESIGN.md section 14):
+//   --journal=<path>             append each completed shape to a
+//                                CRC32-framed result journal
+//   --resume                     replay the journal first; fracture only
+//                                the missing shapes (byte-identical
+//                                output to an uninterrupted run)
+//   --fsync=none|each            journal durability (default none:
+//                                survives process death; each: survives
+//                                power loss)
+//   --isolate                    supervised multi-process mode: shapes
+//                                are sharded across mbf_cli worker
+//                                subprocesses; crashes/hangs cost one
+//                                degraded shape, never the run
+//   --jobs=<n>                   worker processes for --isolate
+//   --worker-timeout-ms=<ms>     watchdog: SIGKILL workers that exceed
+//                                this wall clock (0 = none)
+//   --retries=<n>                relaunches of a failing worker range
+//                                before bisection (default 2)
+//   --backoff-ms=<ms>            base of the capped exponential retry
+//                                backoff (default 50)
+//
+// Fault injection (deterministic, for the crash drills):
+//   --inject=<kind>@<i>[,...]    arm <kind> (throw|oom|timeout|crash|
+//                                hang) on shape index i
+//   --inject-every=<kind>@<n>    arm <kind> on every nth shape
+//   --inject-seed=<s>            seed for the injector
+//
+// Hidden worker plumbing (spawned by --isolate, not for direct use):
+//   --worker --shape-range=a:b   fracture only shapes [a, b), reporting
+//                                original layout indices
+//   --degrade-only               fallback-only re-fracture of a
+//                                crash-isolated culprit shape
+//
 // Input: flat .poly ring list (blank-line separated) or a .gds file
 // (BOUNDARY elements); rings nested in another ring are holes. Output:
 // one "x0 y0 x1 y1" shot per line, with '#' comments separating shapes.
@@ -25,9 +58,13 @@
 //   0  every shape fractured by the primary method, Eq. 4 feasible
 //   1  completed, but some shapes degraded to rect-partition fracturing
 //   2  usage / bad argument
-//   3  input or output I/O error (unreadable, unparseable, empty input)
+//   3  input or output I/O error (unreadable, unparseable, empty input),
+//      or a fatal journal/supervisor error
 //   4  completed without degradation but with failing pixels — or, with
 //      --strict, any per-shape failure
+//   5  partial success: completed, but one or more shapes crashed their
+//      worker and were crash-isolated (bisected to the culprit and
+//      degraded via the fallback ladder)
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -37,8 +74,11 @@
 #include "io/poly_io.h"
 #include "io/svg.h"
 #include "io/table.h"
+#include "mdp/checkpoint.h"
 #include "mdp/layout.h"
 #include "mdp/ordering.h"
+#include "mdp/supervisor.h"
+#include "support/fault_injector.h"
 #include "support/perf_counters.h"
 
 namespace {
@@ -67,8 +107,20 @@ int usage() {
   std::cerr << "usage: mbf_cli <input.poly> <output.shots> "
                "[--method=ours|gsc|mp|proxy] [--gamma=nm] [--sigma=nm] "
                "[--lmin=nm] [--eta=0..1] [--threads=n] [--budget-ms=ms] "
-               "[--nmax=n] [--strict] [--svg=path] [--report]\n";
+               "[--nmax=n] [--strict] [--svg=path] [--report] "
+               "[--journal=path] [--resume] [--fsync=none|each] "
+               "[--isolate] [--jobs=n] [--worker-timeout-ms=ms] "
+               "[--retries=n] [--backoff-ms=ms] "
+               "[--inject=kind@i,...] [--inject-every=kind@n]\n";
   return 2;
+}
+
+/// "kind@number" -> (FaultKind, int). Used by --inject / --inject-every.
+bool parseKindAt(const std::string& spec, mbf::FaultKind& kind, int& at) {
+  const std::size_t sep = spec.find('@');
+  if (sep == std::string::npos) return false;
+  if (!mbf::parseFaultKind(spec.substr(0, sep), kind)) return false;
+  return parseInt(spec.substr(sep + 1), at);
 }
 
 }  // namespace
@@ -85,6 +137,29 @@ int main(int argc, char** argv) {
   std::string gdsOutPath;
   bool report = false;
   bool orderForWriter = false;
+
+  // Crash-recovery mode flags.
+  std::string journalPath;
+  bool resume = false;
+  JournalFsync fsyncPolicy = JournalFsync::kNone;
+  bool isolate = false;
+  bool workerMode = false;
+  int rangeBegin = -1;
+  int rangeEnd = -1;
+  int jobs = 2;
+  double workerTimeoutMs = 0.0;
+  int retries = 2;
+  double backoffMs = 50.0;
+
+  // Deterministic fault injection (lives as long as the batch does).
+  FaultInjector injector;
+  bool injectorArmed = false;
+
+  // Flags a supervisor forwards verbatim to its workers: everything
+  // that changes the computed result (plus injection, so an injected
+  // crash actually fires inside the worker process).
+  std::vector<std::string> forwardArgs;
+
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     const std::size_t eq = arg.find('=');
@@ -94,46 +169,56 @@ int main(int argc, char** argv) {
     // Each flag reports its own constraint so a rejected value explains
     // itself instead of the generic "bad argument".
     std::string error;
+    bool forward = false;
     if (key == "--method") {
       if (!parseMethod(value, config.method)) {
         error = "must be ours, gsc, mp or proxy";
       }
+      forward = true;
     } else if (key == "--gamma") {
       if (!parseDouble(value, config.params.gamma) ||
           config.params.gamma < 0.0) {
         error = "must be a number >= 0 (nm)";
       }
+      forward = true;
     } else if (key == "--sigma") {
       if (!parseDouble(value, config.params.sigma) ||
           config.params.sigma <= 0.0) {
         error = "must be a number > 0 (nm)";
       }
+      forward = true;
     } else if (key == "--lmin") {
       if (!parseInt(value, config.params.lmin) || config.params.lmin < 1) {
         error = "must be an integer >= 1 (nm)";
       }
+      forward = true;
     } else if (key == "--eta") {
       if (!parseDouble(value, config.params.backscatterEta) ||
           config.params.backscatterEta < 0.0 ||
           config.params.backscatterEta > 1.0) {
         error = "must be a number in [0, 1]";
       }
+      forward = true;
     } else if (key == "--sigma-back") {
       if (!parseDouble(value, config.params.backscatterSigma) ||
           config.params.backscatterSigma <= 0.0) {
         error = "must be a number > 0 (nm)";
       }
+      forward = true;
     } else if (key == "--budget-ms") {
       if (!parseDouble(value, config.params.shapeTimeBudgetMs) ||
           config.params.shapeTimeBudgetMs < 0.0) {
         error = "must be a number >= 0 (milliseconds, 0 = unlimited)";
       }
+      forward = true;
     } else if (key == "--nmax") {
       if (!parseInt(value, config.params.nmax) || config.params.nmax < 0) {
         error = "must be an integer >= 0";
       }
+      forward = true;
     } else if (key == "--strict") {
       config.allowDegradation = false;
+      forward = true;
     } else if (key == "--order") {
       orderForWriter = true;
     } else if (key == "--gds-out") {
@@ -152,6 +237,87 @@ int main(int argc, char** argv) {
       if (svgPath.empty()) error = "must be a path";
     } else if (key == "--report") {
       report = true;
+    } else if (key == "--journal") {
+      journalPath = value;
+      if (journalPath.empty()) error = "must be a path";
+    } else if (key == "--resume") {
+      resume = true;
+    } else if (key == "--fsync") {
+      if (value == "none") {
+        fsyncPolicy = JournalFsync::kNone;
+      } else if (value == "each") {
+        fsyncPolicy = JournalFsync::kEachRecord;
+      } else {
+        error = "must be none or each";
+      }
+    } else if (key == "--isolate") {
+      isolate = true;
+    } else if (key == "--jobs") {
+      if (!parseInt(value, jobs) || jobs < 1) {
+        error = "must be an integer >= 1";
+      }
+    } else if (key == "--worker-timeout-ms") {
+      if (!parseDouble(value, workerTimeoutMs) || workerTimeoutMs < 0.0) {
+        error = "must be a number >= 0 (milliseconds, 0 = no watchdog)";
+      }
+    } else if (key == "--retries") {
+      if (!parseInt(value, retries) || retries < 0) {
+        error = "must be an integer >= 0";
+      }
+    } else if (key == "--backoff-ms") {
+      if (!parseDouble(value, backoffMs) || backoffMs < 0.0) {
+        error = "must be a number >= 0 (milliseconds)";
+      }
+    } else if (key == "--worker") {
+      workerMode = true;
+    } else if (key == "--shape-range") {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos ||
+          !parseInt(value.substr(0, colon), rangeBegin) ||
+          !parseInt(value.substr(colon + 1), rangeEnd) || rangeBegin < 0 ||
+          rangeEnd < rangeBegin) {
+        error = "must be begin:end with 0 <= begin <= end";
+      }
+    } else if (key == "--degrade-only") {
+      config.fallbackOnly = true;
+    } else if (key == "--inject") {
+      std::string rest = value;
+      while (!rest.empty() && error.empty()) {
+        const std::size_t comma = rest.find(',');
+        const std::string spec = rest.substr(0, comma);
+        rest = comma == std::string::npos ? std::string{}
+                                          : rest.substr(comma + 1);
+        FaultKind kind = FaultKind::kNone;
+        int at = -1;
+        if (!parseKindAt(spec, kind, at) || at < 0) {
+          error = "must be kind@index[,kind@index...] with kind in "
+                  "throw|oom|timeout|crash|hang";
+        } else {
+          injector.armShape(at, kind);
+          injectorArmed = true;
+        }
+      }
+      if (value.empty()) error = "must be kind@index[,kind@index...]";
+      forward = true;
+    } else if (key == "--inject-every") {
+      FaultKind kind = FaultKind::kNone;
+      int n = 0;
+      if (!parseKindAt(value, kind, n) || n < 1) {
+        error = "must be kind@n with n >= 1";
+      } else {
+        injector.armEveryNth(n, kind);
+        injectorArmed = true;
+      }
+      forward = true;
+    } else if (key == "--inject-seed") {
+      int seed = 0;
+      if (!parseInt(value, seed)) {
+        error = "must be an integer";
+      } else {
+        injector = FaultInjector(static_cast<std::uint64_t>(seed));
+        injectorArmed = false;  // re-arm flags must follow the seed
+      }
+      forward = true;
     } else {
       std::cerr << "unknown argument: " << arg << "\n";
       return usage();
@@ -161,7 +327,22 @@ int main(int argc, char** argv) {
                 << "\n";
       return usage();
     }
+    if (forward) forwardArgs.push_back(arg);
   }
+  if (resume && journalPath.empty()) {
+    std::cerr << "--resume requires --journal=<path>\n";
+    return usage();
+  }
+  if (isolate && workerMode) {
+    std::cerr << "--isolate and --worker are mutually exclusive\n";
+    return usage();
+  }
+  if ((rangeBegin >= 0 || config.fallbackOnly) && !workerMode) {
+    std::cerr << "--shape-range/--degrade-only are worker-mode plumbing "
+                 "(spawned by --isolate)\n";
+    return usage();
+  }
+  if (injectorArmed) config.params.faultInjector = &injector;
 
   std::vector<Polygon> rings;
   if (inputPath.size() > 4 &&
@@ -194,11 +375,76 @@ int main(int argc, char** argv) {
     std::cerr << "no polygons in " << inputPath << "\n";
     return 3;
   }
-  const std::vector<LayoutShape> shapes = groupRings(std::move(rings));
+  std::vector<LayoutShape> shapes = groupRings(std::move(rings));
+
+  // Worker mode: fracture only [rangeBegin, rangeEnd), reporting
+  // original layout indices; the journal is the product the supervisor
+  // harvests (the .shots scratch file exists only for uniformity).
+  if (workerMode && rangeBegin >= 0) {
+    if (rangeEnd > static_cast<int>(shapes.size())) {
+      std::cerr << "--shape-range end " << rangeEnd << " exceeds the "
+                << shapes.size() << " shapes in " << inputPath << "\n";
+      return 2;
+    }
+    config.shapeIndexBase = rangeBegin;
+    shapes = std::vector<LayoutShape>(
+        shapes.begin() + rangeBegin, shapes.begin() + rangeEnd);
+  }
   std::cerr << "fracturing " << shapes.size() << " shape(s) with method '"
             << toString(config.method) << "'...\n";
 
-  BatchResult result = fractureLayout(shapes, config);
+  BatchResult result;
+  RunCounters counters;
+  bool haveCounters = false;
+  std::vector<int> isolatedShapes;
+
+  if (isolate) {
+    // Supervised multi-process mode: this process never fractures; it
+    // shards, watches, retries, bisects, and merges worker journals.
+    SupervisorConfig sup;
+    sup.cliPath = selfExePath(argv[0]);
+    sup.inputPath = inputPath;
+    sup.workDir = outputPath + ".workers";
+    sup.workerArgs = forwardArgs;
+    sup.numShapes = static_cast<int>(shapes.size());
+    sup.jobs = jobs;
+    sup.workerTimeoutMs = workerTimeoutMs;
+    sup.maxRetries = retries;
+    sup.backoffBaseMs = backoffMs;
+    sup.verbose = report;
+    SupervisorResult supResult = superviseFracture(sup);
+    if (!supResult.status.ok()) {
+      std::cerr << "supervisor: " << supResult.status.str() << "\n";
+      return 3;
+    }
+    result.solutions.resize(shapes.size());
+    result.reports.resize(shapes.size());
+    for (auto& [index, record] : supResult.records) {
+      result.solutions[static_cast<std::size_t>(index)] =
+          std::move(record.solution);
+      result.reports[static_cast<std::size_t>(index)] =
+          std::move(record.report);
+    }
+    mergeBatchAggregates(result, {});
+    counters = supResult.counters;
+    haveCounters = true;
+    isolatedShapes = supResult.isolatedShapes;
+  } else if (!journalPath.empty()) {
+    JournaledRunOptions options;
+    options.journalPath = journalPath;
+    options.resume = resume;
+    options.fsync = fsyncPolicy;
+    const Status st =
+        fractureLayoutJournaled(shapes, config, options, result, &counters);
+    if (!st.ok()) {
+      std::cerr << "journal: " << st.str() << "\n";
+      return 3;
+    }
+    haveCounters = true;
+  } else {
+    result = fractureLayout(shapes, config);
+  }
+
   if (orderForWriter) {
     for (Solution& sol : result.solutions) {
       sol.shots = applyOrder(sol.shots, orderShots(sol.shots));
@@ -210,13 +456,8 @@ int main(int argc, char** argv) {
     std::cerr << "cannot write " << outputPath << "\n";
     return 3;
   }
-  for (std::size_t i = 0; i < result.solutions.size(); ++i) {
-    os << "# shape " << i << ": " << result.solutions[i].shotCount()
-       << " shots, " << result.solutions[i].failingPixels()
-       << " failing px" << (result.solutions[i].degraded ? ", degraded" : "")
-       << "\n";
-    writeShots(os, result.solutions[i].shots);
-  }
+  writeBatchShots(os, result.solutions);
+  os.close();
 
   if (report) {
     Table table({"shape", "rings", "shots", "fail px", "s", "status"});
@@ -227,7 +468,8 @@ int main(int argc, char** argv) {
       if (!rep.status.ok()) {
         status += " (" + std::string(toString(rep.status.code())) + ")";
       }
-      table.addRow({std::to_string(i),
+      table.addRow({std::to_string(config.shapeIndexBase +
+                                   static_cast<int>(i)),
                     Table::fmt(std::int64_t(shapes[i].rings.size())),
                     Table::fmt(sol.shotCount()),
                     Table::fmt(sol.failingPixels()),
@@ -239,10 +481,17 @@ int main(int argc, char** argv) {
       std::cout << "degraded shapes (" << result.degradedShapes << "):\n";
       for (std::size_t i = 0; i < result.reports.size(); ++i) {
         if (result.reports[i].degraded) {
-          std::cout << "  shape " << i << ": " << result.reports[i].status.str()
-                    << "\n";
+          std::cout << "  shape "
+                    << (config.shapeIndexBase + static_cast<int>(i)) << ": "
+                    << result.reports[i].status.str() << "\n";
         }
       }
+    }
+    if (!isolatedShapes.empty()) {
+      std::cout << "crash-isolated shapes (" << isolatedShapes.size()
+                << "):";
+      for (const int s : isolatedShapes) std::cout << " " << s;
+      std::cout << "\n";
     }
   }
 
@@ -290,6 +539,16 @@ int main(int argc, char** argv) {
             << Table::fmt(result.wallSeconds, 2) << " s wall / "
             << Table::fmt(result.shapeSecondsSum, 2) << " s shape-sum ("
             << config.threads << " thread(s))\n";
+  if (haveCounters) {
+    std::cout << "recovery: " << counters.resumedShapes << " resumed, "
+              << counters.freshShapes << " fresh"
+              << (counters.tornTail ? " (torn tail truncated)" : "")
+              << ", " << counters.retriedRanges << " retried range(s), "
+              << counters.bisectedRanges << " bisected, "
+              << counters.crashedWorkers << " crashed worker(s) ("
+              << counters.hungWorkers << " hung), " << counters.crashedShapes
+              << " crash-isolated shape(s)\n";
+  }
 
   if (!config.allowDegradation) {
     // Strict mode: a shape that would have degraded is a failure.
@@ -301,6 +560,10 @@ int main(int argc, char** argv) {
     }
     return result.totalFailingPixels == 0 ? 0 : 4;
   }
+  // Crash-isolated shapes are more severe than an in-process
+  // degradation: their primary result is unknowable, not just
+  // infeasible. The partial-success code outranks plain degradation.
+  if (haveCounters && counters.crashedShapes > 0) return 5;
   if (result.degradedShapes > 0) return 1;
   return result.totalFailingPixels == 0 ? 0 : 4;
 }
