@@ -34,6 +34,7 @@
 #include "fracture/refiner.h"
 #include "fracture/verifier.h"
 #include "mdp/layout.h"
+#include "support/telemetry.h"
 
 namespace {
 
@@ -271,56 +272,62 @@ SuiteResult runSuite(const std::string& name,
 
 void writeJson(std::ostream& os, const std::vector<SuiteResult>& suites,
                bool smoke) {
-  os << "{\n  \"bench\": \"refiner_regression\",\n  \"mode\": \""
-     << (smoke ? "smoke" : "full") << "\",\n  \"suites\": {\n";
-  for (std::size_t s = 0; s < suites.size(); ++s) {
-    const SuiteResult& suite = suites[s];
-    os << "    \"" << suite.name << "\": {\n      \"thread_sweep\": [\n";
-    for (std::size_t k = 0; k < suite.sweep.size(); ++k) {
-      const SweepPoint& p = suite.sweep[k];
-      os << "        {\"threads\": " << p.threads
-         << ", \"wall_seconds\": " << p.wallSeconds
-         << ", \"shots\": " << p.shots
-         << ", \"shots_per_sec\": "
-         << (p.wallSeconds > 0.0 ? p.shots / p.wallSeconds : 0.0)
-         << ", \"fail_px\": " << p.failPx
-         << ", \"candidate_evals\": " << p.perf.candidateEvals
-         << ", \"candidate_evals_per_sec\": "
-         << perSec(p.perf.candidateEvals, p.perf.candidateNanos)
-         << ", \"candidate_cache_hit_rate\": "
-         << (p.perf.candidateEvals > 0
-                 ? static_cast<double>(p.perf.candidateCacheHits) /
-                       static_cast<double>(p.perf.candidateEvals)
-                 : 0.0)
-         << ", \"profile_evals\": " << p.perf.profileEvals
-         << ", \"ledger_row_updates\": " << p.perf.ledgerRowUpdates
-         << ", \"full_scans\": " << p.perf.fullScans
-         << ", \"identical_to_first\": " << (p.identical ? "true" : "false")
-         << "}" << (k + 1 < suite.sweep.size() ? "," : "") << "\n";
+  JsonWriter w;
+  w.beginObject();
+  w.key("bench").value("refiner_regression");
+  w.key("mode").value(smoke ? "smoke" : "full");
+  w.key("suites").beginObject();
+  for (const SuiteResult& suite : suites) {
+    w.key(suite.name).beginObject();
+    w.key("thread_sweep").beginArray();
+    for (const SweepPoint& p : suite.sweep) {
+      w.beginObject();
+      w.key("threads").value(std::int64_t{p.threads});
+      w.key("wall_seconds").value(p.wallSeconds);
+      w.key("shots").value(std::int64_t{p.shots});
+      w.key("shots_per_sec")
+          .value(p.wallSeconds > 0.0 ? p.shots / p.wallSeconds : 0.0);
+      w.key("fail_px").value(p.failPx);
+      w.key("candidate_evals").value(p.perf.candidateEvals);
+      w.key("candidate_evals_per_sec")
+          .value(perSec(p.perf.candidateEvals, p.perf.candidateNanos));
+      w.key("candidate_cache_hit_rate")
+          .value(p.perf.candidateEvals > 0
+                     ? static_cast<double>(p.perf.candidateCacheHits) /
+                           static_cast<double>(p.perf.candidateEvals)
+                     : 0.0);
+      w.key("profile_evals").value(p.perf.profileEvals);
+      w.key("ledger_row_updates").value(p.perf.ledgerRowUpdates);
+      w.key("full_scans").value(p.perf.fullScans);
+      w.key("identical_to_first").value(p.identical);
+      w.endObject();
     }
+    w.endArray();
     const MicrobenchResult& m = suite.micro;
-    os << "      ],\n      \"candidate_eval_microbench\": {"
-       << "\"evals\": " << m.evals
-       << ", \"cached_evals_per_sec\": " << m.cachedEvalsPerSec
-       << ", \"uncached_evals_per_sec\": " << m.uncachedEvalsPerSec
-       << ", \"speedup\": "
-       << (m.uncachedEvalsPerSec > 0.0
-               ? m.cachedEvalsPerSec / m.uncachedEvalsPerSec
-               : 0.0)
-       << ", \"cache_hit_rate\": " << m.cacheHitRate
-       << ", \"bit_identical\": " << (m.bitIdentical ? "true" : "false")
-       << "},\n      \"violations_query_microbench\": {"
-       << "\"ledger_ns_per_iter\": " << m.ledgerQueryNsPerIter
-       << ", \"scan_ns_per_iter\": " << m.scanQueryNsPerIter
-       << ", \"speedup\": "
-       << (m.ledgerQueryNsPerIter > 0.0
-               ? m.scanQueryNsPerIter / m.ledgerQueryNsPerIter
-               : 0.0)
-       << ", \"ledger_matches_scan\": "
-       << (m.ledgerMatchesScan ? "true" : "false") << "}\n    }"
-       << (s + 1 < suites.size() ? "," : "") << "\n";
+    w.key("candidate_eval_microbench").beginObject();
+    w.key("evals").value(m.evals);
+    w.key("cached_evals_per_sec").value(m.cachedEvalsPerSec);
+    w.key("uncached_evals_per_sec").value(m.uncachedEvalsPerSec);
+    w.key("speedup").value(m.uncachedEvalsPerSec > 0.0
+                               ? m.cachedEvalsPerSec / m.uncachedEvalsPerSec
+                               : 0.0);
+    w.key("cache_hit_rate").value(m.cacheHitRate);
+    w.key("bit_identical").value(m.bitIdentical);
+    w.endObject();
+    w.key("violations_query_microbench").beginObject();
+    w.key("ledger_ns_per_iter").value(m.ledgerQueryNsPerIter);
+    w.key("scan_ns_per_iter").value(m.scanQueryNsPerIter);
+    w.key("speedup")
+        .value(m.ledgerQueryNsPerIter > 0.0
+                   ? m.scanQueryNsPerIter / m.ledgerQueryNsPerIter
+                   : 0.0);
+    w.key("ledger_matches_scan").value(m.ledgerMatchesScan);
+    w.endObject();
+    w.endObject();
   }
-  os << "  }\n}\n";
+  w.endObject();
+  w.endObject();
+  os << w.str() << "\n";
 }
 
 }  // namespace

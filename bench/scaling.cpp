@@ -15,6 +15,7 @@
 #include "fracture/model_based_fracturer.h"
 #include "io/table.h"
 #include "mdp/layout.h"
+#include "support/telemetry.h"
 
 namespace {
 
@@ -44,10 +45,10 @@ int runThreadSweep() {
 
   BatchResult serial;
   double serialWall = 0.0;
-  std::cout << "[\n";
-  const int sweep[] = {1, 2, 4, 8};
-  for (std::size_t k = 0; k < std::size(sweep); ++k) {
-    const int threads = sweep[k];
+  bool allIdentical = true;
+  JsonWriter w;
+  w.beginArray();
+  for (const int threads : {1, 2, 4, 8}) {
     BatchConfig config;
     config.threads = threads;
     config.params.numThreads = threads;
@@ -58,33 +59,35 @@ int runThreadSweep() {
       serialWall = result.wallSeconds;
     }
     const RefinerStats& rs = result.refinerStats;
-    std::cout << "  {\"threads\": " << threads
-              << ", \"shapes\": " << shapes.size()
-              << ", \"shots\": " << result.totalShots
-              << ", \"fail_px\": " << result.totalFailingPixels
-              << ", \"wall_seconds\": " << result.wallSeconds
-              << ", \"shape_seconds_sum\": " << result.shapeSecondsSum
-              << ", \"speedup\": "
-              << (result.wallSeconds > 0.0 ? serialWall / result.wallSeconds
-                                           : 0.0)
-              << ", \"identical_to_serial\": "
-              << (identical ? "true" : "false")
-              << ", \"stage_seconds\": {\"setup\": " << rs.setupSeconds
-              << ", \"violation_scan\": " << rs.violationSeconds
-              << ", \"edge_move\": " << rs.edgeMoveSeconds
-              << ", \"bias\": " << rs.biasSeconds
-              << ", \"structural\": " << rs.structuralSeconds
-              << ", \"merge\": " << rs.mergeSeconds << "}}"
-              << (k + 1 < std::size(sweep) ? "," : "") << "\n";
+    w.beginObject();
+    w.key("threads").value(threads);
+    w.key("shapes").value(static_cast<std::uint64_t>(shapes.size()));
+    w.key("shots").value(result.totalShots);
+    w.key("fail_px").value(result.totalFailingPixels);
+    w.key("wall_seconds").value(result.wallSeconds);
+    w.key("shape_seconds_sum").value(result.shapeSecondsSum);
+    w.key("speedup").value(
+        result.wallSeconds > 0.0 ? serialWall / result.wallSeconds : 0.0);
+    w.key("identical_to_serial").value(identical);
+    w.key("stage_seconds").beginObject();
+    w.key("setup").value(rs.setupSeconds);
+    w.key("violation_scan").value(rs.violationSeconds);
+    w.key("edge_move").value(rs.edgeMoveSeconds);
+    w.key("bias").value(rs.biasSeconds);
+    w.key("structural").value(rs.structuralSeconds);
+    w.key("merge").value(rs.mergeSeconds);
+    w.endObject();
+    w.endObject();
     if (!identical) {
-      std::cout << "]\n";
+      allIdentical = false;
       std::cerr << "FAIL: " << threads
                 << "-thread shot lists differ from serial\n";
-      return 1;
+      break;
     }
   }
-  std::cout << "]\n";
-  return 0;
+  w.endArray();
+  std::cout << w.str() << "\n";
+  return allIdentical ? 0 : 1;
 }
 
 }  // namespace

@@ -2,8 +2,45 @@
 
 #include <algorithm>
 #include <limits>
+#include <vector>
 
 namespace mbf {
+
+namespace {
+
+/// Sum of pairwise intersection areas via a sort-by-x sweep: shots are
+/// visited in ascending x0, and an active set keeps only shots whose x
+/// extent can still reach the sweep line — an active shot with
+/// x1 <= current x0 can never overlap anything later (x0 is monotone),
+/// so it is dropped for good. Only surviving active shots are paired
+/// with the incoming one. Touching pairs (x1 == x0) contribute zero
+/// area whether or not they are pruned, and int64 addition is
+/// order-independent, so the total is bitwise equal to the all-pairs
+/// scan (the analysis test pins this against the brute-force oracle).
+/// Worst case (all shots sharing an x range) is still quadratic, but
+/// real shot lists are spread across the shape, making the active set
+/// small and the sweep near-linear.
+std::int64_t pairwiseOverlapArea(std::span<const Rect> shots) {
+  std::vector<Rect> sorted(shots.begin(), shots.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Rect& a, const Rect& b) { return a.x0 < b.x0; });
+
+  std::int64_t overlap = 0;
+  std::vector<Rect> active;
+  for (const Rect& s : sorted) {
+    std::size_t keep = 0;
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      if (active[i].x1 <= s.x0) continue;  // behind the sweep line
+      overlap += active[i].intersection(s).area();
+      active[keep++] = active[i];
+    }
+    active.resize(keep);
+    active.push_back(s);
+  }
+  return overlap;
+}
+
+}  // namespace
 
 ShotStats computeShotStats(std::span<const Rect> shots, int sliverThreshold) {
   ShotStats stats;
@@ -11,19 +48,15 @@ ShotStats computeShotStats(std::span<const Rect> shots, int sliverThreshold) {
   if (shots.empty()) return stats;
 
   stats.minDimension = std::numeric_limits<int>::max();
-  std::int64_t overlap = 0;
-  for (std::size_t i = 0; i < shots.size(); ++i) {
-    const Rect& s = shots[i];
+  for (const Rect& s : shots) {
     const int small = std::min(s.width(), s.height());
     const int large = std::max(s.width(), s.height());
     stats.minDimension = std::min(stats.minDimension, small);
     stats.maxDimension = std::max(stats.maxDimension, large);
     if (small < sliverThreshold) ++stats.sliverCount;
     stats.totalShotArea += s.area();
-    for (std::size_t j = i + 1; j < shots.size(); ++j) {
-      overlap += s.intersection(shots[j]).area();
-    }
   }
+  const std::int64_t overlap = pairwiseOverlapArea(shots);
   stats.meanArea = static_cast<double>(stats.totalShotArea) / stats.count;
   stats.overlapFraction =
       stats.totalShotArea > 0

@@ -7,6 +7,7 @@
 
 #include "fracture/shot_graph.h"
 #include "fracture/verifier.h"
+#include "support/telemetry.h"
 
 namespace mbf {
 namespace {
@@ -170,11 +171,18 @@ ColoringArtifacts ColoringFracturer::fractureWithArtifacts(
   problem.checkpoint("corner-extraction");
   art.extraction = extractCornerPoints(problem);
   problem.checkpoint("shot-graph");
-  art.compatibility = buildShotGraph(problem, art.extraction.corners);
+  {
+    TraceScope traceGraph("shot-graph");
+    art.compatibility = buildShotGraph(problem, art.extraction.corners);
+  }
   const Graph inverse = art.compatibility.complement();
   problem.checkpoint("coloring");
-  art.coloring = greedyColoring(inverse, problem.params().coloringOrder);
+  {
+    TraceScope traceColoring("coloring");
+    art.coloring = greedyColoring(inverse, problem.params().coloringOrder);
+  }
 
+  TraceScope tracePlacement("shot-placement");
   for (const std::vector<int>& cls : art.coloring.classes()) {
     problem.checkpoint("shot-placement");
     std::vector<CornerPoint> pts;

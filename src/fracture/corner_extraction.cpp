@@ -6,6 +6,7 @@
 #include <numeric>
 
 #include "geometry/rdp.h"
+#include "support/telemetry.h"
 
 namespace mbf {
 
@@ -144,6 +145,7 @@ std::vector<CornerPoint> clusterCornerPoints(std::vector<CornerPoint> points,
 }
 
 CornerExtraction extractCornerPoints(const Problem& problem) {
+  TraceScope traceExtract("corner-extraction");
   CornerExtraction result;
   const double lth = problem.lth();
   // Outward shift of every shot corner point: the distance at which a
@@ -152,13 +154,18 @@ CornerExtraction extractCornerPoints(const Problem& problem) {
   // corner erosion threefold at the reference parameters).
   const double shift = problem.model().cornerLineOffset(problem.params().gamma);
 
+  {
+    TraceScope traceSimplify("simplify");
+    for (const Polygon& ringPoly : problem.rings()) {
+      result.simplifiedRings.push_back(
+          simplifyRing(ringPoly, problem.params().gamma));
+    }
+  }
+
   // Problem guarantees canonical ring orientation (outer CCW, holes CW),
   // so "interior on the left" holds while walking every ring and the
   // emit helpers work unchanged for hole boundaries.
-  for (const Polygon& ringPoly : problem.rings()) {
-    result.simplifiedRings.push_back(
-        simplifyRing(ringPoly, problem.params().gamma));
-    const std::vector<Vec2>& ring = result.simplifiedRings.back();
+  for (const std::vector<Vec2>& ring : result.simplifiedRings) {
     const std::size_t n = ring.size();
     for (std::size_t i = 0; i < n; ++i) {
       const Vec2 a = ring[i];

@@ -6,6 +6,7 @@
 #include "baselines/rect_partition.h"
 #include "fracture/refiner.h"
 #include "fracture/verifier.h"
+#include "support/telemetry.h"
 
 namespace mbf {
 namespace {
@@ -93,6 +94,7 @@ std::vector<Rect> gridRunPartition(const MaskGrid& inside, Point origin) {
 }
 
 Solution fallbackFracture(const Problem& problem) {
+  TraceScope traceFallback("fallback");
   const auto start = std::chrono::steady_clock::now();
 
   // Cooperative budget checkpoints bracket the rebuild and every repair

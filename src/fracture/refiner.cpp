@@ -9,6 +9,7 @@
 
 #include "grid/connected_components.h"
 #include "grid/prefix_sum.h"
+#include "support/telemetry.h"
 
 namespace mbf {
 namespace {
@@ -361,6 +362,7 @@ int Refiner::mergeShots(Verifier& verifier) const {
 }
 
 Solution Refiner::refine(std::vector<Rect> initialShots) {
+  TraceScope traceRefine("refine");
   const FractureParams& p = problem_->params();
   stats_ = RefinerStats{};
   const StageTimer totalTimer(stats_.totalSeconds);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "parallel/parallel_for.h"
+#include "support/telemetry.h"
 
 namespace mbf {
 
@@ -34,6 +35,7 @@ Verifier::Verifier(const Problem& problem)
 }
 
 void Verifier::setShots(std::span<const Rect> shots) {
+  TraceScope traceSetShots("verify-set-shots");
   shots_.assign(shots.begin(), shots.end());
   map_.setShots(shots_, problem_->params().numThreads);
   ++generation_;
@@ -156,6 +158,7 @@ Violations Verifier::violations() const {
 }
 
 Violations Verifier::scanViolations() const {
+  TraceScope traceScan("verify-scan");
   ++perf_.fullScans;
   const PerfTimer timer(&perf_, &PerfCounters::scanNanos);
   return violationsInWindow(

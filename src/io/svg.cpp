@@ -4,6 +4,22 @@
 
 namespace mbf {
 
+std::string xmlEscape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
 SvgWriter::SvgWriter(Rect viewBox, double scale)
     : box_(viewBox), scale_(scale) {}
 
@@ -49,7 +65,8 @@ void SvgWriter::addText(Vec2 pos, const std::string& text, double sizeNm,
                         const std::string& fill) {
   body_ << "<text x=\"" << tx(pos.x) << "\" y=\"" << ty(pos.y)
         << "\" font-size=\"" << sizeNm * scale_ << "\" fill=\"" << fill
-        << "\" font-family=\"monospace\">" << text << "</text>\n";
+        << "\" font-family=\"monospace\">" << xmlEscape(text)
+        << "</text>\n";
 }
 
 std::string SvgWriter::str() const {

@@ -11,6 +11,10 @@
 
 namespace mbf {
 
+/// Escapes the five XML entities (& < > " ') so arbitrary text can be
+/// embedded in SVG content or attribute values.
+std::string xmlEscape(const std::string& text);
+
 class SvgWriter {
  public:
   /// `viewBox` in world nm; `scale` = SVG units per nm.

@@ -14,6 +14,7 @@
 #include "fracture/model_based_fracturer.h"
 #include "parallel/parallel_for.h"
 #include "support/fault_injector.h"
+#include "support/telemetry.h"
 
 namespace mbf {
 
@@ -216,6 +217,7 @@ ShapeOutcome fractureShapeGuarded(const LayoutShape& shape,
                                   const FractureParams& params, Method method,
                                   int shapeIndex, bool allowDegradation,
                                   RefinerStats* statsOut, bool fallbackOnly) {
+  TraceScope traceShape("shape", shapeIndex);
   ShapeOutcome out;
   SanitizedShape clean = sanitizeShape(shape);
 

@@ -38,11 +38,17 @@ struct RunningWorker {
   bool killedByWatchdog = false;
   std::string journalPath;
   std::string logPath;
+  std::int64_t spawnNs = 0;  ///< traceNowNs() at fork (tracing only)
 };
 
 std::string rangeTag(const RangeTask& t) {
   return std::to_string(t.begin) + "_" + std::to_string(t.end) +
          (t.degradeOnly ? "_fb" : "");
+}
+
+std::string rangeLabel(const RangeTask& t) {
+  return "[" + std::to_string(t.begin) + "," + std::to_string(t.end) + ")" +
+         (t.degradeOnly ? " fb" : "");
 }
 
 double backoffMs(const SupervisorConfig& config, int attempts) {
@@ -72,7 +78,7 @@ std::string logTail(const std::string& path) {
 
 pid_t spawnWorker(const SupervisorConfig& config, const RangeTask& task,
                   const std::string& journalPath, const std::string& logPath,
-                  Status& error) {
+                  const std::string& spanPath, Status& error) {
   std::vector<std::string> args;
   args.push_back(config.cliPath);
   args.push_back(config.inputPath);
@@ -88,6 +94,7 @@ pid_t spawnWorker(const SupervisorConfig& config, const RangeTask& task,
   // journaled prefix (the requeue logic depends on it).
   args.push_back("--threads=1");
   if (task.degradeOnly) args.push_back("--degrade-only");
+  if (!spanPath.empty()) args.push_back("--trace-raw=" + spanPath);
   for (const std::string& a : config.workerArgs) args.push_back(a);
 
   std::vector<char*> argv;
@@ -155,6 +162,9 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
     queue.push_back(RangeTask{b, std::min(n, b + chunk)});
   }
   std::vector<RunningWorker> running;
+  // Span files ever handed to a worker; retries of one tag overwrite the
+  // same file, so each path is read once, at the end.
+  std::vector<std::string> spanPaths;
 
   auto log = [&](const std::string& line) {
     if (config.verbose) std::cerr << "supervisor: " << line << "\n";
@@ -195,9 +205,18 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
       queue.erase(it);
       w.journalPath = config.workDir + "/w_" + rangeTag(w.task) + ".jrnl";
       w.logPath = config.workDir + "/w_" + rangeTag(w.task) + ".log";
+      std::string spanPath;
+      if (config.collectTraceSpans) {
+        spanPath = config.workDir + "/w_" + rangeTag(w.task) + ".spans";
+        if (std::find(spanPaths.begin(), spanPaths.end(), spanPath) ==
+            spanPaths.end()) {
+          spanPaths.push_back(spanPath);
+        }
+        w.spawnNs = traceNowNs();
+      }
       Status spawnError;
       w.pid = spawnWorker(config, w.task, w.journalPath, w.logPath,
-                          spawnError);
+                          spanPath, spawnError);
       if (w.pid < 0) {
         fatal = spawnError;
         break;
@@ -221,6 +240,10 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
         ::kill(w.pid, SIGKILL);
         w.killedByWatchdog = true;
         ++result.counters.hungWorkers;
+        if (traceEnabled()) {
+          TraceRecorder::instance().instant("watchdog-kill " +
+                                            rangeLabel(w.task));
+        }
       }
     }
 
@@ -238,6 +261,13 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
       RunningWorker worker = std::move(w);
       running.erase(running.begin() + static_cast<std::ptrdiff_t>(i));
       const RangeTask& task = worker.task;
+
+      // The worker's lifetime as the supervisor saw it (fork to reap),
+      // alongside whatever spans the worker recorded itself.
+      if (traceEnabled()) {
+        TraceRecorder::instance().record("worker " + rangeLabel(task),
+                                         worker.spawnNs, traceNowNs());
+      }
 
       harvest(worker.journalPath);
       const int missing = firstMissing(task.begin, task.end);
@@ -331,6 +361,9 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
             " with no progress; retry " + std::to_string(retry.attempts) +
             "/" + std::to_string(config.maxRetries) + " in " +
             std::to_string(static_cast<int>(delay)) + " ms");
+        if (traceEnabled()) {
+          TraceRecorder::instance().instant("retry " + rangeLabel(task));
+        }
         queue.push_back(retry);
         continue;
       }
@@ -344,6 +377,9 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
             ", " + std::to_string(mid) + ") + [" + std::to_string(mid) +
             ", " + std::to_string(task.end) + ")");
         ++result.counters.bisectedRanges;
+        if (traceEnabled()) {
+          TraceRecorder::instance().instant("bisect " + rangeLabel(task));
+        }
         queue.push_back(RangeTask{task.begin, mid, 0, false, Clock::now()});
         queue.push_back(RangeTask{mid, task.end, 0, false, Clock::now()});
         continue;
@@ -355,6 +391,10 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
           why + "); degrading via fallback-only worker");
       ++result.counters.crashedShapes;
       result.isolatedShapes.push_back(task.begin);
+      if (traceEnabled()) {
+        TraceRecorder::instance().instant("isolate shape " +
+                                          std::to_string(task.begin));
+      }
       queue.push_back(RangeTask{task.begin, task.end, 0, true, Clock::now()});
     }
 
@@ -390,6 +430,13 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
                  "shape was never journaled by any worker")
               .withShape(i);
       result.records.emplace(i, std::move(record));
+    }
+  }
+  if (config.collectTraceSpans) {
+    // Best effort: a worker that crashed before flushing its span file
+    // contributes nothing; retries reuse one file, last writer wins.
+    for (const std::string& path : spanPaths) {
+      readSpanFile(path, result.workerSpans);
     }
   }
   result.status = fatal;

@@ -36,6 +36,7 @@
 
 #include "mdp/checkpoint.h"
 #include "support/status.h"
+#include "support/telemetry.h"
 
 namespace mbf {
 
@@ -60,6 +61,12 @@ struct SupervisorConfig {
   double backoffBaseMs = 50.0;
   double backoffCapMs = 2000.0;
   bool verbose = false;    ///< supervisor event log on stderr
+  /// Ask every worker to record trace spans into a per-range span file
+  /// (--trace-raw) and merge them into SupervisorResult::workerSpans, so
+  /// --trace-json on a supervised run shows one timeline across all
+  /// worker processes. Lifecycle events (spawn/retry/bisect/isolate/
+  /// watchdog kills) are recorded by the supervisor itself.
+  bool collectTraceSpans = false;
 };
 
 struct SupervisorResult {
@@ -74,6 +81,10 @@ struct SupervisorResult {
   RunCounters counters;
   /// Original indices of crash-isolated culprit shapes.
   std::vector<int> isolatedShapes;
+  /// Spans harvested from worker span files (collectTraceSpans only).
+  /// Each keeps its recording worker's pid; a worker that died before
+  /// writing its file simply contributes nothing.
+  std::vector<TraceSpan> workerSpans;
 };
 
 SupervisorResult superviseFracture(const SupervisorConfig& config);

@@ -28,6 +28,7 @@
 #include <thread>
 
 #include "parallel/thread_pool.h"
+#include "support/telemetry.h"
 
 namespace mbf {
 
@@ -71,6 +72,7 @@ void parallelFor(int begin, int end, int numThreads, int grain, Fn&& fn) {
       const int chunk =
           state->nextChunk.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= numChunks) return;
+      TraceScope traceChunk("parallel-for", chunk);
       const int lo = begin + chunk * grain;
       const int hi = std::min(end, lo + grain);
       for (int i = lo; i < hi; ++i) {

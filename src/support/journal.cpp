@@ -10,6 +10,8 @@
 #include <fstream>
 #include <limits>
 
+#include "support/telemetry.h"
+
 namespace mbf {
 namespace {
 
@@ -76,6 +78,7 @@ std::uint32_t crc32(std::string_view bytes) {
 Status recoverJournal(const std::string& path, std::string& metaOut,
                       std::vector<std::string>& recordsOut,
                       JournalRecoveryStats* statsOut) {
+  TraceScope traceReplay("journal-replay");
   JournalRecoveryStats stats;
   std::ifstream is(path, std::ios::binary);
   if (!is) return ioError("cannot open journal", path);
@@ -217,6 +220,7 @@ Status JournalWriter::openForAppend(const std::string& path,
 }
 
 Status JournalWriter::append(std::string_view payload) {
+  TraceScope traceAppend("journal-append");
   if (payload.size() > kMaxPayloadBytes) {
     return Status(StatusCode::kInvalidArgument,
                   "journal record of " + std::to_string(payload.size()) +

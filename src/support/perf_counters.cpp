@@ -3,46 +3,44 @@
 #include <cstdio>
 
 namespace mbf {
-namespace {
 
-// "1234", "56.7k", "8.90M" — compact counts for one-line summaries.
-std::string compact(std::uint64_t n) {
+std::string perfCompact(std::uint64_t n) {
   char buf[32];
   if (n < 10'000) {
     std::snprintf(buf, sizeof buf, "%llu", static_cast<unsigned long long>(n));
   } else if (n < 10'000'000) {
     std::snprintf(buf, sizeof buf, "%.1fk", static_cast<double>(n) / 1e3);
-  } else {
+  } else if (n < 10'000'000'000ull) {
     std::snprintf(buf, sizeof buf, "%.2fM", static_cast<double>(n) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.1fG", static_cast<double>(n) / 1e9);
   }
   return buf;
 }
 
-std::string rate(std::uint64_t count, std::uint64_t nanos) {
+std::string perfRate(std::uint64_t count, std::uint64_t nanos) {
   if (nanos == 0) return "n/a";
-  return compact(static_cast<std::uint64_t>(static_cast<double>(count) /
-                                            (static_cast<double>(nanos) *
-                                             1e-9))) +
+  return perfCompact(static_cast<std::uint64_t>(
+             static_cast<double>(count) /
+             (static_cast<double>(nanos) * 1e-9))) +
          "/s";
 }
 
-}  // namespace
-
 std::string summarize(const PerfCounters& c) {
-  std::string out = "candidate evals " + compact(c.candidateEvals);
+  std::string out = "candidate evals " + perfCompact(c.candidateEvals);
   if (c.candidateEvals > 0) {
     char pct[16];
     std::snprintf(pct, sizeof pct, "%.0f%%",
                   100.0 * static_cast<double>(c.candidateCacheHits) /
                       static_cast<double>(c.candidateEvals));
     out += " (" + std::string(pct) + " cached, " +
-           rate(c.candidateEvals, c.candidateNanos) + ")";
+           perfRate(c.candidateEvals, c.candidateNanos) + ")";
   }
-  out += ", profile evals " + compact(c.profileEvals);
-  out += ", ledger rows " + compact(c.ledgerRowUpdates) + " (" +
-         compact(c.ledgerFolds) + " folds)";
-  out += ", scans " + compact(c.fullScans) + " full / " +
-         compact(c.windowScans) + " window";
+  out += ", profile evals " + perfCompact(c.profileEvals);
+  out += ", ledger rows " + perfCompact(c.ledgerRowUpdates) + " (" +
+         perfCompact(c.ledgerFolds) + " folds)";
+  out += ", scans " + perfCompact(c.fullScans) + " full / " +
+         perfCompact(c.windowScans) + " window";
   return out;
 }
 

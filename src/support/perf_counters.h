@@ -64,6 +64,14 @@ struct PerfCounters {
 /// 7.8M/s) ..."), for mbf_cli --report and the bench narrators.
 std::string summarize(const PerfCounters& c);
 
+/// Compact count for one-line summaries: "1234" below 10k, "56.7k"
+/// below 10M, "8.90M" below 10G, "18.4G" beyond.
+std::string perfCompact(std::uint64_t n);
+
+/// "<compact>/s" from a count and accumulated nanoseconds; "n/a" when no
+/// time was recorded (rates from a zero denominator would be noise).
+std::string perfRate(std::uint64_t count, std::uint64_t nanos);
+
 /// RAII nanosecond accumulator into one PerfCounters field. A null sink
 /// skips the clock reads entirely, so instrumented code paths cost one
 /// branch when counting is off.

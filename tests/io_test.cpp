@@ -67,6 +67,29 @@ TEST(SvgTest, ContainsExpectedElements) {
   EXPECT_NE(s.find("</svg>"), std::string::npos);
 }
 
+TEST(SvgTest, TextIsXmlEscaped) {
+  SvgWriter svg({0, 0, 100, 100});
+  svg.addText({5.0, 95.0}, "a<b & \"c\" > 'd'");
+  const std::string s = svg.str();
+  EXPECT_NE(s.find("a&lt;b &amp; &quot;c&quot; &gt; &apos;d&apos;"),
+            std::string::npos);
+  // No raw entity characters between the text tags.
+  const std::size_t open = s.find("<text");
+  const std::size_t close = s.find("</text>");
+  ASSERT_NE(open, std::string::npos);
+  ASSERT_NE(close, std::string::npos);
+  const std::string body = s.substr(s.find('>', open) + 1,
+                                    close - s.find('>', open) - 1);
+  EXPECT_EQ(body.find('<'), std::string::npos);
+  EXPECT_EQ(body.find('"'), std::string::npos);
+}
+
+TEST(XmlEscapeTest, FiveEntities) {
+  EXPECT_EQ(xmlEscape("&<>\"'"), "&amp;&lt;&gt;&quot;&apos;");
+  EXPECT_EQ(xmlEscape("plain text 123"), "plain text 123");
+  EXPECT_EQ(xmlEscape(""), "");
+}
+
 TEST(SvgTest, YAxisFlipped) {
   SvgWriter svg({0, 0, 100, 100}, 1.0);
   svg.addCircle({0.0, 0.0}, 1.0, "black");  // world bottom-left

@@ -17,6 +17,20 @@
 //   --gds-out=<path>             also write shots as GDSII rectangles
 //   --report                     print per-shape statistics
 //
+// Telemetry (DESIGN.md section 15):
+//   --metrics-json=<path>        write the run manifest: one JSON
+//                                document aggregating batch totals,
+//                                refiner stage timers, perf counters,
+//                                recovery counters, per-shape outcomes,
+//                                shot-quality stats and the config
+//                                fingerprint
+//   --trace-json=<path>          record trace spans (fracture stages,
+//                                parallelFor chunks, journal writes,
+//                                worker lifecycles) and write a
+//                                chrome://tracing / Perfetto JSON
+//                                timeline; under --isolate the worker
+//                                subprocesses' spans are merged in
+//
 // Crash recovery (DESIGN.md section 14):
 //   --journal=<path>             append each completed shape to a
 //                                CRC32-framed result journal
@@ -49,6 +63,9 @@
 //                                original layout indices
 //   --degrade-only               fallback-only re-fracture of a
 //                                crash-isolated culprit shape
+//   --trace-raw=<path>           record trace spans and dump them as a
+//                                raw span file for the supervisor to
+//                                merge (instead of chrome JSON)
 //
 // Input: flat .poly ring list (blank-line separated) or a .gds file
 // (BOUNDARY elements); rings nested in another ring are holes. Output:
@@ -57,7 +74,8 @@
 // Exit codes:
 //   0  every shape fractured by the primary method, Eq. 4 feasible
 //   1  completed, but some shapes degraded to rect-partition fracturing
-//   2  usage / bad argument
+//   2  usage / bad argument, or an auxiliary output (--svg, --gds-out,
+//      --metrics-json, --trace-json) could not be written
 //   3  input or output I/O error (unreadable, unparseable, empty input),
 //      or a fatal journal/supervisor error
 //   4  completed without degradation but with failing pixels — or, with
@@ -70,6 +88,7 @@
 #include <iostream>
 #include <string>
 
+#include "analysis/shot_stats.h"
 #include "io/gdsii.h"
 #include "io/poly_io.h"
 #include "io/svg.h"
@@ -80,6 +99,7 @@
 #include "mdp/supervisor.h"
 #include "support/fault_injector.h"
 #include "support/perf_counters.h"
+#include "support/telemetry.h"
 
 namespace {
 
@@ -108,6 +128,7 @@ int usage() {
                "[--method=ours|gsc|mp|proxy] [--gamma=nm] [--sigma=nm] "
                "[--lmin=nm] [--eta=0..1] [--threads=n] [--budget-ms=ms] "
                "[--nmax=n] [--strict] [--svg=path] [--report] "
+               "[--metrics-json=path] [--trace-json=path] "
                "[--journal=path] [--resume] [--fsync=none|each] "
                "[--isolate] [--jobs=n] [--worker-timeout-ms=ms] "
                "[--retries=n] [--backoff-ms=ms] "
@@ -135,6 +156,9 @@ int main(int argc, char** argv) {
   BatchConfig config;
   std::string svgPath;
   std::string gdsOutPath;
+  std::string metricsJsonPath;
+  std::string traceJsonPath;
+  std::string traceRawPath;
   bool report = false;
   bool orderForWriter = false;
 
@@ -237,6 +261,15 @@ int main(int argc, char** argv) {
       if (svgPath.empty()) error = "must be a path";
     } else if (key == "--report") {
       report = true;
+    } else if (key == "--metrics-json") {
+      metricsJsonPath = value;
+      if (metricsJsonPath.empty()) error = "must be a path";
+    } else if (key == "--trace-json") {
+      traceJsonPath = value;
+      if (traceJsonPath.empty()) error = "must be a path";
+    } else if (key == "--trace-raw") {
+      traceRawPath = value;
+      if (traceRawPath.empty()) error = "must be a path";
     } else if (key == "--journal") {
       journalPath = value;
       if (journalPath.empty()) error = "must be a path";
@@ -344,6 +377,12 @@ int main(int argc, char** argv) {
   }
   if (injectorArmed) config.params.faultInjector = &injector;
 
+  // Tracing on before any traced work starts. Spans never change what is
+  // computed, so the output stays byte-identical either way.
+  if (!traceJsonPath.empty() || !traceRawPath.empty()) {
+    TraceRecorder::instance().enable();
+  }
+
   std::vector<Polygon> rings;
   if (inputPath.size() > 4 &&
       inputPath.substr(inputPath.size() - 4) == ".gds") {
@@ -412,10 +451,14 @@ int main(int argc, char** argv) {
     sup.maxRetries = retries;
     sup.backoffBaseMs = backoffMs;
     sup.verbose = report;
+    sup.collectTraceSpans = !traceJsonPath.empty();
     SupervisorResult supResult = superviseFracture(sup);
     if (!supResult.status.ok()) {
       std::cerr << "supervisor: " << supResult.status.str() << "\n";
       return 3;
+    }
+    for (TraceSpan& span : supResult.workerSpans) {
+      TraceRecorder::instance().addForeign(std::move(span));
     }
     result.solutions.resize(shapes.size());
     result.reports.resize(shapes.size());
@@ -495,6 +538,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Auxiliary outputs (--svg, --gds-out, --metrics-json, --trace-json):
+  // each failure is diagnosed and the run exits 2 — a run must never
+  // print success while silently dropping an artifact it was asked for.
+  bool auxWriteFailed = false;
+
   if (!svgPath.empty()) {
     Rect view;
     for (const LayoutShape& s : shapes) {
@@ -511,7 +559,10 @@ int main(int argc, char** argv) {
         svg.addRect(shot, "#2ca02c", "#145214", 0.2, 0.2);
       }
     }
-    svg.save(svgPath);
+    if (!svg.save(svgPath)) {
+      std::cerr << "cannot write SVG " << svgPath << "\n";
+      auxWriteFailed = true;
+    }
   }
 
   if (!gdsOutPath.empty()) {
@@ -530,7 +581,51 @@ int main(int argc, char** argv) {
       }
     }
     outLib.structures = {std::move(top)};
-    saveGds(gdsOutPath, outLib);
+    if (!saveGds(gdsOutPath, outLib)) {
+      std::cerr << "cannot write GDSII " << gdsOutPath << "\n";
+      auxWriteFailed = true;
+    }
+  }
+
+  if (!metricsJsonPath.empty()) {
+    std::vector<Rect> allShots;
+    for (const Solution& sol : result.solutions) {
+      allShots.insert(allShots.end(), sol.shots.begin(), sol.shots.end());
+    }
+    RunManifestInfo info;
+    info.inputPath = inputPath;
+    info.outputPath = outputPath;
+    info.fingerprint = journalMetaFor(shapes, config);
+    info.haveRecovery = haveCounters;
+    info.isolatedShapes = isolatedShapes;
+    const std::string manifest = buildRunManifest(
+        info, config, result, counters, computeShotStats(allShots));
+    std::ofstream ms(metricsJsonPath);
+    if (ms) ms << manifest;
+    ms.close();
+    if (!ms) {
+      std::cerr << "cannot write metrics JSON " << metricsJsonPath << "\n";
+      auxWriteFailed = true;
+    }
+  }
+
+  // Worker span dump first (supervised runs), chrome JSON second: a
+  // worker never gets --trace-json, a parent never gets --trace-raw.
+  if (!traceRawPath.empty()) {
+    const Status st =
+        writeSpanFile(traceRawPath, TraceRecorder::instance().snapshot());
+    if (!st.ok()) {
+      std::cerr << st.str() << "\n";
+      auxWriteFailed = true;
+    }
+  }
+  if (!traceJsonPath.empty()) {
+    const Status st =
+        writeTraceJson(traceJsonPath, TraceRecorder::instance().snapshot());
+    if (!st.ok()) {
+      std::cerr << st.str() << "\n";
+      auxWriteFailed = true;
+    }
   }
 
   std::cout << "total: " << result.totalShots << " shots, "
@@ -549,6 +644,10 @@ int main(int argc, char** argv) {
               << counters.hungWorkers << " hung), " << counters.crashedShapes
               << " crash-isolated shape(s)\n";
   }
+
+  // A missing requested artifact outranks the quality ladder: the run
+  // did not deliver what it printed it would.
+  if (auxWriteFailed) return 2;
 
   if (!config.allowDegradation) {
     // Strict mode: a shape that would have degraded is a failure.
