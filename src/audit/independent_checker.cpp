@@ -1,0 +1,384 @@
+#include "audit/independent_checker.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+
+namespace mbf {
+namespace {
+
+// --- .shots section parser --------------------------------------------
+
+bool parseIntToken(const char*& p, long long& out) {
+  char* end = nullptr;
+  const long long v = std::strtoll(p, &end, 10);
+  if (end == p) return false;
+  p = end;
+  out = v;
+  return true;
+}
+
+bool consume(const char*& p, const char* literal) {
+  const char* q = p;
+  while (*literal != '\0') {
+    if (*q != *literal) return false;
+    ++q;
+    ++literal;
+  }
+  p = q;
+  return true;
+}
+
+/// "# shape <i>: <n> shots, <m> failing px[, degraded]"
+bool parseSectionHeader(const std::string& line, ShotSection& out) {
+  const char* p = line.c_str();
+  long long index = 0;
+  long long shots = 0;
+  long long failing = 0;
+  if (!consume(p, "# shape ")) return false;
+  if (!parseIntToken(p, index)) return false;
+  if (!consume(p, ": ")) return false;
+  if (!parseIntToken(p, shots)) return false;
+  if (!consume(p, " shots, ")) return false;
+  if (!parseIntToken(p, failing)) return false;
+  if (!consume(p, " failing px")) return false;
+  bool degraded = false;
+  if (*p != '\0') {
+    if (!consume(p, ", degraded") || *p != '\0') return false;
+    degraded = true;
+  }
+  out.index = static_cast<int>(index);
+  out.claimedShots = static_cast<int>(shots);
+  out.claimedFailingPx = failing;
+  out.claimedDegraded = degraded;
+  out.shots.clear();
+  return true;
+}
+
+/// "x0 y0 x1 y1" with nothing but whitespace around the four ints.
+bool parseShotLine(const std::string& line, Rect& out) {
+  const char* p = line.c_str();
+  long long v[4];
+  for (int i = 0; i < 4; ++i) {
+    while (*p == ' ' || *p == '\t') ++p;
+    if (!parseIntToken(p, v[i])) return false;
+  }
+  while (*p == ' ' || *p == '\t') ++p;
+  if (*p != '\0') return false;
+  out = {static_cast<int>(v[0]), static_cast<int>(v[1]),
+         static_cast<int>(v[2]), static_cast<int>(v[3])};
+  return true;
+}
+
+// --- audit helpers ----------------------------------------------------
+
+/// The sanitation the per-shape driver applies before rasterizing
+/// (mdp/layout sanitizeShape): normalize every ring, drop the ones that
+/// collapse (< 3 vertices or zero area). Replicated here so the audit
+/// reconstructs exactly the Problem the pipeline solved. The
+/// self-intersection scan is deliberately NOT replicated — it only
+/// selects the fallback path, it never changes the grid.
+std::vector<Polygon> sanitizedRings(const LayoutShape& shape) {
+  std::vector<Polygon> rings;
+  for (const Polygon& original : shape.rings) {
+    Polygon ring = original;
+    ring.normalize();
+    if (ring.size() < 3 || ring.area() == 0.0) continue;
+    rings.push_back(std::move(ring));
+  }
+  return rings;
+}
+
+std::string fmtDouble(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+Status parseShotSections(const std::string& content,
+                         std::vector<ShotSection>& out) {
+  out.clear();
+  std::istringstream is(content);
+  std::string line;
+  int lineNo = 0;
+  while (std::getline(is, line)) {
+    ++lineNo;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;  // blank line
+    if (line[first] == '#') {
+      ShotSection section;
+      if (parseSectionHeader(line.substr(first), section)) {
+        out.push_back(std::move(section));
+        continue;
+      }
+      return Status(StatusCode::kParseError,
+                    "line " + std::to_string(lineNo) +
+                        ": malformed section header: '" + line + "'");
+    }
+    Rect shot;
+    if (!parseShotLine(line, shot)) {
+      return Status(StatusCode::kParseError,
+                    "line " + std::to_string(lineNo) +
+                        ": not an 'x0 y0 x1 y1' shot: '" + line + "'");
+    }
+    if (out.empty()) {
+      return Status(StatusCode::kParseError,
+                    "line " + std::to_string(lineNo) +
+                        ": shot before the first '# shape' header");
+    }
+    out.back().shots.push_back(shot);
+  }
+  return Status();
+}
+
+DenseViolations denseViolations(const Problem& problem,
+                                std::span<const Rect> shots) {
+  const ProximityModel& model = problem.model();
+  const Point origin = problem.origin();
+  const int width = problem.gridWidth();
+  const int height = problem.gridHeight();
+  const int radius = model.influenceRadiusPx();
+  const double rho = model.rho();
+
+  // Per-shot influence window and separable 1D edge profiles: the same
+  // truncation and the same scalar arithmetic the emission pipeline
+  // applies, re-derived here from the model alone.
+  struct ShotProfile {
+    Rect window;
+    std::vector<double> ax;
+    std::vector<double> by;
+  };
+  std::vector<ShotProfile> profiles(shots.size());
+  for (std::size_t i = 0; i < shots.size(); ++i) {
+    const Rect& shot = shots[i];
+    Rect w{shot.x0 - origin.x - radius, shot.y0 - origin.y - radius,
+           shot.x1 - origin.x + radius, shot.y1 - origin.y + radius};
+    w.x0 = std::max(w.x0, 0);
+    w.y0 = std::max(w.y0, 0);
+    w.x1 = std::min(w.x1, width);
+    w.y1 = std::min(w.y1, height);
+    if (w.x1 < w.x0) w.x1 = w.x0;
+    if (w.y1 < w.y0) w.y1 = w.y0;
+    ShotProfile& p = profiles[i];
+    p.window = w;
+    if (w.empty()) continue;
+    p.ax.resize(static_cast<std::size_t>(w.width()));
+    p.by.resize(static_cast<std::size_t>(w.height()));
+    for (int x = w.x0; x < w.x1; ++x) {
+      const double px = origin.x + x + 0.5;
+      p.ax[static_cast<std::size_t>(x - w.x0)] =
+          model.edgeProfile(shot.x1 - px) - model.edgeProfile(shot.x0 - px);
+    }
+    for (int y = w.y0; y < w.y1; ++y) {
+      const double py = origin.y + y + 0.5;
+      p.by[static_cast<std::size_t>(y - w.y0)] =
+          model.edgeProfile(shot.y1 - py) - model.edgeProfile(shot.y0 - py);
+    }
+  }
+
+  // Row-major gather: each pixel accumulates its covering shots in
+  // shot-index order — the per-cell addition sequence of the pipeline —
+  // then the row classifies against rho and its partial folds into the
+  // total in row order.
+  DenseViolations total;
+  std::vector<double> row(static_cast<std::size_t>(width));
+  const Grid<std::uint8_t>& classes = problem.classGrid();
+  for (int y = 0; y < height; ++y) {
+    std::fill(row.begin(), row.end(), 0.0);
+    for (const ShotProfile& p : profiles) {
+      const Rect& w = p.window;
+      if (y < w.y0 || y >= w.y1) continue;
+      const double b = p.by[static_cast<std::size_t>(y - w.y0)];
+      for (int x = w.x0; x < w.x1; ++x) {
+        row[static_cast<std::size_t>(x)] +=
+            p.ax[static_cast<std::size_t>(x - w.x0)] * b;
+      }
+    }
+    DenseViolations partial;
+    const std::uint8_t* cls = classes.row(y);
+    for (int x = 0; x < width; ++x) {
+      const double i = row[static_cast<std::size_t>(x)];
+      switch (static_cast<PixelClass>(cls[x])) {
+        case PixelClass::kOn:
+          if (i < rho) {
+            ++partial.failOn;
+            partial.cost += rho - i;
+          }
+          break;
+        case PixelClass::kOff:
+          if (i >= rho) {
+            ++partial.failOff;
+            partial.cost += i - rho;
+          }
+          break;
+        case PixelClass::kDontCare:
+          break;
+      }
+    }
+    total.failOn += partial.failOn;
+    total.failOff += partial.failOff;
+    total.cost += partial.cost;
+  }
+  return total;
+}
+
+std::string AuditReport::str() const {
+  std::string out;
+  for (const AuditFinding& f : findings) {
+    if (f.shapeIndex >= 0) {
+      out += "shape " + std::to_string(f.shapeIndex) + ": " + f.what + "\n";
+    } else {
+      out += "file: " + f.what + "\n";
+    }
+  }
+  return out;
+}
+
+AuditReport auditShotSections(const std::vector<LayoutShape>& shapes,
+                              const FractureParams& params,
+                              std::span<const ShotSection> sections,
+                              std::span<const ShapeExpectation> expectations,
+                              int threads, int shapeIndexBase) {
+  AuditReport report;
+  if (sections.size() != shapes.size()) {
+    report.findings.push_back(
+        {-1, "artifact holds " + std::to_string(sections.size()) +
+                 " shape section(s) but the input layout has " +
+                 std::to_string(shapes.size())});
+  }
+  if (expectations.size() != shapes.size()) {
+    report.findings.push_back(
+        {-1, "claims cover " + std::to_string(expectations.size()) +
+                 " shape(s) but the input layout has " +
+                 std::to_string(shapes.size())});
+  }
+
+  const std::size_t n = std::min(
+      shapes.size(), std::min(sections.size(), expectations.size()));
+  report.shapesAudited = static_cast<int>(n);
+
+  // The audit must never trip the pipeline's execution budgets or fault
+  // hooks — it re-derives grids with the result-relevant model
+  // parameters only.
+  FractureParams auditParams = params;
+  auditParams.numThreads = 1;
+  auditParams.shapeTimeBudgetMs = 0.0;
+  auditParams.maxGridBytes = 0;
+  auditParams.faultInjector = nullptr;
+
+  std::vector<std::vector<std::string>> findings(n);
+  const int resolved = ThreadPool::resolveThreads(threads);
+  parallelFor(0, static_cast<int>(n), resolved, 1, [&](int idx) {
+    const auto i = static_cast<std::size_t>(idx);
+    std::vector<std::string>& out = findings[i];
+    const ShotSection& section = sections[i];
+    const ShapeExpectation& expect = expectations[i];
+    const int wantIndex = shapeIndexBase + idx;
+
+    if (section.index != wantIndex) {
+      out.push_back("section header says shape " +
+                    std::to_string(section.index) + ", expected " +
+                    std::to_string(wantIndex));
+    }
+    if (section.claimedShots !=
+        static_cast<int>(section.shots.size())) {
+      out.push_back("header claims " + std::to_string(section.claimedShots) +
+                    " shots but the section contains " +
+                    std::to_string(section.shots.size()));
+    }
+    if (section.claimedDegraded != expect.degraded) {
+      out.push_back(std::string("degraded tag mismatch: artifact says ") +
+                    (section.claimedDegraded ? "degraded" : "not degraded") +
+                    ", claims say " +
+                    (expect.degraded ? "degraded" : "not degraded"));
+    }
+    for (const Rect& shot : section.shots) {
+      if (shot.x1 <= shot.x0 || shot.y1 <= shot.y0) {
+        out.push_back("empty/inverted shot " + std::to_string(shot.x0) + " " +
+                      std::to_string(shot.y0) + " " + std::to_string(shot.x1) +
+                      " " + std::to_string(shot.y1));
+        break;
+      }
+    }
+    if (expect.method == "ours" && !expect.degraded) {
+      for (const Rect& shot : section.shots) {
+        if (shot.width() < params.lmin || shot.height() < params.lmin) {
+          out.push_back("shot " + std::to_string(shot.x0) + " " +
+                        std::to_string(shot.y0) + " " +
+                        std::to_string(shot.x1) + " " +
+                        std::to_string(shot.y1) + " violates Lmin=" +
+                        std::to_string(params.lmin));
+          break;
+        }
+      }
+    }
+
+    if (!expect.completed || expect.method == "empty") {
+      // Failed / interrupted / nothing-printable shapes carry no shots
+      // by design; their zeroed claims are not re-derivable from the
+      // target, so the dense check does not apply.
+      if (!section.shots.empty()) {
+        out.push_back("run reported no result for this shape but the "
+                      "artifact holds " +
+                      std::to_string(section.shots.size()) + " shot(s)");
+      }
+      return;
+    }
+
+    const std::vector<Polygon> rings = sanitizedRings(shapes[i]);
+    if (rings.empty()) {
+      if (!section.shots.empty()) {
+        out.push_back("every ring is degenerate, yet the artifact holds " +
+                      std::to_string(section.shots.size()) + " shot(s)");
+      }
+      return;
+    }
+
+    DenseViolations dense;
+    try {
+      const Problem problem(rings, auditParams);
+      dense = denseViolations(problem, section.shots);
+    } catch (const std::exception& e) {
+      out.push_back(std::string("audit could not rasterize the shape: ") +
+                    e.what());
+      return;
+    }
+
+    if (dense.failOn + dense.failOff != section.claimedFailingPx) {
+      out.push_back("header claims " +
+                    std::to_string(section.claimedFailingPx) +
+                    " failing px, dense re-evaluation finds " +
+                    std::to_string(dense.failOn + dense.failOff));
+    }
+    if (dense.failOn != expect.failOn || dense.failOff != expect.failOff) {
+      out.push_back("claimed fail_on/fail_off " +
+                    std::to_string(expect.failOn) + "/" +
+                    std::to_string(expect.failOff) +
+                    ", dense re-evaluation finds " +
+                    std::to_string(dense.failOn) + "/" +
+                    std::to_string(dense.failOff));
+    }
+    if (expect.exactCost && dense.cost != expect.cost) {
+      out.push_back("claimed cost " + fmtDouble(expect.cost) +
+                    ", dense re-evaluation finds " + fmtDouble(dense.cost));
+    }
+  });
+
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::string& what : findings[i]) {
+      report.findings.push_back(
+          {shapeIndexBase + static_cast<int>(i), std::move(what)});
+    }
+  }
+  return report;
+}
+
+}  // namespace mbf

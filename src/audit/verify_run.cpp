@@ -1,0 +1,352 @@
+#include "audit/verify_run.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "io/atomic_file.h"
+#include "io/gdsii.h"
+#include "io/poly_io.h"
+#include "mdp/checkpoint.h"
+#include "support/telemetry.h"
+
+namespace mbf {
+namespace {
+
+std::string dirnameOf(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+std::string basenameOf(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+bool isDirectory(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+bool fileExists(const std::string& path) {
+  struct stat st{};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+/// Artifact paths in the manifest are relative to the run's working
+/// directory. Verification may happen elsewhere, so fall back to
+/// resolving against the manifest's own directory.
+std::string resolveArtifactPath(const std::string& manifestDir,
+                                const std::string& path) {
+  if (fileExists(path)) return path;
+  const std::string inDir = manifestDir + "/" + path;
+  if (fileExists(inDir)) return inDir;
+  const std::string byBase = manifestDir + "/" + basenameOf(path);
+  if (fileExists(byBase)) return byBase;
+  return path;  // keep the original so the error message names it
+}
+
+/// A directory target: find exactly one *.json that is a run manifest.
+Status locateManifestInDir(const std::string& dir, std::string& out) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status(StatusCode::kIoError, "cannot open directory '" + dir + "'");
+  }
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(d)) {
+    names.emplace_back(entry->d_name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());  // readdir order is arbitrary
+
+  std::vector<std::string> candidates;
+  for (const std::string& name : names) {
+    if (name.size() < 5 || name.substr(name.size() - 5) != ".json") continue;
+    const std::string path = dir + "/" + name;
+    std::string content;
+    if (!readFileToString(path, content).ok()) continue;
+    JsonValue doc;
+    if (!parseJson(content, doc).ok()) continue;
+    const JsonValue* schema = doc.find("schema");
+    if (schema != nullptr && schema->string == "mbf-run-manifest") {
+      candidates.push_back(path);
+    }
+  }
+  if (candidates.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "no mbf-run-manifest *.json in '" + dir +
+                      "' (was the run started with --metrics-json?)");
+  }
+  if (candidates.size() > 1) {
+    std::string list;
+    for (const std::string& c : candidates) list += " " + c;
+    return Status(StatusCode::kInvalidArgument,
+                  "multiple run manifests in '" + dir + "':" + list +
+                      " — pass the manifest path directly");
+  }
+  out = candidates.front();
+  return Status();
+}
+
+double numberOr(const JsonValue* v, double fallback) {
+  return v != nullptr && v->kind == JsonValue::Kind::kNumber ? v->number
+                                                             : fallback;
+}
+
+std::string stringOr(const JsonValue* v, const std::string& fallback) {
+  return v != nullptr && v->kind == JsonValue::Kind::kString ? v->string
+                                                             : fallback;
+}
+
+bool boolOr(const JsonValue* v, bool fallback) {
+  return v != nullptr && v->kind == JsonValue::Kind::kBool ? v->boolean
+                                                           : fallback;
+}
+
+Status loadLayout(const std::string& path, std::vector<LayoutShape>& out) {
+  std::vector<Polygon> rings;
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".gds") {
+    GdsLibrary lib;
+    Status st = parseGdsFile(path, lib);
+    if (!st.ok()) return st;
+    for (GdsPolygon& gp : flattenGds(lib)) {
+      rings.push_back(std::move(gp.polygon));
+    }
+  } else {
+    std::vector<Polygon> parsed;
+    const Status st = parsePolygonsFile(path, parsed, nullptr);
+    // Line-tolerant, like the run itself: whatever polygons survived are
+    // the layout the run fractured.
+    if (!st.ok() && parsed.empty()) return st;
+    rings = std::move(parsed);
+  }
+  if (rings.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "no polygons in input '" + path + "'");
+  }
+  out = groupRings(std::move(rings));
+  return Status();
+}
+
+}  // namespace
+
+std::string VerifyReport::str() const {
+  std::string out;
+  for (const std::string& issue : fileIssues) out += issue + "\n";
+  out += audit.str();
+  return out;
+}
+
+Status verifyRun(const VerifyOptions& options, VerifyReport& out) {
+  out = {};
+
+  // 1. Locate and load the manifest.
+  std::string manifestPath = options.target;
+  if (isDirectory(manifestPath)) {
+    const Status st = locateManifestInDir(manifestPath, manifestPath);
+    if (!st.ok()) return st;
+  }
+  out.manifestPath = manifestPath;
+  std::string manifestBytes;
+  {
+    const Status st = readFileToString(manifestPath, manifestBytes);
+    if (!st.ok()) return st;
+  }
+
+  // 2. The manifest's own integrity: its .sha256 sidecar (the manifest
+  //    cannot embed its own digest).
+  {
+    const Status st = verifyHashSidecar(manifestPath);
+    if (!st.ok()) out.fileIssues.push_back(st.message());
+  }
+
+  JsonValue doc;
+  {
+    const Status st = parseJson(manifestBytes, doc);
+    if (!st.ok()) {
+      return Status(StatusCode::kParseError,
+                    "manifest '" + manifestPath +
+                        "' is not valid JSON: " + st.message());
+    }
+  }
+  if (stringOr(doc.find("schema"), "") != "mbf-run-manifest") {
+    return Status(StatusCode::kInvalidArgument,
+                  "'" + manifestPath + "' is not an mbf-run-manifest");
+  }
+  out.interrupted = stringOr(doc.find("status"), "completed") == "interrupted";
+
+  const std::string manifestDir = dirnameOf(manifestPath);
+
+  // 3. Re-hash every artifact the manifest lists.
+  if (const JsonValue* artifacts = doc.find("artifacts");
+      artifacts != nullptr && artifacts->isArray()) {
+    for (const JsonValue& a : artifacts->items) {
+      const std::string kind = stringOr(a.find("kind"), "?");
+      const std::string rawPath = stringOr(a.find("path"), "");
+      const std::string expected = stringOr(a.find("sha256"), "");
+      const std::string path = resolveArtifactPath(manifestDir, rawPath);
+      std::string actual;
+      const Status st = sha256File(path, actual);
+      if (!st.ok()) {
+        out.fileIssues.push_back(kind + " artifact '" + rawPath +
+                                 "': " + st.message());
+        continue;
+      }
+      ++out.artifactsChecked;
+      if (actual != expected) {
+        out.fileIssues.push_back(kind + " artifact '" + rawPath +
+                                 "' is corrupt: manifest records sha256 " +
+                                 expected + ", file hashes to " + actual);
+      }
+    }
+  } else {
+    out.fileIssues.push_back(
+        "manifest has no artifacts list (written before the integrity "
+        "layer?) — artifact hashes cannot be checked");
+  }
+
+  // 4. Reconstruct the run configuration.
+  const JsonValue* config = doc.find("config");
+  if (config == nullptr || !config->isObject()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "manifest '" + manifestPath + "' has no config block");
+  }
+  BatchConfig batch;
+  FractureParams& p = batch.params;
+  p.gamma = numberOr(config->find("gamma"), p.gamma);
+  p.sigma = numberOr(config->find("sigma"), p.sigma);
+  p.rho = numberOr(config->find("rho"), p.rho);
+  p.lmin = static_cast<int>(numberOr(config->find("lmin"), p.lmin));
+  p.backscatterEta = numberOr(config->find("eta"), p.backscatterEta);
+  p.backscatterSigma =
+      numberOr(config->find("sigma_back"), p.backscatterSigma);
+  p.nmax = static_cast<int>(numberOr(config->find("nmax"), p.nmax));
+  if (!parseMethod(stringOr(config->find("method"), "ours"), batch.method)) {
+    out.fileIssues.push_back("manifest config.method '" +
+                             stringOr(config->find("method"), "") +
+                             "' is not a known method");
+  }
+  batch.allowDegradation = !boolOr(config->find("strict"), false);
+  batch.shapeIndexBase =
+      static_cast<int>(numberOr(config->find("shape_index_base"), 0));
+  const bool ordered = boolOr(config->find("ordered"), false);
+
+  // 5. Re-read the input layout the run fractured.
+  const JsonValue* input = doc.find("input");
+  const std::string inputPath = resolveArtifactPath(
+      manifestDir, stringOr(input != nullptr ? input->find("path") : nullptr,
+                            ""));
+  std::vector<LayoutShape> shapes;
+  {
+    const Status st = loadLayout(inputPath, shapes);
+    if (!st.ok()) return st;
+  }
+  const double claimedShapesRaw =
+      numberOr(input != nullptr ? input->find("shapes") : nullptr, -1.0);
+  const std::size_t claimedShapes =
+      claimedShapesRaw < 0.0 ? shapes.size()
+                             : static_cast<std::size_t>(claimedShapesRaw);
+  // Workers fracture a sub-range of the layout; the manifest's shape
+  // count is authoritative for which slice the artifact covers.
+  const int base = batch.shapeIndexBase;
+  if (base > 0 || claimedShapes < shapes.size()) {
+    const std::size_t b =
+        std::min(shapes.size(), static_cast<std::size_t>(std::max(base, 0)));
+    const std::size_t end = std::min(shapes.size(), b + claimedShapes);
+    shapes = std::vector<LayoutShape>(shapes.begin() + static_cast<long>(b),
+                                      shapes.begin() + static_cast<long>(end));
+  }
+  if (claimedShapes != shapes.size()) {
+    out.fileIssues.push_back(
+        "manifest says the run covered " + std::to_string(claimedShapes) +
+        " shape(s) but the input resolves to " +
+        std::to_string(shapes.size()) +
+        " — the input layout has changed since the run");
+  }
+
+  // 6. Parameter/geometry fingerprint: recomputed over the re-read
+  //    layout and the reconstructed config; a mismatch means the audit
+  //    below would compare against the wrong oracle.
+  const std::string fingerprint =
+      stringOr(config->find("fingerprint"), "");
+  if (!fingerprint.empty() && claimedShapes == shapes.size()) {
+    const std::string recomputed = journalMetaFor(shapes, batch);
+    if (recomputed != fingerprint) {
+      out.fileIssues.push_back(
+          "config/geometry fingerprint mismatch: manifest records '" +
+          fingerprint + "', recomputed '" + recomputed +
+          "' — input or parameters differ from the run");
+    }
+  }
+
+  // 7. Parse the .shots artifact and audit it against the claims.
+  const JsonValue* output = doc.find("output");
+  const std::string shotsPath = resolveArtifactPath(
+      manifestDir,
+      stringOr(output != nullptr ? output->find("path") : nullptr, ""));
+  std::string shotsBytes;
+  {
+    const Status st = readFileToString(shotsPath, shotsBytes);
+    if (!st.ok()) {
+      out.fileIssues.push_back(st.message());
+      return Status();
+    }
+  }
+  std::vector<ShotSection> sections;
+  {
+    const Status st = parseShotSections(shotsBytes, sections);
+    if (!st.ok()) {
+      out.fileIssues.push_back("shots artifact '" + shotsPath +
+                               "': " + st.message());
+      return Status();
+    }
+  }
+
+  std::vector<ShapeExpectation> expectations;
+  std::int64_t manifestShotTotal = -1;
+  if (const JsonValue* totals = doc.find("totals"); totals != nullptr) {
+    manifestShotTotal =
+        static_cast<std::int64_t>(numberOr(totals->find("shots"), -1.0));
+  }
+  if (const JsonValue* shapeList = doc.find("shapes");
+      shapeList != nullptr && shapeList->isArray()) {
+    for (const JsonValue& s : shapeList->items) {
+      ShapeExpectation e;
+      e.method = stringOr(s.find("method"), "");
+      e.failOn = static_cast<std::int64_t>(numberOr(s.find("fail_on"), 0.0));
+      e.failOff =
+          static_cast<std::int64_t>(numberOr(s.find("fail_off"), 0.0));
+      e.cost = numberOr(s.find("cost"), 0.0);
+      e.degraded = boolOr(s.find("degraded"), false);
+      const JsonValue* status = s.find("status");
+      const std::string code = stringOr(
+          status != nullptr ? status->find("code") : nullptr, "OK");
+      e.completed = code == "OK" || e.degraded;
+      e.exactCost = !ordered;
+      expectations.push_back(std::move(e));
+    }
+  } else {
+    out.fileIssues.push_back("manifest has no per-shape claims array");
+  }
+
+  out.audit = auditShotSections(shapes, p, sections, expectations,
+                                options.threads, base);
+
+  std::int64_t sectionShots = 0;
+  for (const ShotSection& s : sections) {
+    sectionShots += static_cast<std::int64_t>(s.shots.size());
+  }
+  if (manifestShotTotal >= 0 && manifestShotTotal != sectionShots) {
+    out.fileIssues.push_back(
+        "manifest totals.shots = " + std::to_string(manifestShotTotal) +
+        " but the artifact contains " + std::to_string(sectionShots));
+  }
+  return Status();
+}
+
+}  // namespace mbf

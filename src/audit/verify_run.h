@@ -1,0 +1,50 @@
+// The `mbf_cli --verify` acceptance gate (DESIGN.md section 16): given a
+// finished run's manifest (or the directory holding it), re-hash every
+// artifact the manifest lists against its recorded SHA-256, re-read the
+// input layout and the emitted `.shots` artifact, and re-verify every
+// per-shape claim with the independent dense checker. A clean report
+// means the bytes on disk are the bytes the run wrote AND those bytes
+// satisfy the feasibility/claims contract — checked by code that shares
+// nothing with the emission path.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "audit/independent_checker.h"
+#include "support/status.h"
+
+namespace mbf {
+
+struct VerifyOptions {
+  /// Run-manifest JSON path, or a directory containing exactly one.
+  std::string target;
+  /// Shape-level audit parallelism (as BatchConfig::threads).
+  int threads = 1;
+};
+
+struct VerifyReport {
+  std::string manifestPath;
+  /// Artifact/file-level problems: missing files, sidecar mismatches,
+  /// SHA-256 mismatches, unparseable artifacts, totals that disagree.
+  std::vector<std::string> fileIssues;
+  /// Per-shape findings from the independent checker.
+  AuditReport audit;
+  int artifactsChecked = 0;
+  /// The manifest is stamped "interrupted" (graceful drain): partial by
+  /// design; the audit still validates whatever was written.
+  bool interrupted = false;
+
+  bool clean() const { return fileIssues.empty() && audit.clean(); }
+  /// Every issue, one per line.
+  std::string str() const;
+};
+
+/// Runs the gate. A non-ok Status means verification could not even
+/// start (no manifest found, manifest unreadable/unparseable, input
+/// layout unreadable) — callers should treat that as a failed
+/// verification, not a clean one. When the Status is ok, `out.clean()`
+/// is the verdict.
+Status verifyRun(const VerifyOptions& options, VerifyReport& out);
+
+}  // namespace mbf

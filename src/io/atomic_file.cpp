@@ -1,0 +1,381 @@
+#include "io/atomic_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace mbf {
+namespace {
+
+std::string errnoText(const char* op, int err) {
+  return std::string(op) + ": " + std::strerror(err) +
+         " (errno " + std::to_string(err) + ")";
+}
+
+// Capped backoff for EINTR storms: the first few retries are immediate
+// (the common signal-delivery case), after that sleep 1ms doubling to a
+// 64ms cap so a pathological signal source can't spin a core.
+void eintrBackoff(int attempt) {
+  if (attempt < 8) return;
+  const long ms = std::min(64L, 1L << std::min(attempt - 8, 6));
+  struct timespec ts{0, ms * 1000000L};
+  nanosleep(&ts, nullptr);  // EINTR here is fine; we retry anyway
+}
+
+std::string dirnameOf(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+std::string basenameOf(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+int openRetry(const char* path, int flags, mode_t mode = 0) {
+  int fd = -1;
+  int attempt = 0;
+  do {
+    fd = ::open(path, flags, mode);
+    if (fd < 0 && errno == EINTR) eintrBackoff(attempt++);
+  } while (fd < 0 && errno == EINTR);
+  return fd;
+}
+
+Status fsyncRetry(int fd, const char* what) {
+  int attempt = 0;
+  while (::fsync(fd) != 0) {
+    if (errno == EINTR) {
+      eintrBackoff(attempt++);
+      continue;
+    }
+    // fsync on a directory can report EINVAL on exotic filesystems
+    // (tmpfs historically); durability is simply unavailable there,
+    // not a data-loss condition for the bytes already written.
+    if (errno == EINVAL) return Status();
+    return Status(StatusCode::kIoError, errnoText(what, errno));
+  }
+  return Status();
+}
+
+// --- SHA-256 (FIPS 180-4) ---------------------------------------------
+
+constexpr std::uint32_t kSha256K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline std::uint32_t rotr(std::uint32_t x, int n) {
+  return (x >> n) | (x << (32 - n));
+}
+
+}  // namespace
+
+void Sha256::reset() {
+  state_ = {0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+            0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19};
+  totalBytes_ = 0;
+  bufferUsed_ = 0;
+}
+
+void Sha256::compress(const std::uint8_t* block) {
+  std::uint32_t w[64];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t(block[4 * i]) << 24) |
+           (std::uint32_t(block[4 * i + 1]) << 16) |
+           (std::uint32_t(block[4 * i + 2]) << 8) |
+           std::uint32_t(block[4 * i + 3]);
+  }
+  for (int i = 16; i < 64; ++i) {
+    const std::uint32_t s0 =
+        rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^ (w[i - 15] >> 3);
+    const std::uint32_t s1 =
+        rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^ (w[i - 2] >> 10);
+    w[i] = w[i - 16] + s0 + w[i - 7] + s1;
+  }
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  std::uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+  for (int i = 0; i < 64; ++i) {
+    const std::uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+    const std::uint32_t ch = (e & f) ^ (~e & g);
+    const std::uint32_t t1 = h + s1 + ch + kSha256K[i] + w[i];
+    const std::uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+    const std::uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+    const std::uint32_t t2 = s0 + maj;
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha256::update(const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  totalBytes_ += size;
+  if (bufferUsed_ > 0) {
+    const std::size_t take = std::min(size, buffer_.size() - bufferUsed_);
+    std::memcpy(buffer_.data() + bufferUsed_, p, take);
+    bufferUsed_ += take;
+    p += take;
+    size -= take;
+    if (bufferUsed_ == buffer_.size()) {
+      compress(buffer_.data());
+      bufferUsed_ = 0;
+    }
+  }
+  while (size >= 64) {
+    compress(p);
+    p += 64;
+    size -= 64;
+  }
+  if (size > 0) {
+    std::memcpy(buffer_.data(), p, size);
+    bufferUsed_ = size;
+  }
+}
+
+std::string Sha256::hexDigest() {
+  const std::uint64_t bitLen = totalBytes_ * 8;
+  const std::uint8_t pad = 0x80;
+  update(&pad, 1);
+  const std::uint8_t zero = 0;
+  while (bufferUsed_ != 56) update(&zero, 1);
+  std::uint8_t len[8];
+  for (int i = 0; i < 8; ++i) {
+    len[i] = std::uint8_t(bitLen >> (56 - 8 * i));
+  }
+  // update() counts these padding bytes into totalBytes_, but bitLen was
+  // latched above so the encoded length covers only the message itself.
+  update(len, 8);
+
+  static const char* hex = "0123456789abcdef";
+  std::string out(64, '0');
+  for (int i = 0; i < 8; ++i) {
+    const std::uint32_t v = state_[i];
+    for (int j = 0; j < 4; ++j) {
+      const std::uint8_t byte = std::uint8_t(v >> (24 - 8 * j));
+      out[8 * i + 2 * j] = hex[byte >> 4];
+      out[8 * i + 2 * j + 1] = hex[byte & 0xf];
+    }
+  }
+  return out;
+}
+
+std::string sha256Hex(std::string_view data) {
+  Sha256 h;
+  h.update(data.data(), data.size());
+  return h.hexDigest();
+}
+
+Status sha256File(const std::string& path, std::string& hexOut) {
+  hexOut.clear();
+  const int fd = openRetry(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status(StatusCode::kIoError,
+                  "cannot open '" + path + "' for hashing: " +
+                      errnoText("open", errno));
+  }
+  Sha256 h;
+  std::uint8_t buf[1 << 16];
+  int attempt = 0;
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        eintrBackoff(attempt++);
+        continue;
+      }
+      const Status st(StatusCode::kIoError,
+                      "read '" + path + "': " + errnoText("read", errno));
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    h.update(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  hexOut = h.hexDigest();
+  return Status();
+}
+
+Status writeAllBytes(int fd, const void* data, std::size_t size) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::size_t done = 0;
+  int attempt = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, p + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        eintrBackoff(attempt++);
+        continue;
+      }
+      return Status(StatusCode::kIoError,
+                    errnoText("write", errno) + " after " +
+                        std::to_string(done) + "/" + std::to_string(size) +
+                        " bytes");
+    }
+    if (n == 0) {
+      // A zero-progress write() without an errno is a filesystem that
+      // can't take more bytes; report it as ENOSPC-equivalent rather
+      // than looping forever.
+      return Status(StatusCode::kIoError,
+                    "write returned 0 (no space?) after " +
+                        std::to_string(done) + "/" + std::to_string(size) +
+                        " bytes");
+    }
+    attempt = 0;
+    done += static_cast<std::size_t>(n);
+  }
+  return Status();
+}
+
+Status fsyncParentDir(const std::string& path) {
+  const std::string dir = dirnameOf(path);
+  const int fd = openRetry(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status(StatusCode::kIoError,
+                  "cannot open parent dir '" + dir + "': " +
+                      errnoText("open", errno));
+  }
+  Status st = fsyncRetry(fd, "fsync(parent dir)");
+  ::close(fd);
+  return st;
+}
+
+Status atomicWriteFile(const std::string& path, std::string_view data,
+                       std::string* hexOut) {
+  // Temp file in the destination directory so rename() stays on one
+  // filesystem; pid-qualified so concurrent writers never collide.
+  const std::string tmp =
+      path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = openRetry(tmp.c_str(),
+                           O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status(StatusCode::kIoError,
+                  "cannot create temp file '" + tmp + "': " +
+                      errnoText("open", errno));
+  }
+  Status st = writeAllBytes(fd, data.data(), data.size());
+  if (st.ok()) st = fsyncRetry(fd, "fsync(file)");
+  if (::close(fd) != 0 && st.ok()) {
+    st = Status(StatusCode::kIoError, errnoText("close", errno));
+  }
+  if (st.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+    st = Status(StatusCode::kIoError,
+                "rename '" + tmp + "' -> '" + path + "': " +
+                    errnoText("rename", errno));
+  }
+  if (!st.ok()) {
+    ::unlink(tmp.c_str());
+    return Status(st.code(), "atomic write of '" + path + "' failed: " +
+                                 st.message());
+  }
+  st = fsyncParentDir(path);
+  if (!st.ok()) return st;
+  if (hexOut != nullptr) *hexOut = sha256Hex(data);
+  return Status();
+}
+
+Status readFileToString(const std::string& path, std::string& out) {
+  out.clear();
+  const int fd = openRetry(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status(StatusCode::kIoError,
+                  "cannot open '" + path + "': " + errnoText("open", errno));
+  }
+  char buf[1 << 16];
+  int attempt = 0;
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) {
+        eintrBackoff(attempt++);
+        continue;
+      }
+      const Status st(StatusCode::kIoError,
+                      "read '" + path + "': " + errnoText("read", errno));
+      ::close(fd);
+      out.clear();
+      return st;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return Status();
+}
+
+std::string sidecarPathFor(const std::string& artifactPath) {
+  return artifactPath + ".sha256";
+}
+
+Status writeHashSidecar(const std::string& artifactPath,
+                        const std::string& hexDigest) {
+  return atomicWriteFile(sidecarPathFor(artifactPath),
+                         hexDigest + "  " + basenameOf(artifactPath) + "\n");
+}
+
+Status readHashSidecar(const std::string& artifactPath, std::string& hexOut) {
+  hexOut.clear();
+  std::string content;
+  Status st = readFileToString(sidecarPathFor(artifactPath), content);
+  if (!st.ok()) return st;
+  std::string token;
+  for (char c : content) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') break;
+    token.push_back(c);
+  }
+  if (token.size() != 64 ||
+      token.find_first_not_of("0123456789abcdef") != std::string::npos) {
+    return Status(StatusCode::kParseError,
+                  "sidecar '" + sidecarPathFor(artifactPath) +
+                      "' does not start with a sha256 hex digest");
+  }
+  hexOut = std::move(token);
+  return Status();
+}
+
+Status verifyHashSidecar(const std::string& artifactPath) {
+  std::string expected;
+  Status st = readHashSidecar(artifactPath, expected);
+  if (!st.ok()) return st;
+  std::string actual;
+  st = sha256File(artifactPath, actual);
+  if (!st.ok()) return st;
+  if (actual != expected) {
+    return Status(StatusCode::kInfeasible,
+                  "sha256 mismatch for '" + artifactPath + "': sidecar says " +
+                      expected + ", file hashes to " + actual);
+  }
+  return Status();
+}
+
+}  // namespace mbf

@@ -1,0 +1,95 @@
+// Durable, checksummed artifact writes (DESIGN.md section 16).
+//
+// Every artifact the pipeline ships (.shots, GDS, SVG, metrics/trace
+// JSON, journal segments, the run manifest itself) goes through one
+// protocol: write the full payload to a temp file in the destination
+// directory, fsync the file, rename() it over the destination, then
+// fsync the parent directory so the rename itself survives a crash.
+// Short writes (ENOSPC, quota) and EINTR are handled at the write(2)
+// layer — a short write is retried from the unwritten tail and EINTR
+// retries back off with a capped sleep — and every failure surfaces as
+// a Status carrying the errno text, never as a silently truncated file.
+//
+// The same header hosts the artifact-hashing primitives the integrity
+// layer is built on: a dependency-free SHA-256 and the `<path>.sha256`
+// sidecar convention used for the run manifest (which cannot embed its
+// own digest) and for supervisor worker-range journals.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "support/status.h"
+
+namespace mbf {
+
+/// Incremental SHA-256 (FIPS 180-4). Dependency-free so the audit layer
+/// needs nothing the container doesn't already have.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(const void* data, std::size_t size);
+
+  /// Finalizes and returns the 64-char lowercase hex digest. The object
+  /// must be reset() before reuse.
+  std::string hexDigest();
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::uint64_t totalBytes_ = 0;
+  std::size_t bufferUsed_ = 0;
+};
+
+/// One-shot convenience over Sha256.
+std::string sha256Hex(std::string_view data);
+
+/// Streams `path` through Sha256 and writes the 64-char hex digest to
+/// `hexOut`. kIoError (with errno context) when the file can't be read.
+Status sha256File(const std::string& path, std::string& hexOut);
+
+/// write(2) the whole buffer to `fd`: retries EINTR with a capped
+/// backoff, resumes short writes from the unwritten tail, and maps a
+/// zero-progress write or hard error to kIoError with errno context.
+Status writeAllBytes(int fd, const void* data, std::size_t size);
+
+/// fsync the directory containing `path` so a just-created or
+/// just-renamed entry survives a crash. kIoError on open/fsync failure.
+Status fsyncParentDir(const std::string& path);
+
+/// The full durability protocol: temp file next to `path` → writeAllBytes
+/// → fsync(file) → rename over `path` → fsyncParentDir. On any failure
+/// the temp file is unlinked and `path` is left untouched (old content,
+/// if any, stays intact). When `hexOut` is non-null it receives the
+/// SHA-256 of `data` (computed from the bytes actually written).
+Status atomicWriteFile(const std::string& path, std::string_view data,
+                       std::string* hexOut = nullptr);
+
+/// Reads the whole file into `out`. kIoError with errno context on
+/// open/read failure (out is left empty).
+Status readFileToString(const std::string& path, std::string& out);
+
+/// Sidecar convention: `<artifact>.sha256` holds "<hex>  <basename>\n"
+/// (the sha256sum(1) format). Written atomically.
+std::string sidecarPathFor(const std::string& artifactPath);
+Status writeHashSidecar(const std::string& artifactPath,
+                        const std::string& hexDigest);
+
+/// Parses a sidecar written by writeHashSidecar (tolerates a missing
+/// basename field). kIoError when unreadable, kParseError when the
+/// leading token is not a 64-char hex digest.
+Status readHashSidecar(const std::string& artifactPath, std::string& hexOut);
+
+/// Re-hashes `artifactPath` and compares against its sidecar.
+/// kOk on match; kInfeasible with a pointed message on digest mismatch;
+/// the read/parse Status otherwise.
+Status verifyHashSidecar(const std::string& artifactPath);
+
+}  // namespace mbf

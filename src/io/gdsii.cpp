@@ -3,6 +3,9 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <sstream>
+
+#include "io/atomic_file.h"
 #include <istream>
 #include <ostream>
 
@@ -317,10 +320,12 @@ void writeGds(std::ostream& os, const GdsLibrary& lib) {
 }
 
 bool saveGds(const std::string& path, const GdsLibrary& lib) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return false;
+  // Serialize in memory, then write atomically (temp + fsync + rename):
+  // a crash or ENOSPC mid-write never leaves a truncated GDS behind.
+  std::ostringstream os;
   writeGds(os, lib);
-  return static_cast<bool>(os);
+  if (!os) return false;
+  return atomicWriteFile(path, os.str()).ok();
 }
 
 Status parseGds(std::istream& is, GdsLibrary& out) {

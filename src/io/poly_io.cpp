@@ -3,6 +3,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "io/atomic_file.h"
+
 namespace mbf {
 namespace {
 
@@ -94,10 +96,9 @@ Status parsePolygonsFile(const std::string& path, std::vector<Polygon>& out,
 }
 
 bool savePolygons(const std::string& path, std::span<const Polygon> polygons) {
-  std::ofstream os(path);
-  if (!os) return false;
+  std::ostringstream os;
   writePolygons(os, polygons);
-  return static_cast<bool>(os);
+  return atomicWriteFile(path, os.str()).ok();
 }
 
 std::vector<Polygon> loadPolygons(const std::string& path) {
@@ -135,10 +136,21 @@ std::vector<Rect> readShots(std::istream& is) {
 }
 
 bool saveShots(const std::string& path, std::span<const Rect> shots) {
-  std::ofstream os(path);
-  if (!os) return false;
+  std::ostringstream os;
   writeShots(os, shots);
-  return static_cast<bool>(os);
+  return atomicWriteFile(path, os.str()).ok();
+}
+
+Status saveBatchShots(const std::string& path,
+                      std::span<const Solution> solutions,
+                      std::string* sha256Out) {
+  // The bytes are defined by writeBatchShots (the resume/selfcheck
+  // byte-identity contracts cover them); only the durability protocol
+  // changed: temp + fsync + rename + parent-dir fsync, with short
+  // writes and ENOSPC surfaced instead of swallowed.
+  std::ostringstream os;
+  writeBatchShots(os, solutions);
+  return atomicWriteFile(path, os.str(), sha256Out);
 }
 
 std::vector<Rect> loadShots(const std::string& path) {

@@ -1,6 +1,6 @@
 #include "io/svg.h"
 
-#include <fstream>
+#include "io/atomic_file.h"
 
 namespace mbf {
 
@@ -80,11 +80,8 @@ std::string SvgWriter::str() const {
   return os.str();
 }
 
-bool SvgWriter::save(const std::string& path) const {
-  std::ofstream os(path);
-  if (!os) return false;
-  os << str();
-  return static_cast<bool>(os);
+Status SvgWriter::save(const std::string& path) const {
+  return atomicWriteFile(path, str());
 }
 
 }  // namespace mbf

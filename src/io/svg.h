@@ -8,6 +8,7 @@
 
 #include "geometry/polygon.h"
 #include "geometry/rect.h"
+#include "support/status.h"
 
 namespace mbf {
 
@@ -34,7 +35,10 @@ class SvgWriter {
                const std::string& fill = "#222");
 
   std::string str() const;
-  bool save(const std::string& path) const;
+  /// Atomic temp+rename write (io/atomic_file): short writes and ENOSPC
+  /// surface as a kIoError Status with errno context, never as a
+  /// silently truncated file.
+  Status save(const std::string& path) const;
 
  private:
   double tx(double x) const { return (x - box_.x0) * scale_; }

@@ -1,9 +1,12 @@
 #include "mdp/checkpoint.h"
 
+#include <unistd.h>
+
 #include <chrono>
 #include <cstring>
 #include <mutex>
 
+#include "io/atomic_file.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
 
@@ -308,7 +311,11 @@ Status fractureLayoutJournaled(const std::vector<LayoutShape>& shapes,
         shapes[s], config.params, config.method, base + static_cast<int>(s),
         config.allowDegradation, &shapeStats[s], config.fallbackOnly);
     out.solutions[s] = std::move(outcome.solution);
-    out.reports[s] = {std::move(outcome.status), outcome.degraded};
+    out.reports[s] = {std::move(outcome.status), outcome.degraded,
+                      outcome.interrupted};
+    // An interrupted shape was never attempted: journaling it would make
+    // a later --resume replay the empty solution as finished work.
+    if (outcome.interrupted) return;
     ShapeRecord record{base + static_cast<int>(s), out.solutions[s],
                        out.reports[s]};
     const Status appended = journal.append(encodeShapeRecord(record));
@@ -323,6 +330,23 @@ Status fractureLayoutJournaled(const std::vector<LayoutShape>& shapes,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   if (countersOut != nullptr) *countersOut = counters;
+
+  // Seal a fully-journaled run with its digest so downstream consumers
+  // (the supervisor before merging a worker range, mbf_cli --verify) can
+  // prove the journal bytes are the ones this process wrote. A drained
+  // (interrupted) run holds back the seal — the journal is consistent
+  // but incomplete, and the resumed run that finishes it re-seals.
+  if (appendError.ok()) {
+    if (out.interruptedShapes == 0) {
+      std::string hex;
+      Status sealed = sha256File(options.journalPath, hex);
+      if (sealed.ok()) sealed = writeHashSidecar(options.journalPath, hex);
+      if (!sealed.ok()) return sealed;
+    } else {
+      ::unlink(sidecarPathFor(options.journalPath).c_str());
+    }
+  }
+
   // An append failure does not invalidate the in-memory batch, but the
   // journal is no longer a faithful checkpoint — surface it.
   return appendError;

@@ -55,6 +55,9 @@ struct RunCounters {
   int crashedWorkers = 0;  ///< abnormal worker exits (signal / bad code)
   int hungWorkers = 0;     ///< workers SIGKILLed by the watchdog
   int crashedShapes = 0;   ///< culprit shapes isolated by bisection
+  /// Worker journals rejected (and re-run) because their bytes failed
+  /// the SHA-256 seal the worker wrote at clean completion.
+  int corruptJournals = 0;
 };
 
 struct JournaledRunOptions {

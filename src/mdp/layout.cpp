@@ -14,6 +14,7 @@
 #include "fracture/model_based_fracturer.h"
 #include "parallel/parallel_for.h"
 #include "support/fault_injector.h"
+#include "support/interrupt.h"
 #include "support/telemetry.h"
 
 namespace mbf {
@@ -219,6 +220,20 @@ ShapeOutcome fractureShapeGuarded(const LayoutShape& shape,
                                   RefinerStats* statsOut, bool fallbackOnly) {
   TraceScope traceShape("shape", shapeIndex);
   ShapeOutcome out;
+
+  if (interruptRequested()) {
+    // Graceful drain: shapes not yet started stay untouched so a resumed
+    // run redoes them. Not "degraded" — nothing was attempted, and the
+    // journal must not record this as a finished (empty) solution.
+    out.status = Status(StatusCode::kBudgetExceeded,
+                        "interrupted before fracturing started (graceful "
+                        "drain); resume the run to finish this shape")
+                     .withShape(shapeIndex);
+    out.interrupted = true;
+    out.solution.method = "empty";
+    return out;
+  }
+
   SanitizedShape clean = sanitizeShape(shape);
 
   if (clean.shape.rings.empty()) {
@@ -340,6 +355,7 @@ void mergeBatchAggregates(BatchResult& result,
   result.totalFailingPixels = 0;
   result.shapeSecondsSum = 0.0;
   result.degradedShapes = 0;
+  result.interruptedShapes = 0;
   result.refinerStats = {};
   // Deterministic merge in input order, identical across the plain,
   // journaled and supervised drivers (and any thread count).
@@ -351,6 +367,9 @@ void mergeBatchAggregates(BatchResult& result,
     if (i < shapeStats.size()) result.refinerStats += shapeStats[i];
     if (i < result.reports.size() && result.reports[i].degraded) {
       ++result.degradedShapes;
+    }
+    if (i < result.reports.size() && result.reports[i].interrupted) {
+      ++result.interruptedShapes;
     }
   }
 }
@@ -378,7 +397,8 @@ BatchResult fractureLayoutParallel(const std::vector<LayoutShape>& shapes,
         shapes[s], config.params, config.method, config.shapeIndexBase + i,
         config.allowDegradation, &shapeStats[s], config.fallbackOnly);
     result.solutions[s] = std::move(outcome.solution);
-    result.reports[s] = {std::move(outcome.status), outcome.degraded};
+    result.reports[s] = {std::move(outcome.status), outcome.degraded,
+                         outcome.interrupted};
   });
 
   mergeBatchAggregates(result, shapeStats);

@@ -57,6 +57,11 @@ struct ShapeOutcome {
   /// left `solution` empty.
   Status status;
   bool degraded = false;
+  /// Set when the shape was never attempted because a graceful-drain
+  /// interrupt (SIGTERM/SIGINT) was pending on entry: the solution is
+  /// empty, status is kBudgetExceeded, and — unlike degradation — the
+  /// shape is simply unfinished work a resumed run will redo.
+  bool interrupted = false;
 };
 
 /// Fault-tolerant variant of fractureShape: sanitizes degenerate rings,
@@ -82,6 +87,7 @@ ShapeOutcome fractureShapeGuarded(const LayoutShape& shape,
 struct ShapeReport {
   Status status;
   bool degraded = false;
+  bool interrupted = false;  ///< see ShapeOutcome::interrupted
 };
 
 struct BatchResult {
@@ -94,6 +100,9 @@ struct BatchResult {
   /// Shapes that fell back to rect-partition fracturing (== number of
   /// reports with degraded == true).
   int degradedShapes = 0;
+  /// Shapes skipped by a graceful-drain interrupt (== number of reports
+  /// with interrupted == true); > 0 marks the batch as partial.
+  int interruptedShapes = 0;
   double wallSeconds = 0.0;
   /// Sum of the per-shape fracture runtimes (== wallSeconds on one
   /// thread; the ratio is the end-to-end parallel speedup otherwise).

@@ -16,6 +16,8 @@
 #include <limits>
 #include <thread>
 
+#include "io/atomic_file.h"
+#include "support/interrupt.h"
 #include "support/journal.h"
 
 namespace mbf {
@@ -191,11 +193,29 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
   };
 
   Status fatal;
+  bool draining = false;
   while ((!queue.empty() || !running.empty()) && fatal.ok()) {
     const Clock::time_point now = Clock::now();
 
+    if (!draining && interruptRequested()) {
+      // Graceful drain: drop queued work, ask live workers to drain
+      // (they install the same handlers and journal what they finished),
+      // and keep reaping until everyone is gone. Nothing is requeued.
+      draining = true;
+      result.interrupted = true;
+      log("interrupt received; draining " + std::to_string(running.size()) +
+          " worker(s), dropping " + std::to_string(queue.size()) +
+          " queued range(s)");
+      queue.clear();
+      for (const RunningWorker& w : running) ::kill(w.pid, SIGTERM);
+      if (traceEnabled()) {
+        TraceRecorder::instance().instant("supervisor-drain");
+      }
+    }
+
     // Launch eligible tasks into free slots.
-    while (static_cast<int>(running.size()) < jobs && !queue.empty()) {
+    while (!draining && static_cast<int>(running.size()) < jobs &&
+           !queue.empty()) {
       auto it = std::find_if(queue.begin(), queue.end(), [&](const RangeTask& t) {
         return t.eligible <= now;
       });
@@ -269,18 +289,53 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
                                          worker.spawnNs, traceNowNs());
       }
 
-      harvest(worker.journalPath);
-      const int missing = firstMissing(task.begin, task.end);
       const bool exited = WIFEXITED(wstatus);
       const int exitCode = exited ? WEXITSTATUS(wstatus) : -1;
+      const bool cleanExit =
+          exited && (exitCode == 0 || exitCode == 1 || exitCode == 4);
+
+      // A cleanly-exited worker sealed its journal with a SHA-256
+      // sidecar (fractureLayoutJournaled writes it after the last
+      // append). Refuse to merge a range whose on-disk bytes do not
+      // match the seal — bit rot or a concurrent writer, either way not
+      // the worker's output — and re-run it from scratch instead.
+      bool journalTrusted = true;
+      if (cleanExit && !draining) {
+        const Status sealed = verifyHashSidecar(worker.journalPath);
+        if (!sealed.ok()) {
+          journalTrusted = false;
+          ++result.counters.corruptJournals;
+          log("pid " + std::to_string(worker.pid) + " range " +
+              rangeLabel(task) +
+              ": journal failed its integrity seal (" + sealed.message() +
+              "); discarding and re-running");
+          ::unlink(worker.journalPath.c_str());
+          ::unlink(sidecarPathFor(worker.journalPath).c_str());
+          if (traceEnabled()) {
+            TraceRecorder::instance().instant("journal-seal-reject " +
+                                              rangeLabel(task));
+          }
+        }
+      }
+
+      if (journalTrusted) harvest(worker.journalPath);
+      const int missing = firstMissing(task.begin, task.end);
       const bool completed =
-          exited && (exitCode == 0 || exitCode == 1 || exitCode == 4) &&
-          missing == task.end;
+          cleanExit && journalTrusted && missing == task.end;
 
       if (completed) {
         log("pid " + std::to_string(worker.pid) + " completed [" +
             std::to_string(task.begin) + ", " + std::to_string(task.end) +
             ") with exit " + std::to_string(exitCode));
+        continue;
+      }
+
+      if (draining) {
+        // Whatever this worker journaled before the SIGTERM is harvested
+        // above; the rest of its range stays unfinished by design.
+        log("pid " + std::to_string(worker.pid) + " drained [" +
+            std::to_string(task.begin) + ", " + std::to_string(task.end) +
+            ") up to shape " + std::to_string(missing));
         continue;
       }
 
@@ -298,10 +353,14 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
 
       ++result.counters.crashedWorkers;
       const std::string why =
-          worker.killedByWatchdog
-              ? "hung (watchdog SIGKILL)"
-              : exited ? "exited " + std::to_string(exitCode)
-                       : "killed by signal " + std::to_string(WTERMSIG(wstatus));
+          !journalTrusted
+              ? "wrote a journal failing its integrity seal"
+              : worker.killedByWatchdog
+                    ? "hung (watchdog SIGKILL)"
+                    : exited
+                          ? "exited " + std::to_string(exitCode)
+                          : "killed by signal " +
+                                std::to_string(WTERMSIG(wstatus));
 
       if (task.degradeOnly) {
         // Even the fallback-only worker died. Synthesize an empty
@@ -416,19 +475,29 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
     // across retries of one range).
     result.counters.freshShapes = n;
     std::sort(result.isolatedShapes.begin(), result.isolatedShapes.end());
-    // Belt and braces: a hole here is a supervisor bug, but the batch
-    // must still account for every shape.
+    // Fill the holes: after a drain they are the shapes the interrupt
+    // legitimately left unfinished; otherwise a hole is a supervisor bug,
+    // but the batch must still account for every shape.
     for (int i = 0; i < n; ++i) {
       if (result.records.find(i) != result.records.end()) continue;
       ShapeRecord record;
       record.shapeIndex = i;
       record.solution.method = "empty";
-      record.solution.degraded = true;
-      record.report.degraded = true;
-      record.report.status =
-          Status(StatusCode::kInternal,
-                 "shape was never journaled by any worker")
-              .withShape(i);
+      if (result.interrupted) {
+        record.report.interrupted = true;
+        record.report.status =
+            Status(StatusCode::kBudgetExceeded,
+                   "interrupted before any worker fractured this shape "
+                   "(graceful drain); resume the run to finish it")
+                .withShape(i);
+      } else {
+        record.solution.degraded = true;
+        record.report.degraded = true;
+        record.report.status =
+            Status(StatusCode::kInternal,
+                   "shape was never journaled by any worker")
+                .withShape(i);
+      }
       result.records.emplace(i, std::move(record));
     }
   }

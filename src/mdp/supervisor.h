@@ -81,6 +81,10 @@ struct SupervisorResult {
   RunCounters counters;
   /// Original indices of crash-isolated culprit shapes.
   std::vector<int> isolatedShapes;
+  /// A SIGTERM/SIGINT graceful drain cut the run short: queued ranges
+  /// were dropped, live workers were asked to drain, and every shape no
+  /// worker journaled carries an interrupted (not degraded) record.
+  bool interrupted = false;
   /// Spans harvested from worker span files (collectTraceSpans only).
   /// Each keeps its recording worker's pid; a worker that died before
   /// writing its file simply contributes nothing.

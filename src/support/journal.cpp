@@ -10,6 +10,7 @@
 #include <fstream>
 #include <limits>
 
+#include "io/atomic_file.h"
 #include "support/telemetry.h"
 
 namespace mbf {
@@ -155,7 +156,16 @@ Status JournalWriter::create(const std::string& path, std::string_view meta,
     close();
     return st;
   }
-  return sync();
+  Status synced = sync();
+  if (!synced.ok()) return synced;
+  // The O_CREAT above added a directory entry; without flushing the
+  // parent directory a crash can leave a synced file that is not
+  // reachable by name, which the resume path would read as "never ran".
+  if (fsync_ == JournalFsync::kEachRecord) {
+    Status dir = fsyncParentDir(path);
+    if (!dir.ok()) return dir;
+  }
+  return {};
 }
 
 Status JournalWriter::openForAppend(const std::string& path,

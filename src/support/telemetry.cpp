@@ -13,6 +13,7 @@
 #include <sstream>
 
 #include "analysis/shot_stats.h"
+#include "io/atomic_file.h"
 #include "mdp/checkpoint.h"
 #include "mdp/layout.h"
 
@@ -556,39 +557,21 @@ std::string traceEventsJson(std::vector<TraceSpan> spans) {
 
 Status writeTraceJson(const std::string& path,
                       std::vector<TraceSpan> spans) {
-  std::ofstream os(path);
-  if (!os) {
-    return Status(StatusCode::kIoError,
-                  "cannot write trace JSON '" + path + "'");
-  }
-  os << traceEventsJson(std::move(spans));
-  os.close();
-  if (!os) {
-    return Status(StatusCode::kIoError,
-                  "short write on trace JSON '" + path + "'");
-  }
-  return {};
+  // Atomic temp+rename write: a crash mid-dump never leaves a truncated
+  // trace behind, and short writes (ENOSPC) surface as a Status.
+  return atomicWriteFile(path, traceEventsJson(std::move(spans)));
 }
 
 Status writeSpanFile(const std::string& path,
                      const std::vector<TraceSpan>& spans) {
-  std::ofstream os(path);
-  if (!os) {
-    return Status(StatusCode::kIoError,
-                  "cannot write span file '" + path + "'");
-  }
+  std::ostringstream os;
   for (const TraceSpan& span : spans) {
     // Name last: it is the only field that may contain spaces.
     os << (span.instant ? 'i' : 'X') << ' ' << span.pid << ' ' << span.tid
        << ' ' << span.startNs << ' ' << span.endNs << ' ' << span.name
        << '\n';
   }
-  os.close();
-  if (!os) {
-    return Status(StatusCode::kIoError,
-                  "short write on span file '" + path + "'");
-  }
-  return {};
+  return atomicWriteFile(path, os.str());
 }
 
 Status readSpanFile(const std::string& path, std::vector<TraceSpan>& out) {
@@ -661,6 +644,10 @@ std::string buildRunManifest(const RunManifestInfo& info,
   w.beginObject();
   w.key("schema").value("mbf-run-manifest");
   w.key("version").value(1);
+  // "interrupted" = a SIGTERM/SIGINT drain ended the run early; every
+  // record present is still valid, shapes never started are reported
+  // with a BUDGET_EXCEEDED interruption status.
+  w.key("status").value(info.interrupted ? "interrupted" : "completed");
 
   w.key("input").beginObject();
   w.key("path").value(info.inputPath);
@@ -684,8 +671,23 @@ std::string buildRunManifest(const RunManifestInfo& info,
   w.key("budget_ms").value(p.shapeTimeBudgetMs);
   w.key("strict").value(!config.allowDegradation);
   w.key("shape_index_base").value(config.shapeIndexBase);
+  w.key("ordered").value(info.ordered);
   w.key("fingerprint").value(info.fingerprint);
   w.endObject();
+
+  // Artifact checksums: what --verify re-hashes. The manifest's own
+  // digest lives in its .sha256 sidecar (a document cannot embed its
+  // own hash).
+  w.key("artifacts").beginArray();
+  for (const ArtifactEntry& a : info.artifacts) {
+    w.beginObject();
+    w.key("kind").value(a.kind);
+    w.key("path").value(a.path);
+    w.key("bytes").value(a.bytes);
+    w.key("sha256").value(a.sha256);
+    w.endObject();
+  }
+  w.endArray();
 
   w.key("totals").beginObject();
   w.key("shots").value(result.totalShots);
@@ -739,6 +741,7 @@ std::string buildRunManifest(const RunManifestInfo& info,
   w.key("crashed_workers").value(counters.crashedWorkers);
   w.key("hung_workers").value(counters.hungWorkers);
   w.key("crashed_shapes").value(counters.crashedShapes);
+  w.key("corrupt_journals").value(counters.corruptJournals);
   w.key("isolated_shapes").beginArray();
   for (const int s : info.isolatedShapes) w.value(s);
   w.endArray();
@@ -756,6 +759,10 @@ std::string buildRunManifest(const RunManifestInfo& info,
     w.key("cost").value(sol.cost);
     w.key("runtime_seconds").value(sol.runtimeSeconds);
     w.key("degraded").value(sol.degraded);
+    const int original = config.shapeIndexBase + static_cast<int>(i);
+    w.key("repaired").value(
+        std::find(info.repairedShapes.begin(), info.repairedShapes.end(),
+                  original) != info.repairedShapes.end());
     if (i < result.reports.size()) {
       const ShapeReport& rep = result.reports[i];
       w.key("status").beginObject();

@@ -257,6 +257,16 @@ struct BatchResult;   // mdp/layout.h
 struct RunCounters;   // mdp/checkpoint.h
 struct ShotStats;     // analysis/shot_stats.h
 
+/// One artifact the run wrote, as recorded in the manifest for the
+/// --verify gate: kind ("shots", "svg", "gds", "trace", "journal", ...),
+/// the path as given on the command line, size and SHA-256.
+struct ArtifactEntry {
+  std::string kind;
+  std::string path;
+  std::int64_t bytes = 0;
+  std::string sha256;
+};
+
 /// Run-level context the BatchResult does not carry itself.
 struct RunManifestInfo {
   std::string inputPath;
@@ -269,6 +279,17 @@ struct RunManifestInfo {
   bool haveRecovery = false;
   /// Original indices of crash-isolated shapes (supervised runs).
   std::vector<int> isolatedShapes;
+  /// Checksummed artifacts for `mbf_cli --verify` (DESIGN.md sec. 16).
+  std::vector<ArtifactEntry> artifacts;
+  /// SIGTERM/SIGINT graceful drain: the run is partial by design and the
+  /// manifest is stamped "interrupted".
+  bool interrupted = false;
+  /// Original indices of shapes re-fractured by the --selfcheck repair
+  /// ladder after failing the inline audit.
+  std::vector<int> repairedShapes;
+  /// --order was active: shot order in the artifact is post-processed,
+  /// so audited costs are not bitwise comparable to the claims.
+  bool ordered = false;
 };
 
 /// Builds the run-manifest JSON document (schema "mbf-run-manifest"

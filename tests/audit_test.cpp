@@ -1,0 +1,393 @@
+// Output-integrity surface (DESIGN.md section 16): SHA-256 vectors, the
+// atomic-write protocol and hash sidecars, the sectioned .shots parser,
+// and the independent dense checker's bitwise oracle agreement with the
+// pipeline Verifier. Labelled `audit`; the asan preset replays it under
+// AddressSanitizer + UBSan.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "audit/independent_checker.h"
+#include "benchgen/ilt_synth.h"
+#include "fracture/problem.h"
+#include "fracture/verifier.h"
+#include "io/atomic_file.h"
+#include "io/poly_io.h"
+#include "mdp/layout.h"
+
+namespace mbf {
+namespace {
+
+std::string tmpPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// --- SHA-256 ----------------------------------------------------------
+
+TEST(Sha256Test, Fips180KnownVectors) {
+  EXPECT_EQ(sha256Hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b"
+            "855");
+  EXPECT_EQ(sha256Hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f2001"
+            "5ad");
+  EXPECT_EQ(sha256Hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnop"
+                      "nopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db0"
+            "6c1");
+}
+
+TEST(Sha256Test, IncrementalEqualsOneShot) {
+  const std::string msg(200000, 'x');
+  Sha256 h;
+  // Update sizes straddle the 64-byte block boundary in every phase.
+  std::size_t at = 0;
+  std::size_t step = 1;
+  while (at < msg.size()) {
+    const std::size_t n = std::min(step, msg.size() - at);
+    h.update(msg.data() + at, n);
+    at += n;
+    step = step * 3 + 1;
+  }
+  EXPECT_EQ(h.hexDigest(), sha256Hex(msg));
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk.data(), chunk.size());
+  EXPECT_EQ(h.hexDigest(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112"
+            "cd0");
+}
+
+// --- Atomic writes and hash sidecars ----------------------------------
+
+TEST(AtomicFileTest, WriteReadRoundTripAndHash) {
+  const std::string path = tmpPath("atomic_rt.txt");
+  std::string hex;
+  ASSERT_TRUE(atomicWriteFile(path, "hello\natomic\n", &hex).ok());
+  EXPECT_EQ(hex, sha256Hex("hello\natomic\n"));
+
+  std::string back;
+  ASSERT_TRUE(readFileToString(path, back).ok());
+  EXPECT_EQ(back, "hello\natomic\n");
+
+  std::string fileHex;
+  ASSERT_TRUE(sha256File(path, fileHex).ok());
+  EXPECT_EQ(fileHex, hex);
+}
+
+TEST(AtomicFileTest, OverwriteReplacesWholeFile) {
+  const std::string path = tmpPath("atomic_ow.txt");
+  ASSERT_TRUE(atomicWriteFile(path, std::string(4096, 'A')).ok());
+  ASSERT_TRUE(atomicWriteFile(path, "short").ok());
+  std::string back;
+  ASSERT_TRUE(readFileToString(path, back).ok());
+  EXPECT_EQ(back, "short");  // no stale tail from the longer first write
+}
+
+TEST(AtomicFileTest, FailurePathLeavesNoFile) {
+  const std::string path = "/nonexistent-dir-xyz/atomic.txt";
+  EXPECT_FALSE(atomicWriteFile(path, "data").ok());
+  std::ifstream is(path);
+  EXPECT_FALSE(is.good());
+}
+
+TEST(AtomicFileTest, SidecarRoundTripAndVerify) {
+  const std::string path = tmpPath("sidecar_rt.bin");
+  std::string hex;
+  ASSERT_TRUE(atomicWriteFile(path, "payload bytes", &hex).ok());
+  ASSERT_TRUE(writeHashSidecar(path, hex).ok());
+  EXPECT_EQ(sidecarPathFor(path), path + ".sha256");
+
+  std::string stored;
+  ASSERT_TRUE(readHashSidecar(path, stored).ok());
+  EXPECT_EQ(stored, hex);
+  EXPECT_TRUE(verifyHashSidecar(path).ok());
+
+  // Any byte change must flip the verdict.
+  ASSERT_TRUE(atomicWriteFile(path, "payload bytez").ok());
+  const Status st = verifyHashSidecar(path);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("sha256 mismatch"), std::string::npos);
+}
+
+TEST(AtomicFileTest, MalformedSidecarIsParseError) {
+  const std::string path = tmpPath("sidecar_bad.bin");
+  ASSERT_TRUE(atomicWriteFile(path, "x").ok());
+  ASSERT_TRUE(atomicWriteFile(sidecarPathFor(path), "not-a-hash\n").ok());
+  std::string stored;
+  EXPECT_EQ(readHashSidecar(path, stored).code(), StatusCode::kParseError);
+}
+
+// --- Sectioned .shots parsing -----------------------------------------
+
+TEST(ParseShotSectionsTest, RoundTripsWriteBatchShots) {
+  std::vector<Solution> sols(2);
+  sols[0].shots = {{0, 0, 10, 10}, {10, 0, 20, 10}};
+  sols[0].failOn = 0;
+  sols[0].failOff = 0;
+  sols[1].shots = {{5, 5, 30, 30}};
+  sols[1].failOn = 2;
+  sols[1].failOff = 1;
+  sols[1].degraded = true;
+  std::ostringstream os;
+  writeBatchShots(os, sols);
+
+  std::vector<ShotSection> sections;
+  ASSERT_TRUE(parseShotSections(os.str(), sections).ok());
+  ASSERT_EQ(sections.size(), 2u);
+  EXPECT_EQ(sections[0].index, 0);
+  EXPECT_EQ(sections[0].claimedShots, 2);
+  EXPECT_EQ(sections[0].claimedFailingPx, 0);
+  EXPECT_FALSE(sections[0].claimedDegraded);
+  EXPECT_EQ(sections[0].shots, sols[0].shots);
+  EXPECT_EQ(sections[1].index, 1);
+  EXPECT_EQ(sections[1].claimedShots, 1);
+  EXPECT_EQ(sections[1].claimedFailingPx, 3);
+  EXPECT_TRUE(sections[1].claimedDegraded);
+  EXPECT_EQ(sections[1].shots, sols[1].shots);
+}
+
+TEST(ParseShotSectionsTest, RejectsMalformedContent) {
+  std::vector<ShotSection> sections;
+  // A shot line before any section header.
+  Status st = parseShotSections("0 0 10 10\n", sections);
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  // A garbage content line inside a section, with its line number.
+  sections.clear();
+  st = parseShotSections("# shape 0: 1 shots, 0 failing px\nnot a shot\n",
+                         sections);
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("2"), std::string::npos);
+}
+
+TEST(ParseShotSectionsTest, UnderfilledSectionParsesFine) {
+  // Fewer shots than the header claims is the AUDIT's finding to make,
+  // not a parse failure — the parser must hand the mismatch through.
+  std::vector<ShotSection> sections;
+  ASSERT_TRUE(parseShotSections("# shape 0: 3 shots, 0 failing px\n"
+                                "0 0 10 10\n",
+                                sections)
+                  .ok());
+  ASSERT_EQ(sections.size(), 1u);
+  EXPECT_EQ(sections[0].claimedShots, 3);
+  EXPECT_EQ(sections[0].shots.size(), 1u);
+}
+
+// --- Oracle agreement: dense checker vs pipeline Verifier -------------
+
+LayoutShape iltLayoutShape(unsigned seed) {
+  IltSynthConfig cfg;
+  cfg.seed = seed;
+  LayoutShape shape;
+  shape.rings.push_back(makeIltShape(cfg));
+  return shape;
+}
+
+TEST(DenseOracleTest, BitwiseAgreementWithVerifierAcrossThreads) {
+  // Randomized realistic shapes, fractured by the real pipeline; the
+  // independent gather evaluator must agree with the scatter-built
+  // Verifier BIT FOR BIT — counts and cost — at every thread count.
+  for (const unsigned seed : {101u, 202u, 303u, 404u}) {
+    const LayoutShape shape = iltLayoutShape(seed);
+    FractureParams params;
+    params.nmax = 400;  // enough refinement to leave nontrivial shots
+    const Solution sol = fractureShape(shape, params, Method::kOurs);
+    ASSERT_FALSE(sol.shots.empty()) << "seed " << seed;
+
+    for (const int threads : {1, 4, 8}) {
+      FractureParams tp = params;
+      tp.numThreads = threads;
+      Problem problem(shape.rings, tp);
+      Verifier verifier(problem);
+      verifier.setShots(sol.shots);
+      const Violations expected = verifier.violations();
+
+      const DenseViolations dense = denseViolations(problem, sol.shots);
+      EXPECT_EQ(dense.failOn, expected.failOn) << "seed " << seed;
+      EXPECT_EQ(dense.failOff, expected.failOff) << "seed " << seed;
+      EXPECT_EQ(dense.cost, expected.cost)  // bitwise, not a tolerance
+          << "seed " << seed << " threads " << threads;
+    }
+  }
+}
+
+TEST(DenseOracleTest, AgreesWithSolutionClaims) {
+  // writeStats stamps the Solution with the Verifier's numbers; the
+  // dense checker must reproduce those claims exactly.
+  const LayoutShape shape = iltLayoutShape(777u);
+  FractureParams params;
+  params.nmax = 400;
+  const Solution sol = fractureShape(shape, params, Method::kOurs);
+  Problem problem(shape.rings, params);
+  const DenseViolations dense = denseViolations(problem, sol.shots);
+  EXPECT_EQ(dense.failOn, sol.failOn);
+  EXPECT_EQ(dense.failOff, sol.failOff);
+  EXPECT_EQ(dense.cost, sol.cost);
+}
+
+TEST(DenseOracleTest, DetectsTamperedShot) {
+  // Tampering that drops real dose must move the dense re-evaluation.
+  // (Tampering that only ADDS interior dose can be violation-neutral —
+  // that class is caught by the artifact hash, not the re-check.)
+  const LayoutShape shape = iltLayoutShape(555u);
+  FractureParams params;
+  params.nmax = 400;
+  const Solution sol = fractureShape(shape, params, Method::kOurs);
+  ASSERT_FALSE(sol.shots.empty());
+  Problem problem(shape.rings, params);
+  const DenseViolations before = denseViolations(problem, sol.shots);
+  // The shots are load-bearing: without them every Pon pixel fails.
+  ASSERT_LT(before.failOn, problem.numOnPixels());
+  const DenseViolations emptied = denseViolations(problem, {});
+  EXPECT_EQ(emptied.failOn, problem.numOnPixels());
+  EXPECT_NE(emptied.failOn, before.failOn);
+
+  // Dropping a single shot from the section: at least one shot in a
+  // refined solution is individually load-bearing.
+  bool detected = false;
+  for (std::size_t i = 0; i < sol.shots.size() && !detected; ++i) {
+    std::vector<Rect> tampered = sol.shots;
+    tampered.erase(tampered.begin() + static_cast<std::ptrdiff_t>(i));
+    const DenseViolations after = denseViolations(problem, tampered);
+    detected = after.failOn != before.failOn ||
+               after.failOff != before.failOff || after.cost != before.cost;
+  }
+  EXPECT_TRUE(detected);
+}
+
+// --- Metamorphic: whole-pixel translation -----------------------------
+
+TEST(MetamorphicTest, WholePixelTranslationTranslatesShots) {
+  // Fracturing a translated copy of a shape must yield exactly the
+  // translated shots (the grid origin follows the bbox), and the dense
+  // evaluation must be bitwise invariant under the translation.
+  const Point delta{4000, 2000};
+  for (const unsigned seed : {11u, 22u}) {
+    const LayoutShape shape = iltLayoutShape(seed);
+    LayoutShape moved = shape;
+    for (Polygon& ring : moved.rings) ring.translate(delta);
+
+    FractureParams params;
+    params.nmax = 300;
+    const Solution base = fractureShape(shape, params, Method::kOurs);
+    const Solution shifted = fractureShape(moved, params, Method::kOurs);
+
+    ASSERT_EQ(base.shots.size(), shifted.shots.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < base.shots.size(); ++i) {
+      EXPECT_EQ(base.shots[i].x0 + delta.x, shifted.shots[i].x0);
+      EXPECT_EQ(base.shots[i].y0 + delta.y, shifted.shots[i].y0);
+      EXPECT_EQ(base.shots[i].x1 + delta.x, shifted.shots[i].x1);
+      EXPECT_EQ(base.shots[i].y1 + delta.y, shifted.shots[i].y1);
+    }
+
+    Problem pBase(shape.rings, params);
+    Problem pMoved(moved.rings, params);
+    const DenseViolations a = denseViolations(pBase, base.shots);
+    const DenseViolations b = denseViolations(pMoved, shifted.shots);
+    EXPECT_EQ(a.failOn, b.failOn);
+    EXPECT_EQ(a.failOff, b.failOff);
+    EXPECT_EQ(a.cost, b.cost);
+  }
+}
+
+// --- auditShotSections end to end -------------------------------------
+
+TEST(AuditSectionsTest, CleanBatchHasNoFindings) {
+  std::vector<LayoutShape> shapes = {iltLayoutShape(31u), iltLayoutShape(32u)};
+  BatchConfig config;
+  config.params.nmax = 300;
+  const BatchResult result = fractureLayout(shapes, config);
+
+  std::ostringstream os;
+  writeBatchShots(os, result.solutions);
+  std::vector<ShotSection> sections;
+  ASSERT_TRUE(parseShotSections(os.str(), sections).ok());
+
+  std::vector<ShapeExpectation> expectations(shapes.size());
+  for (std::size_t i = 0; i < shapes.size(); ++i) {
+    const Solution& sol = result.solutions[i];
+    expectations[i] = {sol.method,       sol.failOn, sol.failOff,
+                       sol.cost,         sol.degraded,
+                       /*completed=*/true,
+                       /*exactCost=*/true};
+  }
+  const AuditReport report = auditShotSections(
+      shapes, config.params, sections, expectations, /*threads=*/2);
+  EXPECT_TRUE(report.clean()) << report.str();
+  EXPECT_EQ(report.shapesAudited, 2);
+}
+
+TEST(AuditSectionsTest, FlagsTamperedClaimsAndShots) {
+  std::vector<LayoutShape> shapes = {iltLayoutShape(41u)};
+  BatchConfig config;
+  config.params.nmax = 300;
+  const BatchResult result = fractureLayout(shapes, config);
+
+  std::ostringstream os;
+  writeBatchShots(os, result.solutions);
+  std::vector<ShotSection> sections;
+  ASSERT_TRUE(parseShotSections(os.str(), sections).ok());
+
+  std::vector<ShapeExpectation> expectations(1);
+  const Solution& sol = result.solutions[0];
+  expectations[0] = {sol.method, sol.failOn, sol.failOff, sol.cost,
+                     sol.degraded, true, true};
+
+  // 1. Drop a shot: claimed count and dose field both disagree.
+  auto dropped = sections;
+  ASSERT_FALSE(dropped[0].shots.empty());
+  dropped[0].shots.pop_back();
+  EXPECT_FALSE(auditShotSections(shapes, config.params, dropped,
+                                 expectations, 1)
+                   .clean());
+
+  // 2. Lie about the failing-pixel claim only.
+  auto lied = sections;
+  lied[0].claimedFailingPx += 5;
+  EXPECT_FALSE(
+      auditShotSections(shapes, config.params, lied, expectations, 1)
+          .clean());
+
+  // 3. Expectation disagrees with reality (manifest tamper).
+  auto badExp = expectations;
+  badExp[0].failOn += 1;
+  EXPECT_FALSE(
+      auditShotSections(shapes, config.params, sections, badExp, 1)
+          .clean());
+
+  // Control: untouched data stays clean.
+  EXPECT_TRUE(auditShotSections(shapes, config.params, sections,
+                                expectations, 1)
+                  .clean());
+}
+
+TEST(AuditSectionsTest, IncompleteShapeMustBeEmpty) {
+  std::vector<LayoutShape> shapes = {iltLayoutShape(51u)};
+  FractureParams params;
+  params.nmax = 300;
+  const Solution sol = fractureShape(shapes[0], params, Method::kOurs);
+  ASSERT_FALSE(sol.shots.empty());
+
+  std::vector<Solution> sols = {sol};
+  std::ostringstream os;
+  writeBatchShots(os, sols);
+  std::vector<ShotSection> sections;
+  ASSERT_TRUE(parseShotSections(os.str(), sections).ok());
+
+  // The run claims this shape failed/was interrupted (completed=false):
+  // a NON-empty section is a finding.
+  std::vector<ShapeExpectation> expectations(1);
+  expectations[0] = {"empty", 0, 0, 0.0, false, /*completed=*/false, true};
+  EXPECT_FALSE(
+      auditShotSections(shapes, params, sections, expectations, 1).clean());
+}
+
+}  // namespace
+}  // namespace mbf

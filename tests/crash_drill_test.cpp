@@ -154,6 +154,28 @@ int main(int argc, char** argv) {
           tag + ": resumed output byte-identical");
   }
 
+  // Drill 1 epilogue: a killed-and-resumed run must also pass the
+  // --verify acceptance gate — artifact hashes and independent re-check.
+  {
+    const std::string journal = dir + "/kv.journal";
+    const std::string shots = dir + "/kv.shots";
+    const std::string json = dir + "/kv.json";
+    std::vector<std::string> killArgs = {input, shots, "--threads=2",
+                                         "--journal=" + journal,
+                                         "--metrics-json=" + json};
+    killArgs.insert(killArgs.end(), baseFlags.begin(), baseFlags.end());
+    runAndKill(cli, killArgs, 120);
+    std::vector<std::string> resumeArgs = {input, shots,
+                                           "--journal=" + journal,
+                                           "--resume",
+                                           "--metrics-json=" + json};
+    resumeArgs.insert(resumeArgs.end(), baseFlags.begin(), baseFlags.end());
+    check(runCli(cli, resumeArgs) == 0, "kv: resume after SIGKILL exits 0");
+    check(readBytes(shots) == refBytes, "kv: resumed output byte-identical");
+    check(runCli(cli, {"--verify", json}) == 0,
+          "kv: killed+resumed run passes --verify");
+  }
+
   // --- Drill 2: --isolate survives an injected worker crash -------------
   // In-process reference: the same shape degraded via kThrow lands on the
   // same fallback fracture the crash-isolated culprit gets.

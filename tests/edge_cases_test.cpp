@@ -110,7 +110,7 @@ TEST(ProblemEdgeTest, VeryTightGammaStillClassifies) {
 
 TEST(SvgEdgeTest, SaveToBadPathFails) {
   SvgWriter svg({0, 0, 10, 10});
-  EXPECT_FALSE(svg.save("/nonexistent-dir-xyz/out.svg"));
+  EXPECT_FALSE(svg.save("/nonexistent-dir-xyz/out.svg").ok());
 }
 
 TEST(PolyIoEdgeTest, LoadMissingFileReturnsEmpty) {

@@ -1,6 +1,7 @@
 // mbf_cli -- command-line mask fracturing driver.
 //
 //   mbf_cli <input.poly> <output.shots> [options]
+//   mbf_cli --verify <run-dir-or-manifest.json> [--threads=n]
 //
 //   --method=ours|gsc|mp|proxy   fracturing method        (default ours)
 //   --gamma=<nm>                 CD tolerance             (default 2)
@@ -58,6 +59,26 @@
 //   --inject-every=<kind>@<n>    arm <kind> on every nth shape
 //   --inject-seed=<s>            seed for the injector
 //
+// Output integrity (DESIGN.md section 16):
+//   --verify <target>            acceptance gate: re-hash every artifact
+//                                a finished run's manifest lists and
+//                                re-check every per-shape claim with the
+//                                independent dense checker; exit 0 clean,
+//                                6 on any discrepancy
+//   --selfcheck                  audit the .shots bytes in-process right
+//                                after writing them; shapes that fail
+//                                are re-fractured once through the
+//                                fallback ladder and tagged "repaired"
+//                                in the manifest (exit 6 if one still
+//                                fails). The .shots output is
+//                                byte-identical with or without this
+//                                flag.
+// All artifacts are written atomically (temp + fsync + rename) and the
+// manifest records each one's SHA-256; the manifest itself gets a
+// `.sha256` sidecar. SIGTERM/SIGINT drain gracefully: started shapes
+// finish and are journaled, the manifest is stamped "interrupted", and
+// the run exits 5.
+//
 // Hidden worker plumbing (spawned by --isolate, not for direct use):
 //   --worker --shape-range=a:b   fracture only shapes [a, b), reporting
 //                                original layout indices
@@ -82,13 +103,23 @@
 //      --strict, any per-shape failure
 //   5  partial success: completed, but one or more shapes crashed their
 //      worker and were crash-isolated (bisected to the culprit and
-//      degraded via the fallback ladder)
+//      degraded via the fallback ladder) — or the run was interrupted
+//      (SIGTERM/SIGINT) and drained gracefully
+//   6  integrity failure: --verify found a hash/claim discrepancy, or a
+//      --selfcheck shape still failed its audit after repair
+#include <sys/stat.h>
+
+#include <algorithm>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "analysis/shot_stats.h"
+#include "audit/independent_checker.h"
+#include "audit/verify_run.h"
+#include "io/atomic_file.h"
 #include "io/gdsii.h"
 #include "io/poly_io.h"
 #include "io/svg.h"
@@ -98,6 +129,7 @@
 #include "mdp/ordering.h"
 #include "mdp/supervisor.h"
 #include "support/fault_injector.h"
+#include "support/interrupt.h"
 #include "support/perf_counters.h"
 #include "support/telemetry.h"
 
@@ -131,9 +163,66 @@ int usage() {
                "[--metrics-json=path] [--trace-json=path] "
                "[--journal=path] [--resume] [--fsync=none|each] "
                "[--isolate] [--jobs=n] [--worker-timeout-ms=ms] "
-               "[--retries=n] [--backoff-ms=ms] "
-               "[--inject=kind@i,...] [--inject-every=kind@n]\n";
+               "[--retries=n] [--backoff-ms=ms] [--selfcheck] "
+               "[--inject=kind@i,...] [--inject-every=kind@n]\n"
+               "       mbf_cli --verify <run-dir-or-manifest.json> "
+               "[--threads=n]\n";
   return 2;
+}
+
+/// The `mbf_cli --verify <target>` acceptance gate. Exit 0 only when
+/// every artifact re-hashes to its manifest entry AND every per-shape
+/// claim survives the independent checker; 6 on any discrepancy
+/// (including "could not even start"), 2 on usage errors.
+int runVerifyMode(int argc, char** argv) {
+  mbf::VerifyOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verify") {
+      if (i + 1 >= argc) {
+        std::cerr << "--verify needs a run directory or manifest path\n";
+        return usage();
+      }
+      options.target = argv[++i];
+    } else if (arg.rfind("--verify=", 0) == 0) {
+      options.target = arg.substr(std::string("--verify=").size());
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      if (!parseInt(arg.substr(std::string("--threads=").size()),
+                    options.threads) ||
+          options.threads < 0) {
+        std::cerr << "invalid --threads: must be an integer >= 0\n";
+        return usage();
+      }
+    } else {
+      std::cerr << "unknown argument in --verify mode: " << arg << "\n";
+      return usage();
+    }
+  }
+  if (options.target.empty()) {
+    std::cerr << "--verify needs a run directory or manifest path\n";
+    return usage();
+  }
+
+  mbf::VerifyReport report;
+  const mbf::Status st = mbf::verifyRun(options, report);
+  if (!st.ok()) {
+    std::cerr << "verify: " << st.str() << "\n";
+    return 6;
+  }
+  if (!report.clean()) {
+    std::cerr << report.str();
+    std::cerr << "verify: FAILED (" << report.fileIssues.size()
+              << " artifact issue(s), " << report.audit.findings.size()
+              << " shape finding(s)) for " << report.manifestPath << "\n";
+    return 6;
+  }
+  std::cout << "verify: OK — " << report.artifactsChecked
+            << " artifact(s) hashed, " << report.audit.shapesAudited
+            << " shape(s) re-checked, 0 discrepancies"
+            << (report.interrupted ? " (interrupted run: partial by design)"
+                                   : "")
+            << " [" << report.manifestPath << "]\n";
+  return 0;
 }
 
 /// "kind@number" -> (FaultKind, int). Used by --inject / --inject-every.
@@ -149,6 +238,11 @@ bool parseKindAt(const std::string& spec, mbf::FaultKind& kind, int& at) {
 int main(int argc, char** argv) {
   using namespace mbf;
 
+  if (argc >= 2 && (std::string(argv[1]) == "--verify" ||
+                    std::string(argv[1]).rfind("--verify=", 0) == 0)) {
+    return runVerifyMode(argc, argv);
+  }
+
   if (argc < 3) return usage();
   const std::string inputPath = argv[1];
   const std::string outputPath = argv[2];
@@ -161,6 +255,7 @@ int main(int argc, char** argv) {
   std::string traceRawPath;
   bool report = false;
   bool orderForWriter = false;
+  bool selfcheck = false;
 
   // Crash-recovery mode flags.
   std::string journalPath;
@@ -245,6 +340,8 @@ int main(int argc, char** argv) {
       forward = true;
     } else if (key == "--order") {
       orderForWriter = true;
+    } else if (key == "--selfcheck") {
+      selfcheck = true;
     } else if (key == "--gds-out") {
       gdsOutPath = value;
       if (gdsOutPath.empty()) error = "must be a path";
@@ -377,6 +474,13 @@ int main(int argc, char** argv) {
   }
   if (injectorArmed) config.params.faultInjector = &injector;
 
+  // Graceful drain: SIGTERM/SIGINT set a flag that fractureShapeGuarded
+  // checks on entry, so started shapes finish (and are journaled) while
+  // unstarted ones stay untouched for a later --resume; the supervisor
+  // additionally forwards the signal to its workers. The run then exits
+  // 5 with the manifest stamped "interrupted".
+  installInterruptHandlers();
+
   // Tracing on before any traced work starts. Spans never change what is
   // computed, so the output stays byte-identical either way.
   if (!traceJsonPath.empty() || !traceRawPath.empty()) {
@@ -494,13 +598,115 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::ofstream os(outputPath);
-  if (!os) {
-    std::cerr << "cannot write " << outputPath << "\n";
-    return 3;
+  const bool interrupted = result.interruptedShapes > 0;
+
+  // Emit .shots atomically, keeping the hash for the manifest. The bytes
+  // are identical with --selfcheck on or off: the audit reads back what
+  // was written and never touches a passing run's output.
+  std::string shotsSha256;
+  std::vector<int> repairedShapes;
+  bool selfcheckFailed = false;
+  auto writeShotsFile = [&]() -> bool {
+    std::ostringstream shotsOs;
+    writeBatchShots(shotsOs, result.solutions);
+    const Status st = atomicWriteFile(outputPath, shotsOs.str(), &shotsSha256);
+    if (!st.ok()) {
+      std::cerr << "cannot write " << outputPath << ": " << st.str() << "\n";
+      return false;
+    }
+    return true;
+  };
+  if (!writeShotsFile()) return 3;
+
+  if (selfcheck) {
+    // In-process audit of the artifact just written, through the same
+    // independent checker --verify uses — reading the file back, so a
+    // write-path defect is caught too, not just a compute-path one.
+    auto auditOnce = [&]() {
+      AuditReport audit;
+      std::string content;
+      const Status rd = readFileToString(outputPath, content);
+      if (!rd.ok()) {
+        audit.findings.push_back({-1, rd.str()});
+        return audit;
+      }
+      std::vector<ShotSection> sections;
+      const Status ps = parseShotSections(content, sections);
+      if (!ps.ok()) {
+        audit.findings.push_back({-1, ps.str()});
+        return audit;
+      }
+      std::vector<ShapeExpectation> expectations(result.solutions.size());
+      for (std::size_t i = 0; i < result.solutions.size(); ++i) {
+        const Solution& sol = result.solutions[i];
+        const ShapeReport& rep = result.reports[i];
+        expectations[i] = {sol.method,
+                           sol.failOn,
+                           sol.failOff,
+                           sol.cost,
+                           rep.degraded,
+                           (rep.status.ok() || rep.degraded) &&
+                               !rep.interrupted,
+                           !orderForWriter};
+      }
+      return auditShotSections(shapes, config.params, sections, expectations,
+                               config.threads, config.shapeIndexBase);
+    };
+
+    AuditReport audit = auditOnce();
+    if (audit.clean()) {
+      std::cerr << "selfcheck: " << audit.shapesAudited
+                << " shape(s) audited, 0 findings\n";
+    } else {
+      std::cerr << "selfcheck: " << audit.findings.size()
+                << " finding(s):\n" << audit.str();
+      // Repair ladder: each failing shape is re-fractured once, fallback
+      // only (deterministic and budget-free), tagged "repaired" in the
+      // manifest, and the artifact is rewritten and re-audited. A shape
+      // still failing after that is an integrity failure (exit 6).
+      std::vector<int> failing;
+      for (const AuditFinding& f : audit.findings) {
+        const int local = f.shapeIndex - config.shapeIndexBase;
+        if (f.shapeIndex < 0 || local < 0 ||
+            static_cast<std::size_t>(local) >= shapes.size()) {
+          selfcheckFailed = true;  // file-level finding: nothing to repair
+          continue;
+        }
+        if (std::find(failing.begin(), failing.end(), local) ==
+            failing.end()) {
+          failing.push_back(local);
+        }
+      }
+      for (const int local : failing) {
+        const auto s = static_cast<std::size_t>(local);
+        ShapeOutcome outcome = fractureShapeGuarded(
+            shapes[s], config.params, config.method,
+            config.shapeIndexBase + local, /*allowDegradation=*/true,
+            nullptr, /*fallbackOnly=*/true);
+        result.solutions[s] = std::move(outcome.solution);
+        result.reports[s] = {std::move(outcome.status), outcome.degraded,
+                             outcome.interrupted};
+        repairedShapes.push_back(config.shapeIndexBase + local);
+      }
+      if (!failing.empty()) {
+        // Totals follow the repaired solutions; the refiner stage
+        // counters describe the original attempts and stay as recorded.
+        const RefinerStats savedStats = result.refinerStats;
+        mergeBatchAggregates(result, {});
+        result.refinerStats = savedStats;
+        if (!writeShotsFile()) return 3;
+        AuditReport reaudit = auditOnce();
+        if (reaudit.clean()) {
+          std::cerr << "selfcheck: repaired " << failing.size()
+                    << " shape(s); audit now clean\n";
+        } else {
+          std::cerr << "selfcheck: still failing after repair:\n"
+                    << reaudit.str();
+          selfcheckFailed = true;
+        }
+      }
+    }
   }
-  writeBatchShots(os, result.solutions);
-  os.close();
 
   if (report) {
     Table table({"shape", "rings", "shots", "fail px", "s", "status"});
@@ -543,6 +749,27 @@ int main(int argc, char** argv) {
   // print success while silently dropping an artifact it was asked for.
   bool auxWriteFailed = false;
 
+  // Every artifact this run writes is recorded (path, bytes, SHA-256) in
+  // the manifest, which is therefore written LAST; --verify re-hashes
+  // them all. The .shots entry uses the write-time hash — the digest of
+  // the bytes handed to the atomic writer, not a re-read.
+  std::vector<ArtifactEntry> artifacts;
+  auto addArtifact = [&](const std::string& kind, const std::string& path,
+                         const std::string& knownHex) {
+    ArtifactEntry entry;
+    entry.kind = kind;
+    entry.path = path;
+    struct stat st {};
+    if (::stat(path.c_str(), &st) == 0) {
+      entry.bytes = static_cast<std::int64_t>(st.st_size);
+    }
+    entry.sha256 = knownHex;
+    if (entry.sha256.empty()) sha256File(path, entry.sha256);
+    artifacts.push_back(std::move(entry));
+  };
+  addArtifact("shots", outputPath, shotsSha256);
+  if (!journalPath.empty()) addArtifact("journal", journalPath, "");
+
   if (!svgPath.empty()) {
     Rect view;
     for (const LayoutShape& s : shapes) {
@@ -559,9 +786,12 @@ int main(int argc, char** argv) {
         svg.addRect(shot, "#2ca02c", "#145214", 0.2, 0.2);
       }
     }
-    if (!svg.save(svgPath)) {
-      std::cerr << "cannot write SVG " << svgPath << "\n";
+    const Status st = svg.save(svgPath);
+    if (!st.ok()) {
+      std::cerr << "cannot write SVG " << svgPath << ": " << st.str() << "\n";
       auxWriteFailed = true;
+    } else {
+      addArtifact("svg", svgPath, "");
     }
   }
 
@@ -584,33 +814,14 @@ int main(int argc, char** argv) {
     if (!saveGds(gdsOutPath, outLib)) {
       std::cerr << "cannot write GDSII " << gdsOutPath << "\n";
       auxWriteFailed = true;
-    }
-  }
-
-  if (!metricsJsonPath.empty()) {
-    std::vector<Rect> allShots;
-    for (const Solution& sol : result.solutions) {
-      allShots.insert(allShots.end(), sol.shots.begin(), sol.shots.end());
-    }
-    RunManifestInfo info;
-    info.inputPath = inputPath;
-    info.outputPath = outputPath;
-    info.fingerprint = journalMetaFor(shapes, config);
-    info.haveRecovery = haveCounters;
-    info.isolatedShapes = isolatedShapes;
-    const std::string manifest = buildRunManifest(
-        info, config, result, counters, computeShotStats(allShots));
-    std::ofstream ms(metricsJsonPath);
-    if (ms) ms << manifest;
-    ms.close();
-    if (!ms) {
-      std::cerr << "cannot write metrics JSON " << metricsJsonPath << "\n";
-      auxWriteFailed = true;
+    } else {
+      addArtifact("gds", gdsOutPath, "");
     }
   }
 
   // Worker span dump first (supervised runs), chrome JSON second: a
   // worker never gets --trace-json, a parent never gets --trace-raw.
+  // Both precede the manifest so it can record their hashes.
   if (!traceRawPath.empty()) {
     const Status st =
         writeSpanFile(traceRawPath, TraceRecorder::instance().snapshot());
@@ -625,12 +836,45 @@ int main(int argc, char** argv) {
     if (!st.ok()) {
       std::cerr << st.str() << "\n";
       auxWriteFailed = true;
+    } else {
+      addArtifact("trace", traceJsonPath, "");
+    }
+  }
+
+  if (!metricsJsonPath.empty()) {
+    std::vector<Rect> allShots;
+    for (const Solution& sol : result.solutions) {
+      allShots.insert(allShots.end(), sol.shots.begin(), sol.shots.end());
+    }
+    RunManifestInfo info;
+    info.inputPath = inputPath;
+    info.outputPath = outputPath;
+    info.fingerprint = journalMetaFor(shapes, config);
+    info.haveRecovery = haveCounters;
+    info.isolatedShapes = isolatedShapes;
+    info.artifacts = artifacts;
+    info.interrupted = interrupted;
+    info.repairedShapes = repairedShapes;
+    info.ordered = orderForWriter;
+    const std::string manifest = buildRunManifest(
+        info, config, result, counters, computeShotStats(allShots));
+    std::string manifestHex;
+    Status ms = atomicWriteFile(metricsJsonPath, manifest, &manifestHex);
+    if (ms.ok()) ms = writeHashSidecar(metricsJsonPath, manifestHex);
+    if (!ms.ok()) {
+      std::cerr << "cannot write metrics JSON " << metricsJsonPath << ": "
+                << ms.str() << "\n";
+      auxWriteFailed = true;
     }
   }
 
   std::cout << "total: " << result.totalShots << " shots, "
             << result.totalFailingPixels << " failing px, "
             << result.degradedShapes << " degraded shape(s), "
+            << (interrupted
+                    ? std::to_string(result.interruptedShapes) +
+                          " interrupted shape(s), "
+                    : std::string{})
             << Table::fmt(result.wallSeconds, 2) << " s wall / "
             << Table::fmt(result.shapeSecondsSum, 2) << " s shape-sum ("
             << config.threads << " thread(s))\n";
@@ -648,6 +892,12 @@ int main(int argc, char** argv) {
   // A missing requested artifact outranks the quality ladder: the run
   // did not deliver what it printed it would.
   if (auxWriteFailed) return 2;
+  // An artifact that failed its own audit even after repair outranks
+  // everything below: the output cannot be trusted.
+  if (selfcheckFailed) return 6;
+  // Graceful drain: the run is partial by design; the manifest says
+  // "interrupted" and a --resume finishes it.
+  if (interrupted) return 5;
 
   if (!config.allowDegradation) {
     // Strict mode: a shape that would have degraded is a failure.
