@@ -11,6 +11,7 @@
 #include "io/gdsii.h"
 #include "io/poly_io.h"
 #include "mdp/checkpoint.h"
+#include "mdp/hierarchy.h"
 #include "support/telemetry.h"
 
 namespace mbf {
@@ -108,13 +109,29 @@ bool boolOr(const JsonValue* v, bool fallback) {
                                                            : fallback;
 }
 
-Status loadLayout(const std::string& path, std::vector<LayoutShape>& out) {
+Status loadLayout(const std::string& path, bool hier,
+                  const std::string& topCell,
+                  std::vector<LayoutShape>& out) {
   std::vector<Polygon> rings;
   if (path.size() > 4 && path.substr(path.size() - 4) == ".gds") {
     GdsLibrary lib;
     Status st = parseGdsFile(path, lib);
     if (!st.ok()) return st;
-    for (GdsPolygon& gp : flattenGds(lib)) {
+    if (hier) {
+      // A --hier run's layout is the instance expansion, not the flat
+      // ring soup: re-derive it the same way the run did so the audit
+      // compares section-for-shape against the same shape list.
+      st = hierarchicalInstanceShapes(lib, topCell, out);
+      if (st.ok() && out.empty()) {
+        return Status(StatusCode::kInvalidArgument,
+                      "no instantiated shapes in input '" + path + "'");
+      }
+      return st;
+    }
+    std::vector<GdsPolygon> flat;
+    st = flattenGdsChecked(lib, topCell, flat);
+    if (!st.ok()) return st;
+    for (GdsPolygon& gp : flat) {
       rings.push_back(std::move(gp.polygon));
     }
   } else {
@@ -235,6 +252,8 @@ Status verifyRun(const VerifyOptions& options, VerifyReport& out) {
   batch.shapeIndexBase =
       static_cast<int>(numberOr(config->find("shape_index_base"), 0));
   const bool ordered = boolOr(config->find("ordered"), false);
+  const bool hier = boolOr(config->find("hier"), false);
+  const std::string topCell = stringOr(config->find("top_cell"), "");
 
   // 5. Re-read the input layout the run fractured.
   const JsonValue* input = doc.find("input");
@@ -243,7 +262,7 @@ Status verifyRun(const VerifyOptions& options, VerifyReport& out) {
                             ""));
   std::vector<LayoutShape> shapes;
   {
-    const Status st = loadLayout(inputPath, shapes);
+    const Status st = loadLayout(inputPath, hier, topCell, shapes);
     if (!st.ok()) return st;
   }
   const double claimedShapesRaw =

@@ -3,7 +3,9 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <unordered_set>
 
 #include "io/atomic_file.h"
 #include <istream>
@@ -179,37 +181,118 @@ Status badPayload(std::uint16_t type, std::size_t payload,
       .withOffset(recordStart);
 }
 
-void flattenInto(const GdsLibrary& lib, const GdsStructure& s, Point offset,
-                 int depth, std::vector<GdsPolygon>& out) {
-  if (depth > 8) return;  // depth limit doubles as cycle protection
+/// 64-bit placement offset: SREF/AREF chains compose translations whose
+/// intermediate sums (origin + c*columnPitch + r*rowPitch, accumulated
+/// down the tree) overflow int32 long before the final placement does.
+struct Offset64 {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
+};
+
+std::string chainString(const std::vector<const GdsStructure*>& path,
+                        const std::string& repeat = {}) {
+  std::string s;
+  for (const GdsStructure* node : path) {
+    if (!s.empty()) s += " -> ";
+    s += node->name;
+  }
+  if (!repeat.empty()) {
+    if (!s.empty()) s += " -> ";
+    s += repeat;
+  }
+  return s;
+}
+
+Status flattenCheckedInto(const GdsLibrary& lib, const GdsStructure& s,
+                          Offset64 offset,
+                          std::vector<const GdsStructure*>& path,
+                          std::vector<GdsPolygon>& out) {
+  for (const GdsStructure* onPath : path) {
+    if (onPath == &s) {
+      return Status(StatusCode::kInvalidArgument,
+                    "reference cycle in GDS hierarchy: " +
+                        chainString(path, s.name));
+    }
+  }
+  if (static_cast<int>(path.size()) >= kGdsMaxDepth) {
+    return Status(StatusCode::kInvalidArgument,
+                  "GDS hierarchy deeper than " +
+                      std::to_string(kGdsMaxDepth) + " levels at cell chain " +
+                      chainString(path, s.name));
+  }
+  path.push_back(&s);
+
   for (const GdsPolygon& gp : s.polygons) {
+    // The placement is only legal if every translated vertex stays in
+    // the int32 coordinate space; checking the bbox corners covers all
+    // vertices.
+    const Rect box = gp.polygon.bbox();
+    const std::int64_t x0 = offset.x + box.x0;
+    const std::int64_t y0 = offset.y + box.y0;
+    const std::int64_t x1 = offset.x + box.x1;
+    const std::int64_t y1 = offset.y + box.y1;
+    constexpr std::int64_t kMin = std::numeric_limits<std::int32_t>::min();
+    constexpr std::int64_t kMax = std::numeric_limits<std::int32_t>::max();
+    if (x0 < kMin || y0 < kMin || x1 > kMax || y1 > kMax) {
+      Status status(StatusCode::kInvalidArgument,
+                    "placement of cell '" + s.name + "' at offset (" +
+                        std::to_string(offset.x) + ", " +
+                        std::to_string(offset.y) +
+                        ") leaves the 32-bit coordinate space (chain " +
+                        chainString(path) + ")");
+      path.pop_back();
+      return status;
+    }
     GdsPolygon copy = gp;
-    copy.polygon.translate(offset);
+    copy.polygon.translate({static_cast<std::int32_t>(offset.x),
+                            static_cast<std::int32_t>(offset.y)});
     out.push_back(std::move(copy));
   }
   for (const GdsSref& ref : s.srefs) {
     const GdsStructure* child = lib.findStructure(ref.structName);
-    if (child && child != &s) {
-      flattenInto(lib, *child, offset + ref.offset, depth + 1, out);
+    if (!child) continue;  // subset extraction: missing cells are skipped
+    const Offset64 at{offset.x + ref.offset.x, offset.y + ref.offset.y};
+    Status status = flattenCheckedInto(lib, *child, at, path, out);
+    if (!status.ok()) {
+      path.pop_back();
+      return status;
     }
   }
   for (const GdsAref& ref : s.arefs) {
     const GdsStructure* child = lib.findStructure(ref.structName);
-    if (!child || child == &s) continue;
+    if (!child) continue;
     // A malformed COLROW can declare up to 65535 x 65535 instances;
     // refuse to materialise absurd arrays instead of exhausting memory.
     if (static_cast<std::int64_t>(ref.rows) * ref.columns > (1 << 22)) {
-      continue;
+      Status status(StatusCode::kInvalidArgument,
+                    "AREF of cell '" + ref.structName + "' declares " +
+                        std::to_string(ref.columns) + " x " +
+                        std::to_string(ref.rows) +
+                        " instances (cap 2^22) in cell '" + s.name + "'");
+      path.pop_back();
+      return status;
     }
     for (int r = 0; r < ref.rows; ++r) {
       for (int c = 0; c < ref.columns; ++c) {
-        const Point at{
-            ref.origin.x + c * ref.columnPitch.x + r * ref.rowPitch.x,
-            ref.origin.y + c * ref.columnPitch.y + r * ref.rowPitch.y};
-        flattenInto(lib, *child, offset + at, depth + 1, out);
+        // int64 throughout: c,r reach 65534 and the pitches are int32,
+        // so the products alone can exceed int32 by a factor of 2^16.
+        const Offset64 at{
+            offset.x + ref.origin.x +
+                static_cast<std::int64_t>(c) * ref.columnPitch.x +
+                static_cast<std::int64_t>(r) * ref.rowPitch.x,
+            offset.y + ref.origin.y +
+                static_cast<std::int64_t>(c) * ref.columnPitch.y +
+                static_cast<std::int64_t>(r) * ref.rowPitch.y};
+        Status status = flattenCheckedInto(lib, *child, at, path, out);
+        if (!status.ok()) {
+          path.pop_back();
+          return status;
+        }
       }
     }
   }
+  path.pop_back();
+  return {};
 }
 
 }  // namespace
@@ -553,15 +636,70 @@ bool loadGds(const std::string& path, GdsLibrary& out) {
   return parseGdsFile(path, out).ok();
 }
 
+Status findGdsTopStructure(const GdsLibrary& lib, std::string& out) {
+  out.clear();
+  if (lib.structures.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "GDS library has no structures");
+  }
+  std::unordered_set<std::string> referenced;
+  for (const GdsStructure& s : lib.structures) {
+    for (const GdsSref& ref : s.srefs) referenced.insert(ref.structName);
+    for (const GdsAref& ref : s.arefs) referenced.insert(ref.structName);
+  }
+  std::vector<const GdsStructure*> roots;
+  for (const GdsStructure& s : lib.structures) {
+    if (referenced.count(s.name) == 0) roots.push_back(&s);
+  }
+  if (roots.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "no top structure: every structure is referenced "
+                  "(reference cycle); pass a top cell explicitly");
+  }
+  if (roots.size() > 1) {
+    std::string names;
+    for (const GdsStructure* root : roots) {
+      if (!names.empty()) names += ", ";
+      names += root->name;
+    }
+    return Status(StatusCode::kInvalidArgument,
+                  std::to_string(roots.size()) +
+                      " candidate top structures (" + names +
+                      "); pass a top cell explicitly");
+  }
+  out = roots.front()->name;
+  return {};
+}
+
+Status flattenGdsChecked(const GdsLibrary& lib, const std::string& topStruct,
+                         std::vector<GdsPolygon>& out) {
+  out.clear();
+  std::string topName = topStruct;
+  if (topName.empty()) {
+    Status status = findGdsTopStructure(lib, topName);
+    if (!status.ok()) return status;
+  }
+  const GdsStructure* top = lib.findStructure(topName);
+  if (!top) {
+    return Status(StatusCode::kInvalidArgument,
+                  "top structure '" + topName + "' not found in library");
+  }
+  std::vector<const GdsStructure*> path;
+  return flattenCheckedInto(lib, *top, {0, 0}, path, out);
+}
+
 std::vector<GdsPolygon> flattenGds(const GdsLibrary& lib,
                                    const std::string& topStruct) {
   std::vector<GdsPolygon> out;
-  const GdsStructure* top = topStruct.empty()
-                                ? (lib.structures.empty()
-                                       ? nullptr
-                                       : &lib.structures.front())
-                                : lib.findStructure(topStruct);
-  if (top) flattenInto(lib, *top, {0, 0}, 0, out);
+  std::string topName = topStruct;
+  if (topName.empty() && !findGdsTopStructure(lib, topName).ok()) {
+    // Ambiguous or cyclic hierarchy: keep the historical best-effort
+    // default so legacy callers still get the first structure's view.
+    topName = lib.structures.empty() ? "" : lib.structures.front().name;
+  }
+  if (!topName.empty()) {
+    flattenGdsChecked(lib, topName, out);  // partial output on error
+  }
   return out;
 }
 

@@ -82,9 +82,36 @@ Status parseGdsFile(const std::string& path, GdsLibrary& out);
 bool readGds(std::istream& is, GdsLibrary& out);
 bool loadGds(const std::string& path, GdsLibrary& out);
 
-/// Resolves SREFs recursively (depth-limited, cycle-safe) starting from
-/// `topStruct` (empty = the first structure) and returns every polygon
-/// translated into top coordinates.
+/// Deepest reference chain the checked traversals follow before calling
+/// the hierarchy malformed. Real masks nest a handful of levels; 64 is
+/// far past any legitimate design while still bounding recursion.
+inline constexpr int kGdsMaxDepth = 64;
+
+/// Resolves the top structure: the unique structure not referenced by
+/// any SREF/AREF in the library. Real GDS files usually list the top
+/// cell LAST, so "first structure" is the wrong default. Errors:
+/// kInvalidArgument when the library is empty, when every structure is
+/// referenced (a reference cycle with no root), or when multiple roots
+/// exist (the diagnostic lists their names — pass one explicitly).
+Status findGdsTopStructure(const GdsLibrary& lib, std::string& out);
+
+/// Checked flatten: resolves SREF/AREF recursively from `topStruct`
+/// (empty = auto-detected via findGdsTopStructure) with on-path cycle
+/// detection and 64-bit placement arithmetic. Reference cycles and
+/// chains deeper than kGdsMaxDepth are kInvalidArgument errors naming
+/// the cell chain; placements that land outside the int32 coordinate
+/// space and AREFs declaring more than 2^22 instances are
+/// kInvalidArgument instead of silently dropped geometry. References to
+/// structures absent from the library are skipped (a subset extraction
+/// convention shared with flattenGds). On error `out` holds whatever
+/// geometry was gathered before the failure (partial, do not ship).
+Status flattenGdsChecked(const GdsLibrary& lib, const std::string& topStruct,
+                         std::vector<GdsPolygon>& out);
+
+/// Best-effort wrapper over flattenGdsChecked (the original API): the
+/// Status is discarded and a failed traversal yields whatever geometry
+/// was gathered before the error. `topStruct` empty auto-detects the
+/// root, falling back to the first structure when the root is ambiguous.
 std::vector<GdsPolygon> flattenGds(const GdsLibrary& lib,
                                    const std::string& topStruct = {});
 

@@ -1,0 +1,218 @@
+#include "mdp/cell_cache.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "io/atomic_file.h"
+#include "mdp/checkpoint.h"
+
+namespace mbf {
+namespace {
+
+constexpr char kMagic[] = "mbf-cell-cache v1";
+
+void putBytes(Sha256& h, const void* data, std::size_t size) {
+  h.update(data, size);
+}
+
+void putI32(Sha256& h, std::int32_t v) { putBytes(h, &v, sizeof v); }
+void putI64(Sha256& h, std::int64_t v) { putBytes(h, &v, sizeof v); }
+void putF64(Sha256& h, double v) { putBytes(h, &v, sizeof v); }
+void putU8(Sha256& h, std::uint8_t v) { putBytes(h, &v, sizeof v); }
+
+void putU32le(std::string& buf, std::uint32_t v) {
+  buf.push_back(static_cast<char>(v & 0xFF));
+  buf.push_back(static_cast<char>((v >> 8) & 0xFF));
+  buf.push_back(static_cast<char>((v >> 16) & 0xFF));
+  buf.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+bool getU32le(std::string_view bytes, std::size_t& at, std::uint32_t& out) {
+  if (bytes.size() - at < 4) return false;
+  out = static_cast<std::uint8_t>(bytes[at]) |
+        (static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[at + 1]))
+         << 8) |
+        (static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[at + 2]))
+         << 16) |
+        (static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[at + 3]))
+         << 24);
+  at += 4;
+  return true;
+}
+
+/// mkdir -p: creates every missing component of `dir`.
+Status makeDirs(const std::string& dir) {
+  if (dir.empty()) return {};
+  std::string prefix;
+  std::size_t at = 0;
+  while (at <= dir.size()) {
+    const std::size_t slash = dir.find('/', at);
+    prefix = slash == std::string::npos ? dir : dir.substr(0, slash);
+    at = slash == std::string::npos ? dir.size() + 1 : slash + 1;
+    if (prefix.empty()) continue;  // leading '/'
+    if (mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status(StatusCode::kIoError,
+                    "cannot create cache directory '" + prefix +
+                        "': " + std::strerror(errno));
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::string cellFractureKey(const std::vector<LayoutShape>& shapes,
+                            const BatchConfig& config) {
+  Sha256 h;
+  putBytes(h, kMagic, sizeof kMagic - 1);
+
+  // Result-relevant configuration. Thread counts are excluded on
+  // purpose: results are byte-identical at any thread count (a tested
+  // engine contract), so a cache populated at --threads=8 serves a
+  // --threads=1 run. Everything else — model, refiner knobs, budgets,
+  // toggles, method, strictness — participates, so changing any of them
+  // addresses a different entry.
+  const FractureParams& p = config.params;
+  putF64(h, p.gamma);
+  putF64(h, p.sigma);
+  putF64(h, p.rho);
+  putI32(h, p.lmin);
+  putF64(h, p.backscatterEta);
+  putF64(h, p.backscatterSigma);
+  putF64(h, p.lth);
+  putF64(h, p.overlapFraction);
+  putI32(h, static_cast<std::int32_t>(p.coloringOrder));
+  putI32(h, p.nmax);
+  putI32(h, p.nh);
+  putF64(h, p.stagnationEps);
+  putF64(h, p.blockingSigmas);
+  putF64(h, p.mergeInsideFraction);
+  putU8(h, p.enableBias ? 1 : 0);
+  putU8(h, p.enableAddRemove ? 1 : 0);
+  putU8(h, p.enableMerge ? 1 : 0);
+  putF64(h, p.shapeTimeBudgetMs);
+  putI64(h, p.maxGridBytes);
+  putU8(h, p.faultInjector != nullptr ? 1 : 0);
+  putI32(h, static_cast<std::int32_t>(config.method));
+  putU8(h, config.allowDegradation ? 1 : 0);
+  putU8(h, config.fallbackOnly ? 1 : 0);
+
+  // Cell-local geometry: counts delimit, raw int32 coordinates carry
+  // the content.
+  putI64(h, static_cast<std::int64_t>(shapes.size()));
+  for (const LayoutShape& shape : shapes) {
+    putI64(h, static_cast<std::int64_t>(shape.rings.size()));
+    for (const Polygon& ring : shape.rings) {
+      putI64(h, static_cast<std::int64_t>(ring.size()));
+      for (const Point& v : ring.vertices()) {
+        putI32(h, v.x);
+        putI32(h, v.y);
+      }
+    }
+  }
+  return h.hexDigest();
+}
+
+Status CellFractureCache::prepare() { return makeDirs(dir_); }
+
+std::string CellFractureCache::pathFor(const std::string& key) const {
+  return dir_ + "/" + key + ".cell";
+}
+
+CellFractureCache::Lookup CellFractureCache::load(const std::string& key,
+                                                  CellFracture& out) {
+  out = CellFracture{};
+  const std::string path = pathFor(key);
+  struct stat st{};
+  if (stat(path.c_str(), &st) != 0) {
+    ++stats_.misses;
+    return Lookup::kMiss;
+  }
+
+  // Never trust a cache entry on file-name match alone: the sidecar
+  // digest must verify and the embedded key must equal the requested
+  // one before a single record is decoded.
+  if (!verifyHashSidecar(path).ok()) {
+    ++stats_.rejected;
+    return Lookup::kRejected;
+  }
+  std::string bytes;
+  if (!readFileToString(path, bytes).ok()) {
+    ++stats_.rejected;
+    return Lookup::kRejected;
+  }
+
+  const std::string header = std::string(kMagic) + "\n" + key + "\n";
+  if (bytes.size() < header.size() ||
+      bytes.compare(0, header.size(), header) != 0) {
+    ++stats_.rejected;
+    return Lookup::kRejected;
+  }
+  std::size_t at = header.size();
+  std::uint32_t shapeCount = 0;
+  if (!getU32le(bytes, at, shapeCount) || shapeCount > (1u << 24)) {
+    ++stats_.rejected;
+    return Lookup::kRejected;
+  }
+  CellFracture cell;
+  cell.solutions.reserve(shapeCount);
+  cell.reports.reserve(shapeCount);
+  for (std::uint32_t i = 0; i < shapeCount; ++i) {
+    std::uint32_t recordLen = 0;
+    if (!getU32le(bytes, at, recordLen) || bytes.size() - at < recordLen) {
+      ++stats_.rejected;
+      return Lookup::kRejected;
+    }
+    ShapeRecord record;
+    if (!decodeShapeRecord(std::string_view(bytes).substr(at, recordLen),
+                           record)
+             .ok()) {
+      ++stats_.rejected;
+      return Lookup::kRejected;
+    }
+    at += recordLen;
+    cell.solutions.push_back(std::move(record.solution));
+    cell.reports.push_back(std::move(record.report));
+  }
+  if (at != bytes.size()) {  // trailing garbage: not an artifact we wrote
+    ++stats_.rejected;
+    return Lookup::kRejected;
+  }
+  out = std::move(cell);
+  ++stats_.hits;
+  return Lookup::kHit;
+}
+
+Status CellFractureCache::store(const std::string& key,
+                                const CellFracture& cell) {
+  if (cell.solutions.size() != cell.reports.size()) {
+    return Status(StatusCode::kInternal,
+                  "cell fracture has " +
+                      std::to_string(cell.solutions.size()) +
+                      " solutions but " + std::to_string(cell.reports.size()) +
+                      " reports");
+  }
+  std::string bytes = std::string(kMagic) + "\n" + key + "\n";
+  putU32le(bytes, static_cast<std::uint32_t>(cell.solutions.size()));
+  for (std::size_t i = 0; i < cell.solutions.size(); ++i) {
+    ShapeRecord record;
+    record.shapeIndex = static_cast<int>(i);  // cell-local index
+    record.solution = cell.solutions[i];
+    record.report = cell.reports[i];
+    const std::string encoded = encodeShapeRecord(record);
+    putU32le(bytes, static_cast<std::uint32_t>(encoded.size()));
+    bytes += encoded;
+  }
+  const std::string path = pathFor(key);
+  std::string hex;
+  Status status = atomicWriteFile(path, bytes, &hex);
+  if (!status.ok()) return status;
+  status = writeHashSidecar(path, hex);
+  if (!status.ok()) return status;
+  ++stats_.stored;
+  return {};
+}
+
+}  // namespace mbf

@@ -1,0 +1,94 @@
+// Persistent, content-addressed cell-fracture cache (DESIGN.md section
+// 17). A hierarchical run fractures each UNIQUE cell once; this cache
+// extends that leverage across runs: a cell's fracture result is stored
+// on disk under a SHA-256 key over its normalized cell-local geometry
+// plus the result-relevant fracture configuration, so a warm re-run (or
+// a run on a revision touching a few cells) fractures only cache
+// misses.
+//
+// Integrity: every cache artifact is written with the atomic-write
+// protocol (io/atomic_file) and carries a `.sha256` sidecar. A lookup
+// first verifies the sidecar, then checks the embedded key; any
+// mismatch — bit rot, a tampered byte, a truncation, a hash collision
+// in the file name — REJECTS the entry (counted separately from a plain
+// miss) and the caller re-fractures and overwrites. A cached result is
+// never trusted on file-name match alone.
+//
+// Determinism: solutions round trip bit-exactly (the cache reuses the
+// journal's binary ShapeRecord encoding — memcpy'd doubles, no text
+// formatting), so a warm run's output is byte-identical to the cold
+// run that populated the cache. The key deliberately EXCLUDES the
+// thread counts (results are byte-identical at any thread count, a
+// tested contract) and INCLUDES every other FractureParams field plus
+// method / strictness, so changing any result-relevant knob invalidates
+// the entry. Cells whose fracture degraded, was interrupted, or carries
+// a non-ok report are never stored — a time-budget degradation is
+// wall-clock dependent and must not be replayed as if it were the
+// shape's true result.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mdp/layout.h"
+#include "support/status.h"
+
+namespace mbf {
+
+/// A cell's fracture result in CELL-LOCAL coordinates: one solution and
+/// one report per shape of the cell, in groupRings order.
+struct CellFracture {
+  std::vector<Solution> solutions;
+  std::vector<ShapeReport> reports;
+};
+
+/// Content address of a cell fracture: SHA-256 over a version tag, the
+/// result-relevant BatchConfig fingerprint (every FractureParams field
+/// except the thread counts and the fault-injector pointer — an armed
+/// injector contributes a flag so injection runs never alias clean
+/// keys), and the cell's shapes (ring and vertex counts plus raw int32
+/// vertex coordinates). 64-char lowercase hex.
+std::string cellFractureKey(const std::vector<LayoutShape>& shapes,
+                            const BatchConfig& config);
+
+/// On-disk cache: one `<dir>/<key>.cell` artifact per cell plus its
+/// `.sha256` sidecar. Not thread-safe; the hierarchy driver does all
+/// cache I/O from the coordinating thread (fracturing, not cache I/O,
+/// is the parallel part).
+class CellFractureCache {
+ public:
+  enum class Lookup {
+    kHit,       ///< verified entry decoded; `out` is filled
+    kMiss,      ///< no entry on disk
+    kRejected,  ///< entry failed sidecar/key/decode checks; re-fracture
+  };
+
+  struct Stats {
+    int hits = 0;
+    int misses = 0;
+    int rejected = 0;  ///< integrity failures, never silently reused
+    int stored = 0;
+  };
+
+  explicit CellFractureCache(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Creates the cache directory (and parents) if absent.
+  Status prepare();
+
+  /// Looks up `key`; fills `out` only on kHit. A rejected entry stays on
+  /// disk until the caller store()s a fresh result over it.
+  Lookup load(const std::string& key, CellFracture& out);
+
+  /// Atomically writes the entry and its sidecar.
+  Status store(const std::string& key, const CellFracture& cell);
+
+  std::string pathFor(const std::string& key) const;
+  const std::string& dir() const { return dir_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  std::string dir_;
+  Stats stats_;
+};
+
+}  // namespace mbf

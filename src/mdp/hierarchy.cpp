@@ -1,94 +1,369 @@
 #include "mdp/hierarchy.h"
 
 #include <chrono>
+#include <limits>
 #include <unordered_map>
+#include <unordered_set>
+
+#include "mdp/cell_cache.h"
 
 namespace mbf {
 namespace {
 
-struct CellShots {
-  std::vector<Rect> shots;        // in cell-local coordinates
-  int shapeCount = 0;
-  std::int64_t failingPixels = 0;
+/// 64-bit composed placement offset (see io/gdsii.cpp: intermediate
+/// SREF/AREF sums overflow int32 long before the final placement does).
+struct Offset64 {
+  std::int64_t x = 0;
+  std::int64_t y = 0;
 };
 
-void expand(const GdsLibrary& lib,
-            const std::unordered_map<std::string, CellShots>& cache,
-            const GdsStructure& s, Point offset, int depth,
-            HierarchicalResult& out) {
-  if (depth > 8) return;  // matches flattenGds' cycle bound
-  const auto it = cache.find(s.name);
-  if (it != cache.end()) {
-    for (const Rect& shot : it->second.shots) {
-      out.shots.push_back(shot.translated(offset));
-    }
-    out.instantiatedShapes += it->second.shapeCount;
+/// One placement of a cell that carries geometry, in DFS order.
+struct CellInstance {
+  const GdsStructure* cell = nullptr;
+  Point offset;  ///< validated to keep the cell's geometry in int32
+};
+
+struct Expansion {
+  std::string top;
+  std::vector<CellInstance> instances;
+  std::unordered_set<const GdsStructure*> reachable;
+  std::int64_t visits = 0;  ///< cell placements materialised
+};
+
+std::string chainString(const std::vector<const GdsStructure*>& path,
+                        const std::string& repeat = {}) {
+  std::string s;
+  for (const GdsStructure* node : path) {
+    if (!s.empty()) s += " -> ";
+    s += node->name;
   }
+  if (!repeat.empty()) {
+    if (!s.empty()) s += " -> ";
+    s += repeat;
+  }
+  return s;
+}
+
+/// Union bbox of a structure's OWN polygons (children are range-checked
+/// at their own visits).
+Rect ownBbox(const GdsStructure& s) {
+  Rect box = s.polygons.front().polygon.bbox();
+  for (std::size_t i = 1; i < s.polygons.size(); ++i) {
+    const Rect b = s.polygons[i].polygon.bbox();
+    box.x0 = std::min(box.x0, b.x0);
+    box.y0 = std::min(box.y0, b.y0);
+    box.x1 = std::max(box.x1, b.x1);
+    box.y1 = std::max(box.y1, b.y1);
+  }
+  return box;
+}
+
+Status expandInto(const GdsLibrary& lib, const GdsStructure& s,
+                  Offset64 offset, std::vector<const GdsStructure*>& path,
+                  std::unordered_map<const GdsStructure*, Rect>& bboxes,
+                  Expansion& out) {
+  for (const GdsStructure* onPath : path) {
+    if (onPath == &s) {
+      return Status(StatusCode::kInvalidArgument,
+                    "reference cycle in GDS hierarchy: " +
+                        chainString(path, s.name));
+    }
+  }
+  if (static_cast<int>(path.size()) >= kGdsMaxDepth) {
+    return Status(StatusCode::kInvalidArgument,
+                  "GDS hierarchy deeper than " +
+                      std::to_string(kGdsMaxDepth) + " levels at cell chain " +
+                      chainString(path, s.name));
+  }
+  path.push_back(&s);
+  out.reachable.insert(&s);
+  ++out.visits;
+
+  if (!s.polygons.empty()) {
+    auto it = bboxes.find(&s);
+    if (it == bboxes.end()) it = bboxes.emplace(&s, ownBbox(s)).first;
+    const Rect& box = it->second;
+    constexpr std::int64_t kMin = std::numeric_limits<std::int32_t>::min();
+    constexpr std::int64_t kMax = std::numeric_limits<std::int32_t>::max();
+    if (offset.x + box.x0 < kMin || offset.y + box.y0 < kMin ||
+        offset.x + box.x1 > kMax || offset.y + box.y1 > kMax) {
+      Status status(StatusCode::kInvalidArgument,
+                    "placement of cell '" + s.name + "' at offset (" +
+                        std::to_string(offset.x) + ", " +
+                        std::to_string(offset.y) +
+                        ") leaves the 32-bit coordinate space (chain " +
+                        chainString(path) + ")");
+      path.pop_back();
+      return status;
+    }
+    out.instances.push_back(
+        CellInstance{&s,
+                     Point{static_cast<std::int32_t>(offset.x),
+                           static_cast<std::int32_t>(offset.y)}});
+  }
+
   for (const GdsSref& ref : s.srefs) {
     const GdsStructure* child = lib.findStructure(ref.structName);
-    if (child && child != &s) {
-      expand(lib, cache, *child, offset + ref.offset, depth + 1, out);
+    if (!child) continue;  // subset extraction: missing cells are skipped
+    const Offset64 at{offset.x + ref.offset.x, offset.y + ref.offset.y};
+    Status status = expandInto(lib, *child, at, path, bboxes, out);
+    if (!status.ok()) {
+      path.pop_back();
+      return status;
     }
   }
   for (const GdsAref& ref : s.arefs) {
     const GdsStructure* child = lib.findStructure(ref.structName);
-    if (!child || child == &s) continue;
+    if (!child) continue;
+    if (static_cast<std::int64_t>(ref.rows) * ref.columns > (1 << 22)) {
+      Status status(StatusCode::kInvalidArgument,
+                    "AREF of cell '" + ref.structName + "' declares " +
+                        std::to_string(ref.columns) + " x " +
+                        std::to_string(ref.rows) +
+                        " instances (cap 2^22) in cell '" + s.name + "'");
+      path.pop_back();
+      return status;
+    }
     for (int r = 0; r < ref.rows; ++r) {
       for (int c = 0; c < ref.columns; ++c) {
-        const Point at{
-            ref.origin.x + c * ref.columnPitch.x + r * ref.rowPitch.x,
-            ref.origin.y + c * ref.columnPitch.y + r * ref.rowPitch.y};
-        expand(lib, cache, *child, offset + at, depth + 1, out);
+        // int64 throughout: c,r reach 65534 and the pitches are int32,
+        // so the products alone can exceed int32 by a factor of 2^16.
+        const Offset64 at{
+            offset.x + ref.origin.x +
+                static_cast<std::int64_t>(c) * ref.columnPitch.x +
+                static_cast<std::int64_t>(r) * ref.rowPitch.x,
+            offset.y + ref.origin.y +
+                static_cast<std::int64_t>(c) * ref.columnPitch.y +
+                static_cast<std::int64_t>(r) * ref.rowPitch.y};
+        Status status = expandInto(lib, *child, at, path, bboxes, out);
+        if (!status.ok()) {
+          path.pop_back();
+          return status;
+        }
       }
     }
   }
+  path.pop_back();
+  return {};
+}
+
+Status expandGds(const GdsLibrary& lib, const std::string& topStruct,
+                 Expansion& out) {
+  std::string topName = topStruct;
+  if (topName.empty()) {
+    Status status = findGdsTopStructure(lib, topName);
+    if (!status.ok()) return status;
+  }
+  const GdsStructure* top = lib.findStructure(topName);
+  if (!top) {
+    return Status(StatusCode::kInvalidArgument,
+                  "top structure '" + topName + "' not found in library");
+  }
+  out.top = topName;
+  std::vector<const GdsStructure*> path;
+  std::unordered_map<const GdsStructure*, Rect> bboxes;
+  return expandInto(lib, *top, {0, 0}, path, bboxes, out);
+}
+
+LayoutShape translatedShape(const LayoutShape& shape, Point offset) {
+  LayoutShape t = shape;
+  for (Polygon& ring : t.rings) ring.translate(offset);
+  return t;
 }
 
 }  // namespace
 
-HierarchicalResult fractureGdsHierarchical(const GdsLibrary& lib,
-                                           const BatchConfig& config,
-                                           const std::string& topStruct) {
-  const auto start = std::chrono::steady_clock::now();
-  HierarchicalResult result;
+Status hierarchicalInstanceShapes(const GdsLibrary& lib,
+                                  const std::string& topStruct,
+                                  std::vector<LayoutShape>& out,
+                                  std::string* resolvedTop) {
+  out.clear();
+  Expansion expansion;
+  Status status = expandGds(lib, topStruct, expansion);
+  if (!status.ok()) return status;
+  if (resolvedTop != nullptr) *resolvedTop = expansion.top;
 
-  // Fracture every structure's own polygons once, cell-locally.
-  std::unordered_map<std::string, CellShots> cache;
-  for (const GdsStructure& s : lib.structures) {
-    if (s.polygons.empty()) {
-      cache.emplace(s.name, CellShots{});
+  // Group each distinct cell once; instances reuse the grouping.
+  std::unordered_map<const GdsStructure*, std::vector<LayoutShape>> byCell;
+  for (const CellInstance& inst : expansion.instances) {
+    auto it = byCell.find(inst.cell);
+    if (it == byCell.end()) {
+      std::vector<Polygon> rings;
+      rings.reserve(inst.cell->polygons.size());
+      for (const GdsPolygon& gp : inst.cell->polygons) {
+        rings.push_back(gp.polygon);
+      }
+      it = byCell.emplace(inst.cell, groupRings(std::move(rings))).first;
+    }
+    for (const LayoutShape& shape : it->second) {
+      out.push_back(translatedShape(shape, inst.offset));
+    }
+  }
+  return {};
+}
+
+Status fractureGdsHierarchical(const GdsLibrary& lib,
+                               const BatchConfig& config,
+                               const HierOptions& options,
+                               HierarchicalResult& out) {
+  const auto start = std::chrono::steady_clock::now();
+  out = HierarchicalResult{};
+
+  Expansion expansion;
+  Status status = expandGds(lib, options.topStruct, expansion);
+  if (!status.ok()) return status;
+  out.topStruct = expansion.top;
+  out.reachableCells = static_cast<int>(expansion.reachable.size());
+  out.instancesExpanded = expansion.visits;
+
+  // One entry per CONTENT key: two cells with identical geometry (under
+  // identical parameters) share one fracture and one cache slot.
+  struct Entry {
+    std::vector<LayoutShape> shapes;  ///< cell-local, groupRings order
+    std::string key;
+    CellFracture fracture;
+    bool fractured = false;  ///< filled by this run's miss batch
+  };
+  std::vector<Entry> entries;
+  std::unordered_map<const GdsStructure*, int> cellToEntry;
+  std::unordered_map<std::string, int> keyToEntry;
+  for (const CellInstance& inst : expansion.instances) {
+    if (cellToEntry.count(inst.cell) != 0) continue;
+    std::vector<Polygon> rings;
+    rings.reserve(inst.cell->polygons.size());
+    for (const GdsPolygon& gp : inst.cell->polygons) {
+      rings.push_back(gp.polygon);
+    }
+    std::vector<LayoutShape> shapes = groupRings(std::move(rings));
+    const std::string key = cellFractureKey(shapes, config);
+    const auto known = keyToEntry.find(key);
+    if (known != keyToEntry.end()) {
+      cellToEntry.emplace(inst.cell, known->second);
       continue;
     }
-    std::vector<Polygon> rings;
-    rings.reserve(s.polygons.size());
-    for (const GdsPolygon& gp : s.polygons) rings.push_back(gp.polygon);
-    const std::vector<LayoutShape> shapes = groupRings(std::move(rings));
-    const BatchResult batch = fractureLayout(shapes, config);
-
-    CellShots cell;
-    cell.shapeCount = static_cast<int>(shapes.size());
-    for (const Solution& sol : batch.solutions) {
-      cell.shots.insert(cell.shots.end(), sol.shots.begin(),
-                        sol.shots.end());
-      cell.failingPixels += sol.failingPixels();
-    }
-    result.uniqueShapesFractured += cell.shapeCount;
-    result.uniqueFailingPixels += cell.failingPixels;
-    cache.emplace(s.name, std::move(cell));
+    Entry entry;
+    entry.shapes = std::move(shapes);
+    entry.key = key;
+    const int index = static_cast<int>(entries.size());
+    entries.push_back(std::move(entry));
+    keyToEntry.emplace(key, index);
+    cellToEntry.emplace(inst.cell, index);
   }
 
-  // Expand the reference tree from the top structure.
-  const GdsStructure* top = topStruct.empty()
-                                ? (lib.structures.empty()
-                                       ? nullptr
-                                       : &lib.structures.front())
-                                : lib.findStructure(topStruct);
-  if (top) expand(lib, cache, *top, {0, 0}, 0, result);
+  // Persistent-cache lookups (hits fill entries directly).
+  CellFractureCache cache(options.cellCacheDir);
+  const bool useCache = !options.cellCacheDir.empty();
+  if (useCache) {
+    status = cache.prepare();
+    if (!status.ok()) return status;
+  }
+  std::vector<int> missEntries;
+  for (int i = 0; i < static_cast<int>(entries.size()); ++i) {
+    if (useCache &&
+        cache.load(entries[i].key, entries[i].fracture) ==
+            CellFractureCache::Lookup::kHit) {
+      continue;
+    }
+    missEntries.push_back(i);
+  }
 
-  result.wallSeconds =
+  // Fracture every missing cell's shapes as ONE batch on the
+  // work-stealing pool: cells are independent, so their shapes schedule
+  // like any flat layout, and the per-shape budgets / degradation
+  // ladder in fractureShapeGuarded act as per-cell budgets here.
+  BatchResult missBatch;
+  if (!missEntries.empty()) {
+    std::vector<LayoutShape> missShapes;
+    for (const int index : missEntries) {
+      missShapes.insert(missShapes.end(), entries[index].shapes.begin(),
+                        entries[index].shapes.end());
+    }
+    missBatch = fractureLayout(missShapes, config);
+    std::size_t at = 0;
+    for (const int index : missEntries) {
+      Entry& entry = entries[index];
+      const std::size_t n = entry.shapes.size();
+      entry.fracture.solutions.assign(
+          missBatch.solutions.begin() + static_cast<std::ptrdiff_t>(at),
+          missBatch.solutions.begin() + static_cast<std::ptrdiff_t>(at + n));
+      entry.fracture.reports.assign(
+          missBatch.reports.begin() + static_cast<std::ptrdiff_t>(at),
+          missBatch.reports.begin() + static_cast<std::ptrdiff_t>(at + n));
+      entry.fractured = true;
+      at += n;
+    }
+    out.uniqueShapesFractured = static_cast<int>(missShapes.size());
+  }
+  out.uniqueCellsFractured = static_cast<int>(missEntries.size());
+  if (useCache) {
+    out.cellCacheHits = cache.stats().hits;
+    out.cellCacheMisses = cache.stats().misses;
+    out.cellCacheRejected = cache.stats().rejected;
+  } else {
+    out.cellCacheMisses = static_cast<int>(missEntries.size());
+  }
+  for (const Entry& entry : entries) {
+    for (const Solution& sol : entry.fracture.solutions) {
+      out.uniqueFailingPixels += sol.failingPixels();
+    }
+  }
+
+  // Store freshly fractured cells — but only CLEAN ones. A degraded or
+  // interrupted result is wall-clock dependent (time budgets) or
+  // unfinished; replaying it from the cache would freeze an accident of
+  // this run's scheduling into every future run.
+  Status storeStatus;
+  if (useCache) {
+    for (const int index : missEntries) {
+      const Entry& entry = entries[index];
+      bool clean = true;
+      for (const ShapeReport& report : entry.fracture.reports) {
+        if (!report.status.ok() || report.degraded || report.interrupted) {
+          clean = false;
+          break;
+        }
+      }
+      if (!clean) continue;
+      const Status s = cache.store(entry.key, entry.fracture);
+      if (!s.ok() && storeStatus.ok()) storeStatus = s;
+    }
+  }
+
+  // Expand: translate each instance's cell-local shapes and solutions
+  // into top coordinates, in DFS order — the order a flat run sees.
+  for (const CellInstance& inst : expansion.instances) {
+    const Entry& entry = entries[static_cast<std::size_t>(
+        cellToEntry.at(inst.cell))];
+    for (std::size_t i = 0; i < entry.shapes.size(); ++i) {
+      out.instanceShapes.push_back(
+          translatedShape(entry.shapes[i], inst.offset));
+      Solution sol = entry.fracture.solutions.size() > i
+                         ? entry.fracture.solutions[i]
+                         : Solution{};
+      for (Rect& shot : sol.shots) shot = shot.translated(inst.offset);
+      ShapeReport report = entry.fracture.reports.size() > i
+                               ? entry.fracture.reports[i]
+                               : ShapeReport{};
+      if (!report.status.ok()) {
+        // Cell-local batch indices mean nothing in the expanded layout;
+        // re-stamp with the instance shape's global index.
+        report.status.withShape(
+            static_cast<int>(out.batch.solutions.size()) +
+            config.shapeIndexBase);
+      }
+      out.batch.solutions.push_back(std::move(sol));
+      out.batch.reports.push_back(std::move(report));
+    }
+  }
+  mergeBatchAggregates(out.batch, {});
+  // mergeBatchAggregates resets refinerStats (per-instance stats don't
+  // exist); the run's true profiling is the miss batch's.
+  out.batch.refinerStats = missBatch.refinerStats;
+  out.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
-  return result;
+  out.batch.wallSeconds = out.wallSeconds;
+  return storeStatus;
 }
 
 }  // namespace mbf

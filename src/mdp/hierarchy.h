@@ -2,7 +2,18 @@
 // fractured ONCE and its shot list instantiated at every reference
 // offset. This is the leverage that keeps full-mask MDP tractable
 // ("a mask contains billions of polygons", paper section 2 -- but only
-// thousands of unique cells).
+// thousands of unique cells), and with the persistent cell-fracture
+// cache (mdp/cell_cache) it extends across runs: a warm re-run
+// fractures only the cells whose geometry or parameters changed.
+//
+// Correctness contract: fracturing is invariant under whole-pixel
+// (integer-nm) translation — pinned by the audit layer's metamorphic
+// test — so a cell's cell-local solution translated to an instance
+// offset is bitwise the solution a flat run would have produced there.
+// The instance expansion mirrors flattenGdsChecked's traversal order
+// (own polygons, then SREFs, then AREFs, row-major), so the hierarchical
+// shape list lines up one-to-one with the flattened one whenever
+// instances don't interleave ring containment.
 #pragma once
 
 #include <cstdint>
@@ -11,32 +22,91 @@
 
 #include "io/gdsii.h"
 #include "mdp/layout.h"
+#include "support/status.h"
 
 namespace mbf {
 
-struct HierarchicalResult {
-  /// All shots, translated into top-structure coordinates, writer-ready.
-  std::vector<Rect> shots;
-  /// Shapes actually fractured (unique across the cell library).
-  int uniqueShapesFractured = 0;
-  /// Shape instances the shots cover after expansion.
-  int instantiatedShapes = 0;
-  /// Failing pixels summed over unique fractures (each instance prints
-  /// identically, so per-instance violations scale by the instance count).
-  std::int64_t uniqueFailingPixels = 0;
-  double wallSeconds = 0.0;
-
-  /// The flat-equivalent shot count a non-hierarchical flow would have
-  /// produced; shots.size() == flatShotCount (instancing repeats shots),
-  /// the saving is in *fracture work*, not shot count.
-  int flatShotCount() const { return static_cast<int>(shots.size()); }
+struct HierOptions {
+  /// Top structure; empty auto-detects via findGdsTopStructure.
+  std::string topStruct;
+  /// Persistent cell-fracture cache directory; empty = in-memory
+  /// dedupe only (each unique cell still fractures once per run).
+  std::string cellCacheDir;
 };
 
-/// Fractures `lib` hierarchically starting at `topStruct` (empty = first
-/// structure). Every structure's polygons are grouped into shapes and
-/// fractured once; SREF expansion then translates the cached shot lists.
-HierarchicalResult fractureGdsHierarchical(const GdsLibrary& lib,
-                                           const BatchConfig& config,
-                                           const std::string& topStruct = {});
+struct HierarchicalResult {
+  /// One entry per instantiated shape, in expansion (DFS) order,
+  /// translated into top coordinates — the same list a flat run
+  /// fractures, which is what lets --verify re-derive the layout.
+  std::vector<LayoutShape> instanceShapes;
+  /// Parallel to instanceShapes: per-instance solutions (shots in top
+  /// coordinates) and reports, merged aggregates, and the refiner stats
+  /// of the cells actually fractured this run.
+  BatchResult batch;
+
+  /// The resolved top structure name.
+  std::string topStruct;
+
+  /// Cells reachable from the top (including polygon-less wrappers).
+  int reachableCells = 0;
+  /// Distinct content keys that had to be fractured this run (cache
+  /// misses + rejected entries; 0 on a fully warm run).
+  int uniqueCellsFractured = 0;
+  /// Shapes fractured this run (summed over fractured unique cells).
+  int uniqueShapesFractured = 0;
+  /// Failing pixels summed over unique fractures (each instance prints
+  /// identically, so per-instance violations scale by instance count).
+  std::int64_t uniqueFailingPixels = 0;
+  /// Persistent-cache outcome counts (all zero when no cache dir).
+  int cellCacheHits = 0;
+  int cellCacheMisses = 0;
+  int cellCacheRejected = 0;
+  /// Cell placements materialised during expansion.
+  std::int64_t instancesExpanded = 0;
+  double wallSeconds = 0.0;
+
+  std::int64_t instantiatedShapes() const {
+    return static_cast<std::int64_t>(instanceShapes.size());
+  }
+
+  /// The flat-equivalent shot count a non-hierarchical flow would have
+  /// produced (instancing repeats shots — the saving is in *fracture
+  /// work*, not shot count). int64: shot counts at full-mask instance
+  /// multiplicity overflow 32 bits.
+  std::int64_t flatShotCount() const {
+    std::int64_t n = 0;
+    for (const Solution& sol : batch.solutions) {
+      n += static_cast<std::int64_t>(sol.shots.size());
+    }
+    return n;
+  }
+};
+
+/// Reconstructs the instantiated shape list (top coordinates, expansion
+/// order) without fracturing anything — the layout a flat run over the
+/// same GDS would see. Used by the --verify gate to re-derive a
+/// hierarchical run's input. `resolvedTop`, when non-null, receives the
+/// top structure name actually used. Errors match fractureGdsHierarchical
+/// (unresolvable top, cycles, depth, out-of-range placements).
+Status hierarchicalInstanceShapes(const GdsLibrary& lib,
+                                  const std::string& topStruct,
+                                  std::vector<LayoutShape>& out,
+                                  std::string* resolvedTop = nullptr);
+
+/// Fractures `lib` hierarchically from the resolved top: groups each
+/// REACHABLE cell's polygons into shapes, dedupes cells by content key,
+/// consults the persistent cache when options.cellCacheDir is set,
+/// fractures all missing cells in one batch over the work-stealing pool
+/// (per-shape budgets and degradation ladder apply per cell shape), and
+/// expands instances by translating the cell-local solutions. Traversal
+/// errors (no unique top, reference cycle, depth overflow, placement
+/// outside int32) return a Status naming the cell chain; `out` then
+/// holds whatever was computed and must not be shipped. Cache I/O
+/// failures on store are returned after the result is complete — the
+/// fracture itself is still valid.
+Status fractureGdsHierarchical(const GdsLibrary& lib,
+                               const BatchConfig& config,
+                               const HierOptions& options,
+                               HierarchicalResult& out);
 
 }  // namespace mbf

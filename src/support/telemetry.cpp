@@ -672,6 +672,8 @@ std::string buildRunManifest(const RunManifestInfo& info,
   w.key("strict").value(!config.allowDegradation);
   w.key("shape_index_base").value(config.shapeIndexBase);
   w.key("ordered").value(info.ordered);
+  w.key("hier").value(info.hier.enabled);
+  w.key("top_cell").value(info.hier.topCell);
   w.key("fingerprint").value(info.fingerprint);
   w.endObject();
 
@@ -729,6 +731,31 @@ std::string buildRunManifest(const RunManifestInfo& info,
   w.key("mean_area").value(shotStats.meanArea);
   w.key("overlap_fraction").value(shotStats.overlapFraction);
   w.key("total_shot_area").value(shotStats.totalShotArea);
+  w.endObject();
+
+  // Hierarchy leverage: what --hier saved. "fracture_work_avoided" is
+  // the instantiated shapes the run did NOT fracture individually —
+  // instancing plus the persistent cell cache account for all of it.
+  w.key("hier").beginObject();
+  w.key("enabled").value(info.hier.enabled);
+  w.key("top_cell").value(info.hier.topCell);
+  w.key("cell_cache_dir").value(info.hier.cacheDir);
+  w.key("cells_reachable").value(info.hier.reachableCells);
+  w.key("unique_cells_fractured").value(info.hier.uniqueCellsFractured);
+  w.key("unique_shapes_fractured").value(info.hier.uniqueShapesFractured);
+  w.key("cache_hits").value(info.hier.cacheHits);
+  w.key("cache_misses").value(info.hier.cacheMisses);
+  w.key("cache_rejected").value(info.hier.cacheRejected);
+  w.key("instances_expanded").value(info.hier.instancesExpanded);
+  w.key("instantiated_shapes")
+      .value(info.hier.enabled
+                 ? static_cast<std::int64_t>(result.solutions.size())
+                 : 0);
+  w.key("fracture_work_avoided")
+      .value(info.hier.enabled
+                 ? static_cast<std::int64_t>(result.solutions.size()) -
+                       info.hier.uniqueShapesFractured
+                 : 0);
   w.endObject();
 
   w.key("recovery").beginObject();

@@ -290,6 +290,23 @@ struct RunManifestInfo {
   /// --order was active: shot order in the artifact is post-processed,
   /// so audited costs are not bitwise comparable to the claims.
   bool ordered = false;
+  /// --hier run context. `enabled` gates nothing structurally — the
+  /// manifest always carries the "hier" block (schema stability) — but
+  /// tells --verify to re-derive the layout hierarchically from the GDS
+  /// via config.top_cell instead of flattening it.
+  struct HierInfo {
+    bool enabled = false;
+    std::string topCell;   ///< resolved top structure
+    std::string cacheDir;  ///< persistent cell cache; empty = none
+    int reachableCells = 0;
+    int uniqueCellsFractured = 0;
+    int uniqueShapesFractured = 0;
+    int cacheHits = 0;
+    int cacheMisses = 0;
+    int cacheRejected = 0;
+    std::int64_t instancesExpanded = 0;
+  };
+  HierInfo hier;
 };
 
 /// Builds the run-manifest JSON document (schema "mbf-run-manifest"

@@ -75,15 +75,45 @@ TEST(GdsiiHierTest, NestedReferences) {
   EXPECT_EQ(flat[1].polygon.bbox(), Rect(1000, 1050, 1010, 1060));
 }
 
-TEST(GdsiiHierTest, CycleIsBounded) {
+TEST(GdsiiHierTest, CycleIsAnError) {
   GdsLibrary lib;
   GdsStructure a{"A", {squarePoly(5)}, {{"B", {10, 0}}}, {}};
   GdsStructure b{"B", {squarePoly(5)}, {{"A", {10, 0}}}, {}};
   lib.structures = {a, b};
-  // Must terminate (depth limit) and produce a bounded polygon count.
-  const std::vector<GdsPolygon> flat = flattenGds(lib);
-  EXPECT_GE(flat.size(), 1u);
-  EXPECT_LE(flat.size(), 20u);
+  // Checked flatten: the cycle is a named diagnostic, not silent
+  // truncation.
+  std::vector<GdsPolygon> flat;
+  const Status st = flattenGdsChecked(lib, "A", flat);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("cycle"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("A -> B -> A"), std::string::npos)
+      << st.message();
+  // With no explicit top there is no root at all (every structure is
+  // referenced): detection reports the cycle up front.
+  std::string top;
+  EXPECT_FALSE(findGdsTopStructure(lib, top).ok());
+  // The legacy best-effort wrapper still terminates on cyclic input.
+  EXPECT_LE(flattenGds(lib).size(), 20u);
+}
+
+TEST(GdsiiHierTest, TopStructureDetection) {
+  // Real GDS files list the top cell last; detection must not rely on
+  // structure order.
+  GdsLibrary lib = hierLib();
+  std::swap(lib.structures[0], lib.structures[1]);  // CELL first, TOP last
+  std::string top;
+  ASSERT_TRUE(findGdsTopStructure(lib, top).ok());
+  EXPECT_EQ(top, "TOP");
+  // flattenGds with no name now flattens the detected root, not
+  // structures.front().
+  EXPECT_EQ(flattenGds(lib).size(), 4u);
+
+  // Two unreferenced structures: ambiguous, names both candidates.
+  lib.structures.push_back(GdsStructure{"TOP2", {squarePoly(5)}, {}, {}});
+  const Status st = findGdsTopStructure(lib, top);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("TOP2"), std::string::npos) << st.message();
 }
 
 TEST(GdsiiHierTest, MissingReferenceIgnored) {
@@ -143,9 +173,11 @@ TEST(GdsiiHierTest, ArefHierarchicalFracture) {
   GdsStructure top{"TOP", {}, {}, {aref}};
   lib.structures = {top, cell};
 
-  const HierarchicalResult r = fractureGdsHierarchical(lib, BatchConfig{});
+  HierarchicalResult r;
+  ASSERT_TRUE(
+      fractureGdsHierarchical(lib, BatchConfig{}, HierOptions{}, r).ok());
   EXPECT_EQ(r.uniqueShapesFractured, 1);
-  EXPECT_EQ(r.instantiatedShapes, 12);
+  EXPECT_EQ(r.instantiatedShapes(), 12);
   EXPECT_EQ(r.flatShotCount(), 12);  // one shot per isolated square
 }
 

@@ -1,0 +1,385 @@
+// Hierarchical-path drills: process-level verification of mbf_cli
+// --hier and the persistent cell-fracture cache against the real
+// binary. Run as:
+//
+//   mbf_hier_drill <path-to-mbf_cli>
+//
+// Drills:
+//   1. Equivalence: on an AREF-heavy layout (5 unique cells, 51
+//      instances, orphan cell, TOP listed last) the cold --hier shot
+//      multiset is identical to the flat run's, and --hier output is
+//      byte-identical at 1, 4 and 8 worker threads.
+//   2. Cache accounting: the cold manifest reports one miss per unique
+//      reachable cell and zero hits; the orphan cell is neither
+//      reachable nor fractured.
+//   3. Warm re-run: 100% cache hits, zero cells fractured, .shots
+//      byte-identical to the cold run, and the run passes `mbf_cli
+//      --verify`.
+//   4. Tamper: a byte flip in one cached .cell artifact is rejected
+//      (re-fractured, never silently reused) and the output stays
+//      byte-identical.
+//   5. Invalidation: changing one fracture parameter (--gamma) misses
+//      every cell; the repeat under the new key hits every cell.
+//   6. Corpus: cyclic, over-deep and coordinate-overflowing GDS inputs
+//      exit 3 with diagnostics naming the defect; an ambiguous root
+//      without --top-cell names the candidates.
+//   7. --selfcheck audits hierarchically produced shots clean.
+//
+// Standalone driver (no gtest), same pattern as mbf_verify_drill: it
+// exercises the CLI process boundary, not library internals.
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "io/gdsii.h"
+#include "io/poly_io.h"
+
+namespace {
+
+int g_failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::printf("%-62s %s\n", what.c_str(), ok ? "ok" : "FAIL");
+  if (!ok) ++g_failures;
+}
+
+std::string readBytes(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+}
+
+bool writeBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return static_cast<bool>(os);
+}
+
+/// Runs mbf_cli to completion; returns the exit code, -2 on signal death.
+int runCli(const std::string& cli, const std::vector<std::string>& args,
+           std::string* capture = nullptr) {
+  std::string cmd = "'" + cli + "'";
+  for (const std::string& a : args) cmd += " '" + a + "'";
+  if (capture != nullptr) {
+    const std::string out = "hier_drill_tmp/cli_capture.txt";
+    cmd += " > " + out + " 2>&1";
+    const int raw = std::system(cmd.c_str());
+    *capture = readBytes(out);
+    if (raw == -1) return -1;
+    if (!WIFEXITED(raw)) return -2;
+    return WEXITSTATUS(raw);
+  }
+  cmd += " > /dev/null 2>&1";
+  const int raw = std::system(cmd.c_str());
+  if (raw == -1) return -1;
+  if (!WIFEXITED(raw)) return -2;
+  return WEXITSTATUS(raw);
+}
+
+/// The shot multiset of a .shots file: every "x0 y0 x1 y1" line, sorted.
+std::vector<std::tuple<int, int, int, int>> shotMultiset(
+    const std::string& path) {
+  std::ifstream is(path);
+  std::vector<std::tuple<int, int, int, int>> out;
+  for (const mbf::Rect& r : mbf::readShots(is)) {
+    out.emplace_back(r.x0, r.y0, r.x1, r.y1);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+bool writeGdsFile(const std::string& path, const mbf::GdsLibrary& lib) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) return false;
+  mbf::writeGds(os, lib);
+  return static_cast<bool>(os);
+}
+
+mbf::GdsPolygon poly(std::initializer_list<mbf::Point> pts) {
+  mbf::GdsPolygon p;
+  p.polygon = mbf::Polygon(pts);
+  return p;
+}
+
+mbf::GdsAref aref(const std::string& name, mbf::Point origin, int cols,
+                  int rows, int pitch) {
+  mbf::GdsAref a;
+  a.structName = name;
+  a.origin = origin;
+  a.columns = cols;
+  a.rows = rows;
+  a.columnPitch = {pitch, 0};
+  a.rowPitch = {0, pitch};
+  return a;
+}
+
+/// The drill layout: 5 unique cells instantiated 51 times through four
+/// AREFs and a run of SREFs, plus an unreferenced ORPHAN cell. TOP is
+/// listed LAST — real GDS files do that, and the old front()-default
+/// top pick would have fractured a leaf cell instead.
+mbf::GdsLibrary drillLib() {
+  mbf::GdsLibrary lib;
+  mbf::GdsStructure c0{"C0", {poly({{0, 0}, {60, 0}, {60, 60}, {0, 60}})},
+                       {}, {}};
+  mbf::GdsStructure c1{
+      "C1",
+      {poly({{0, 0}, {80, 0}, {80, 30}, {30, 30}, {30, 80}, {0, 80}})},
+      {}, {}};
+  mbf::GdsStructure c2{
+      "C2", {poly({{0, 0}, {120, 0}, {120, 40}, {0, 40}})}, {}, {}};
+  mbf::GdsStructure c3{"C3",
+                       {poly({{0, 0}, {90, 0}, {90, 30}, {60, 30}, {60, 90},
+                              {30, 90}, {30, 30}, {0, 30}})},
+                       {}, {}};
+  mbf::GdsStructure c4{
+      "C4", {poly({{0, 0}, {50, 0}, {50, 100}, {0, 100}})}, {}, {}};
+  mbf::GdsStructure orphan{
+      "ORPHAN", {poly({{0, 0}, {70, 0}, {70, 70}, {0, 70}})}, {}, {}};
+  mbf::GdsStructure top{"TOP", {}, {}, {}};
+  top.arefs.push_back(aref("C0", {0, 0}, 6, 2, 500));          // 12
+  top.arefs.push_back(aref("C1", {0, 100000}, 3, 3, 500));     // 9
+  top.arefs.push_back(aref("C2", {0, 200000}, 5, 2, 500));     // 10
+  top.arefs.push_back(aref("C3", {0, 300000}, 2, 5, 500));     // 10
+  for (int i = 0; i < 10; ++i) {                               // 10
+    top.srefs.push_back({"C4", {i * 500, 400000}});
+  }
+  lib.structures = {c0, c1, c2, orphan, c3, c4, top};
+  return lib;
+}
+
+/// A linear chain LEVEL0 -> ... -> LEVEL(depth-1), leaf owns a square.
+mbf::GdsLibrary chainLib(int depth) {
+  mbf::GdsLibrary lib;
+  for (int i = 0; i < depth; ++i) {
+    mbf::GdsStructure s;
+    s.name = "LEVEL" + std::to_string(i);
+    if (i + 1 < depth) {
+      s.srefs.push_back({"LEVEL" + std::to_string(i + 1), {10, 0}});
+    } else {
+      s.polygons.push_back(poly({{0, 0}, {40, 0}, {40, 40}, {0, 40}}));
+    }
+    lib.structures.push_back(std::move(s));
+  }
+  return lib;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::cerr << "usage: mbf_hier_drill <path-to-mbf_cli>\n";
+    return 2;
+  }
+  const std::string cli = argv[1];
+  const std::string dir = "hier_drill_tmp";
+  std::system(("rm -rf '" + dir + "' && mkdir -p '" + dir + "'").c_str());
+
+  const std::string input = dir + "/layout.gds";
+  if (!writeGdsFile(input, drillLib())) {
+    std::cerr << "cannot write " << input << "\n";
+    return 2;
+  }
+  const std::string cache = dir + "/cell_cache";
+
+  // --- Drill 1: flat vs hier equivalence, thread independence -----------
+  const std::string flatShots = dir + "/flat.shots";
+  check(runCli(cli, {input, flatShots, "--top-cell=TOP"}) == 0,
+        "flat .gds run exits 0");
+
+  const std::string hierShots = dir + "/hier.shots";
+  const std::string coldJson = dir + "/cold.json";
+  {
+    std::string log;
+    check(runCli(cli,
+                 {input, hierShots, "--hier", "--top-cell=TOP",
+                  "--cell-cache=" + cache, "--metrics-json=" + coldJson},
+                 &log) == 0,
+          "cold --hier run exits 0");
+    check(log.find("hier: top 'TOP'") != std::string::npos,
+          "hier summary names the resolved top");
+  }
+  check(!shotMultiset(flatShots).empty() &&
+            shotMultiset(hierShots) == shotMultiset(flatShots),
+        "hier shot multiset == flat shot multiset");
+
+  for (const int threads : {4, 8}) {
+    const std::string t = std::to_string(threads);
+    const std::string shots = dir + "/hier_t" + t + ".shots";
+    // Fresh runs without the cache: proves the hier path itself, not
+    // cache replay, is thread-count independent.
+    check(runCli(cli, {input, shots, "--hier", "--top-cell=TOP",
+                       "--threads=" + t}) == 0,
+          "--hier --threads=" + t + " exits 0");
+    check(readBytes(shots) == readBytes(hierShots),
+          "--threads=" + t + " output byte-identical to serial hier");
+  }
+
+  // --- Drill 2: cold-run cache accounting -------------------------------
+  {
+    const std::string manifest = readBytes(coldJson);
+    check(manifest.find("\"cells_reachable\": 6") != std::string::npos,
+          "cold manifest: 6 reachable cells (orphan excluded)");
+    check(manifest.find("\"unique_cells_fractured\": 5") != std::string::npos,
+          "cold manifest: 5 unique cells fractured");
+    check(manifest.find("\"cache_hits\": 0") != std::string::npos,
+          "cold manifest: zero cache hits");
+    check(manifest.find("\"cache_misses\": 5") != std::string::npos,
+          "cold manifest: one miss per unique cell");
+    check(manifest.find("\"instantiated_shapes\": 51") != std::string::npos,
+          "cold manifest: 51 instantiated shapes");
+    check(manifest.find("\"fracture_work_avoided\": 46") != std::string::npos,
+          "cold manifest: flat-equivalent work avoided = 46");
+  }
+  check(runCli(cli, {"--verify", coldJson}) == 0,
+        "cold hier run passes --verify");
+
+  // --- Drill 3: warm re-run ---------------------------------------------
+  const std::string warmShots = dir + "/warm.shots";
+  const std::string warmJson = dir + "/warm.json";
+  check(runCli(cli, {input, warmShots, "--hier", "--top-cell=TOP",
+                     "--cell-cache=" + cache,
+                     "--metrics-json=" + warmJson}) == 0,
+        "warm --hier run exits 0");
+  {
+    const std::string manifest = readBytes(warmJson);
+    check(manifest.find("\"cache_hits\": 5") != std::string::npos,
+          "warm manifest: 100% cache hits");
+    check(manifest.find("\"cache_misses\": 0") != std::string::npos,
+          "warm manifest: zero misses");
+    check(manifest.find("\"unique_cells_fractured\": 0") != std::string::npos,
+          "warm manifest: zero cells fractured");
+  }
+  check(readBytes(warmShots) == readBytes(hierShots),
+        "warm .shots byte-identical to cold .shots");
+  check(runCli(cli, {"--verify", warmJson}) == 0,
+        "warm hier run passes --verify");
+
+  // --- Drill 4: cache tamper --------------------------------------------
+  // Runs before the parameter-change drill so the cache holds exactly
+  // the five default-parameter entries the tamper run will consult.
+  {
+    std::string victim;
+    for (const auto& entry : std::filesystem::directory_iterator(cache)) {
+      const std::string p = entry.path().string();
+      if (p.size() > 5 && p.substr(p.size() - 5) == ".cell") {
+        victim = p;
+        break;
+      }
+    }
+    check(!victim.empty(), "tamper: found a cached .cell artifact");
+    std::string bytes = readBytes(victim);
+    bytes[bytes.size() / 2] =
+        static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+    check(writeBytes(victim, bytes), "tamper: byte flip applied");
+
+    const std::string tamperJson = dir + "/tamper.json";
+    const std::string tamperShots = dir + "/tamper.shots";
+    check(runCli(cli, {input, tamperShots, "--hier", "--top-cell=TOP",
+                       "--cell-cache=" + cache,
+                       "--metrics-json=" + tamperJson}) == 0,
+          "tampered cache: run still exits 0");
+    const std::string manifest = readBytes(tamperJson);
+    check(manifest.find("\"cache_rejected\": 1") != std::string::npos,
+          "tampered entry rejected, not silently reused");
+    check(manifest.find("\"cache_hits\": 4") != std::string::npos,
+          "intact entries still hit");
+    check(readBytes(tamperShots) == readBytes(hierShots),
+          "tampered-cache output byte-identical (re-fractured)");
+  }
+
+  // --- Drill 5: parameter change invalidates the cache ------------------
+  const std::string gammaJson = dir + "/gamma.json";
+  check(runCli(cli, {input, dir + "/gamma.shots", "--hier", "--top-cell=TOP",
+                     "--gamma=3", "--cell-cache=" + cache,
+                     "--metrics-json=" + gammaJson}) == 0,
+        "--gamma=3 hier run exits 0");
+  check(readBytes(gammaJson).find("\"cache_hits\": 0") != std::string::npos,
+        "changed gamma: no stale hits");
+  check(runCli(cli, {input, dir + "/gamma2.shots", "--hier",
+                     "--top-cell=TOP", "--gamma=3",
+                     "--cell-cache=" + cache,
+                     "--metrics-json=" + gammaJson}) == 0 &&
+            readBytes(gammaJson).find("\"cache_hits\": 5") !=
+                std::string::npos,
+        "repeat under new key: all hits");
+
+  // --- Drill 6: defective-hierarchy corpus ------------------------------
+  {
+    mbf::GdsLibrary cyc;
+    mbf::GdsStructure a{
+        "A", {poly({{0, 0}, {40, 0}, {40, 40}, {0, 40}})}, {{"B", {10, 0}}},
+        {}};
+    mbf::GdsStructure b{
+        "B", {poly({{0, 0}, {40, 0}, {40, 40}, {0, 40}})}, {{"A", {10, 0}}},
+        {}};
+    cyc.structures = {a, b};
+    const std::string path = dir + "/cycle.gds";
+    check(writeGdsFile(path, cyc), "corpus: cycle.gds written");
+    std::string log;
+    check(runCli(cli, {path, dir + "/cycle.shots", "--hier",
+                       "--top-cell=A"},
+                 &log) == 3 &&
+              log.find("cycle") != std::string::npos,
+          "cyclic hierarchy: --hier exits 3 naming the cycle");
+    check(runCli(cli, {path, dir + "/cycle.shots", "--top-cell=A"}, &log) ==
+                  3 &&
+              log.find("cycle") != std::string::npos,
+          "cyclic hierarchy: flat run exits 3 naming the cycle");
+  }
+  {
+    const std::string path = dir + "/deep.gds";
+    check(writeGdsFile(path, chainLib(70)), "corpus: deep.gds written");
+    std::string log;
+    check(runCli(cli, {path, dir + "/deep.shots", "--hier"}, &log) == 3 &&
+              log.find("deeper than") != std::string::npos,
+          "over-deep hierarchy: exits 3 naming the depth");
+  }
+  {
+    mbf::GdsLibrary far;
+    mbf::GdsStructure cell{
+        "CELL", {poly({{0, 0}, {80, 0}, {80, 80}, {0, 80}})}, {}, {}};
+    mbf::GdsStructure top{"TOP", {}, {{"CELL", {2147483600, 0}}}, {}};
+    far.structures = {top, cell};
+    const std::string path = dir + "/range.gds";
+    check(writeGdsFile(path, far), "corpus: range.gds written");
+    std::string log;
+    check(runCli(cli, {path, dir + "/range.shots", "--hier"}, &log) == 3 &&
+              log.find("32-bit") != std::string::npos,
+          "out-of-range placement: exits 3 naming the overflow");
+  }
+  {
+    // The main layout's ORPHAN makes the root ambiguous without
+    // --top-cell; the diagnostic must name the candidates.
+    std::string log;
+    check(runCli(cli, {input, dir + "/ambig.shots", "--hier"}, &log) == 3 &&
+              log.find("ORPHAN") != std::string::npos &&
+              log.find("TOP") != std::string::npos,
+          "ambiguous root: exits 3 naming the candidates");
+  }
+
+  // --- Drill 7: --selfcheck on hierarchically produced shots ------------
+  {
+    std::string log;
+    check(runCli(cli, {input, dir + "/selfcheck.shots", "--hier",
+                       "--top-cell=TOP", "--selfcheck"},
+                 &log) == 0 &&
+              log.find("0 findings") != std::string::npos,
+          "--selfcheck audits hier output clean");
+  }
+
+  if (g_failures > 0) {
+    std::fprintf(stderr, "%d hier drill check(s) failed\n", g_failures);
+    return 1;
+  }
+  std::printf("all hier drills passed\n");
+  return 0;
+}

@@ -1,10 +1,22 @@
-// Tests for hierarchical fracturing: one fracture per unique cell,
-// instantiation by translation, equivalence with the flat flow.
+// Hierarchical production path (DESIGN.md section 17): one fracture per
+// unique REACHABLE cell, instantiation by translation, top-structure
+// auto-detection, cycle/depth/overflow diagnostics, and the persistent
+// content-addressed cell-fracture cache (warm-run bitwise identity,
+// key invalidation, tamper rejection).
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
 
 #include "fracture/verifier.h"
+#include "io/atomic_file.h"
+#include "mdp/cell_cache.h"
 #include "mdp/hierarchy.h"
 
 namespace mbf {
@@ -19,8 +31,8 @@ GdsPolygon lPoly() {
 
 GdsLibrary arrayLib(int instances) {
   GdsLibrary lib;
-  GdsStructure cell{"CELL", {lPoly()}, {}};
-  GdsStructure top{"TOP", {}, {}};
+  GdsStructure cell{"CELL", {lPoly()}, {}, {}};
+  GdsStructure top{"TOP", {}, {}, {}};
   for (int i = 0; i < instances; ++i) {
     top.srefs.push_back({"CELL", {i * 200, 0}});
   }
@@ -28,20 +40,31 @@ GdsLibrary arrayLib(int instances) {
   return lib;
 }
 
+HierarchicalResult mustFracture(const GdsLibrary& lib,
+                                const BatchConfig& config = {},
+                                const HierOptions& options = {}) {
+  HierarchicalResult r;
+  const Status st = fractureGdsHierarchical(lib, config, options, r);
+  EXPECT_TRUE(st.ok()) << st.str();
+  return r;
+}
+
 TEST(HierarchyTest, OneFracturePerUniqueCell) {
-  const GdsLibrary lib = arrayLib(5);
-  const HierarchicalResult r = fractureGdsHierarchical(lib, BatchConfig{});
-  // CELL fractured once; TOP has no own polygons.
+  const HierarchicalResult r = mustFracture(arrayLib(5));
+  // CELL fractured once; TOP has no own polygons but is reachable.
   EXPECT_EQ(r.uniqueShapesFractured, 1);
-  EXPECT_EQ(r.instantiatedShapes, 5);
+  EXPECT_EQ(r.uniqueCellsFractured, 1);
+  EXPECT_EQ(r.instantiatedShapes(), 5);
+  EXPECT_EQ(r.reachableCells, 2);
+  EXPECT_EQ(r.instancesExpanded, 6);  // TOP + 5 CELL placements
   // Every instance carries the same number of shots.
   EXPECT_EQ(r.flatShotCount() % 5, 0);
   EXPECT_GE(r.flatShotCount(), 5 * 2);  // an L needs >= 2 shots
 }
 
 TEST(HierarchyTest, InstanceShotsMatchFlatFracture) {
-  const GdsLibrary lib = arrayLib(3);
-  const HierarchicalResult r = fractureGdsHierarchical(lib, BatchConfig{});
+  const HierarchicalResult r = mustFracture(arrayLib(3));
+  ASSERT_EQ(r.batch.solutions.size(), 3u);
 
   // Reference: fracture the cell directly.
   LayoutShape shape;
@@ -50,12 +73,11 @@ TEST(HierarchyTest, InstanceShotsMatchFlatFracture) {
 
   ASSERT_EQ(r.flatShotCount(), 3 * direct.shotCount());
   // First instance is at offset 0: its shots equal the direct solution's.
-  std::vector<Rect> first(r.shots.begin(),
-                          r.shots.begin() + direct.shotCount());
   auto key = [](const Rect& a, const Rect& b) {
     return std::tie(a.x0, a.y0, a.x1, a.y1) <
            std::tie(b.x0, b.y0, b.x1, b.y1);
   };
+  std::vector<Rect> first = r.batch.solutions[0].shots;
   std::vector<Rect> expect = direct.shots;
   std::sort(first.begin(), first.end(), key);
   std::sort(expect.begin(), expect.end(), key);
@@ -63,44 +85,362 @@ TEST(HierarchyTest, InstanceShotsMatchFlatFracture) {
 }
 
 TEST(HierarchyTest, TranslatedInstanceIsFeasible) {
-  const GdsLibrary lib = arrayLib(2);
-  const HierarchicalResult r = fractureGdsHierarchical(lib, BatchConfig{});
+  const HierarchicalResult r = mustFracture(arrayLib(2));
+  ASSERT_EQ(r.batch.solutions.size(), 2u);
   // Verify the second instance's shots against a translated problem.
   Polygon shifted = lPoly().polygon;
   shifted.translate({200, 0});
   Problem problem(shifted, FractureParams{});
-  const int perInstance = r.flatShotCount() / 2;
-  const std::vector<Rect> second(r.shots.end() - perInstance, r.shots.end());
-  const Violations v = evaluateShots(problem, second);
+  const Violations v = evaluateShots(problem, r.batch.solutions[1].shots);
   EXPECT_EQ(v.total(), 0);
 }
 
 TEST(HierarchyTest, MixedOwnPolygonsAndRefs) {
   GdsLibrary lib;
-  GdsStructure cell{"CELL", {lPoly()}, {}};
+  GdsStructure cell{"CELL", {lPoly()}, {}, {}};
   GdsPolygon own;
   own.polygon = Polygon({{500, 0}, {560, 0}, {560, 60}, {500, 60}});
-  GdsStructure top{"TOP", {own}, {{"CELL", {0, 300}}}};
+  GdsStructure top{"TOP", {own}, {{"CELL", {0, 300}}}, {}};
   lib.structures = {top, cell};
-  const HierarchicalResult r = fractureGdsHierarchical(lib, BatchConfig{});
+  const HierarchicalResult r = mustFracture(lib);
   EXPECT_EQ(r.uniqueShapesFractured, 2);  // TOP's square + CELL's L
-  EXPECT_EQ(r.instantiatedShapes, 2);
+  EXPECT_EQ(r.instantiatedShapes(), 2);
   // Shot for the square at its own coordinates, L shots shifted by 300.
   bool sawSquare = false;
   bool sawShifted = false;
-  for (const Rect& s : r.shots) {
-    if (s.intersects({500, 0, 560, 60})) sawSquare = true;
-    if (s.y0 >= 290) sawShifted = true;
+  for (const Solution& sol : r.batch.solutions) {
+    for (const Rect& s : sol.shots) {
+      if (s.intersects({500, 0, 560, 60})) sawSquare = true;
+      if (s.y0 >= 290) sawShifted = true;
+    }
   }
   EXPECT_TRUE(sawSquare);
   EXPECT_TRUE(sawShifted);
 }
 
-TEST(HierarchyTest, EmptyLibrary) {
-  const HierarchicalResult r =
-      fractureGdsHierarchical(GdsLibrary{}, BatchConfig{});
-  EXPECT_EQ(r.flatShotCount(), 0);
-  EXPECT_EQ(r.uniqueShapesFractured, 0);
+TEST(HierarchyTest, EmptyLibraryIsAnError) {
+  HierarchicalResult r;
+  const Status st =
+      fractureGdsHierarchical(GdsLibrary{}, BatchConfig{}, HierOptions{}, r);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+// Regression (top-structure detection): real GDS files usually list the
+// top cell LAST; the resolved top must be the unreferenced structure,
+// not structures.front().
+TEST(HierarchyTest, TopAutoDetectedWhenListedLast) {
+  GdsLibrary lib = arrayLib(4);
+  std::swap(lib.structures[0], lib.structures[1]);  // CELL first, TOP last
+  const HierarchicalResult r = mustFracture(lib);
+  EXPECT_EQ(r.topStruct, "TOP");
+  EXPECT_EQ(r.instantiatedShapes(), 4);
+}
+
+TEST(HierarchyTest, MultipleRootsNeedExplicitTop) {
+  GdsLibrary lib = arrayLib(2);
+  GdsStructure orphan{"ORPHAN", {lPoly()}, {}, {}};
+  lib.structures.push_back(orphan);
+  HierarchicalResult r;
+  const Status st =
+      fractureGdsHierarchical(lib, BatchConfig{}, HierOptions{}, r);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("TOP"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("ORPHAN"), std::string::npos) << st.message();
+}
+
+// Regression (unreachable cells): a cell no reference chain from the
+// top reaches must not be fractured or counted — the old demo path
+// fractured every library structure.
+TEST(HierarchyTest, UnreachableCellNotFracturedOrCounted) {
+  GdsLibrary lib = arrayLib(3);
+  GdsPolygon big;
+  big.polygon = Polygon({{0, 0}, {900, 0}, {900, 900}, {0, 900}});
+  GdsStructure orphan{"ORPHAN", {big, big, big}, {}, {}};
+  lib.structures.push_back(orphan);
+  HierOptions options;
+  options.topStruct = "TOP";
+  const HierarchicalResult r = mustFracture(lib, BatchConfig{}, options);
+  EXPECT_EQ(r.uniqueShapesFractured, 1);  // CELL only, never ORPHAN
+  EXPECT_EQ(r.reachableCells, 2);
+  EXPECT_EQ(r.instantiatedShapes(), 3);
+}
+
+// Regression (silent truncation): depth 8+ used to silently drop
+// geometry; a 12-deep chain must now flatten completely...
+TEST(HierarchyTest, DeepChainIsComplete) {
+  GdsLibrary lib;
+  const int depth = 12;
+  for (int i = 0; i < depth; ++i) {
+    GdsStructure s;
+    s.name = "LEVEL" + std::to_string(i);
+    if (i + 1 < depth) {
+      s.srefs.push_back({"LEVEL" + std::to_string(i + 1), {10, 0}});
+    } else {
+      s.polygons.push_back(lPoly());
+    }
+    lib.structures.push_back(std::move(s));
+  }
+  std::vector<LayoutShape> shapes;
+  const Status st = hierarchicalInstanceShapes(lib, "", shapes);
+  ASSERT_TRUE(st.ok()) << st.str();
+  ASSERT_EQ(shapes.size(), 1u);
+  // The leaf's L, translated by 11 hops of 10 nm.
+  EXPECT_EQ(shapes[0].rings.front().bbox(),
+            Rect(110, 0, 110 + 80, 80));
+}
+
+// ... while a chain past kGdsMaxDepth is a named error, not truncation.
+TEST(HierarchyTest, OverDeepChainIsAnError) {
+  GdsLibrary lib;
+  const int depth = kGdsMaxDepth + 2;
+  for (int i = 0; i < depth; ++i) {
+    GdsStructure s;
+    s.name = "LEVEL" + std::to_string(i);
+    if (i + 1 < depth) {
+      s.srefs.push_back({"LEVEL" + std::to_string(i + 1), {10, 0}});
+    } else {
+      s.polygons.push_back(lPoly());
+    }
+    lib.structures.push_back(std::move(s));
+  }
+  std::vector<LayoutShape> shapes;
+  const Status st = hierarchicalInstanceShapes(lib, "", shapes);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("deeper than"), std::string::npos)
+      << st.message();
+}
+
+TEST(HierarchyTest, CycleIsAnErrorNamingTheChain) {
+  GdsLibrary lib;
+  GdsStructure a{"A", {lPoly()}, {{"B", {10, 0}}}, {}};
+  GdsStructure b{"B", {lPoly()}, {{"A", {10, 0}}}, {}};
+  lib.structures = {a, b};
+  HierarchicalResult r;
+  HierOptions options;
+  options.topStruct = "A";
+  const Status st = fractureGdsHierarchical(lib, BatchConfig{}, options, r);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("cycle"), std::string::npos) << st.message();
+  EXPECT_NE(st.message().find("A -> B -> A"), std::string::npos)
+      << st.message();
+}
+
+// Regression (int32 overflow): c * columnPitch overflows 32-bit long
+// before the final placement does; the expansion must compute in int64.
+TEST(HierarchyTest, ArefPlacementUsesInt64Arithmetic) {
+  GdsLibrary lib;
+  GdsStructure cell{"CELL", {lPoly()}, {}, {}};
+  GdsAref aref;
+  aref.structName = "CELL";
+  aref.origin = {-2000000000, 0};
+  aref.columns = 3;
+  aref.rows = 1;
+  aref.columnPitch = {1200000000, 0};  // c=2 -> 2.4e9, wraps in int32
+  GdsStructure top{"TOP", {}, {}, {aref}};
+  lib.structures = {top, cell};
+  std::vector<LayoutShape> shapes;
+  const Status st = hierarchicalInstanceShapes(lib, "", shapes);
+  ASSERT_TRUE(st.ok()) << st.str();
+  ASSERT_EQ(shapes.size(), 3u);
+  EXPECT_EQ(shapes[0].rings.front().bbox().x0, -2000000000);
+  EXPECT_EQ(shapes[1].rings.front().bbox().x0, -800000000);
+  EXPECT_EQ(shapes[2].rings.front().bbox().x0, 400000000);
+}
+
+TEST(HierarchyTest, OutOfRangePlacementIsRejected) {
+  GdsLibrary lib;
+  GdsStructure cell{"CELL", {lPoly()}, {}, {}};
+  GdsStructure top{"TOP", {}, {{"CELL", {2147483600, 0}}}, {}};
+  lib.structures = {top, cell};
+  std::vector<LayoutShape> shapes;
+  const Status st = hierarchicalInstanceShapes(lib, "", shapes);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("32-bit"), std::string::npos) << st.message();
+}
+
+// --------------------------------------------------------------------
+// Persistent cell-fracture cache
+// --------------------------------------------------------------------
+
+std::vector<LayoutShape> cellShapes() {
+  LayoutShape shape;
+  shape.rings.push_back(lPoly().polygon);
+  return {shape};
+}
+
+TEST(CellCacheTest, KeyInvalidatesOnEveryResultRelevantField) {
+  const std::vector<LayoutShape> shapes = cellShapes();
+  const BatchConfig base;
+  const std::string baseKey = cellFractureKey(shapes, base);
+  ASSERT_EQ(baseKey.size(), 64u);
+
+  std::vector<std::pair<std::string, BatchConfig>> variants;
+  auto add = [&](const std::string& name, auto&& mutate) {
+    BatchConfig c = base;
+    mutate(c);
+    variants.emplace_back(name, std::move(c));
+  };
+  add("gamma", [](BatchConfig& c) { c.params.gamma = 3.0; });
+  add("sigma", [](BatchConfig& c) { c.params.sigma = 7.0; });
+  add("rho", [](BatchConfig& c) { c.params.rho = 0.4; });
+  add("lmin", [](BatchConfig& c) { c.params.lmin = 14; });
+  add("eta", [](BatchConfig& c) { c.params.backscatterEta = 0.1; });
+  add("sigma_back", [](BatchConfig& c) { c.params.backscatterSigma = 30.0; });
+  add("lth", [](BatchConfig& c) { c.params.lth = 25.0; });
+  add("overlap", [](BatchConfig& c) { c.params.overlapFraction = 0.7; });
+  add("nmax", [](BatchConfig& c) { c.params.nmax = 99; });
+  add("nh", [](BatchConfig& c) { c.params.nh = 5; });
+  add("stagnation", [](BatchConfig& c) { c.params.stagnationEps = 1e-5; });
+  add("blocking", [](BatchConfig& c) { c.params.blockingSigmas = 1.5; });
+  add("merge_inside",
+      [](BatchConfig& c) { c.params.mergeInsideFraction = 0.8; });
+  add("bias", [](BatchConfig& c) { c.params.enableBias = false; });
+  add("add_remove", [](BatchConfig& c) { c.params.enableAddRemove = false; });
+  add("merge", [](BatchConfig& c) { c.params.enableMerge = false; });
+  add("budget_ms", [](BatchConfig& c) { c.params.shapeTimeBudgetMs = 5.0; });
+  add("grid_bytes", [](BatchConfig& c) { c.params.maxGridBytes = 1 << 20; });
+  add("method", [](BatchConfig& c) { c.method = Method::kGsc; });
+  add("strict", [](BatchConfig& c) { c.allowDegradation = false; });
+  add("fallback_only", [](BatchConfig& c) { c.fallbackOnly = true; });
+
+  for (const auto& [name, config] : variants) {
+    EXPECT_NE(cellFractureKey(shapes, config), baseKey)
+        << "field '" << name << "' did not invalidate the key";
+  }
+
+  // Thread counts are byte-identity knobs, not result knobs: same key.
+  BatchConfig threaded = base;
+  threaded.threads = 8;
+  threaded.params.numThreads = 8;
+  EXPECT_EQ(cellFractureKey(shapes, threaded), baseKey);
+  // shapeIndexBase is reporting plumbing, not a result knob.
+  BatchConfig based = base;
+  based.shapeIndexBase = 17;
+  EXPECT_EQ(cellFractureKey(shapes, based), baseKey);
+
+  // Geometry participates.
+  std::vector<LayoutShape> moved = shapes;
+  moved[0].rings[0].translate({1, 0});
+  EXPECT_NE(cellFractureKey(moved, base), baseKey);
+}
+
+struct TempCacheDir {
+  std::string path;
+  explicit TempCacheDir(const std::string& name)
+      : path("cell_cache_tmp_" + name) {
+    std::system(("rm -rf '" + path + "'").c_str());
+  }
+  ~TempCacheDir() { std::system(("rm -rf '" + path + "'").c_str()); }
+};
+
+TEST(CellCacheTest, StoreLoadRoundTripIsBitExact) {
+  TempCacheDir dir("roundtrip");
+  CellFractureCache cache(dir.path + "/nested/deeper");
+  ASSERT_TRUE(cache.prepare().ok());
+
+  const std::vector<LayoutShape> shapes = cellShapes();
+  const BatchConfig config;
+  const BatchResult batch = fractureLayout(shapes, config);
+  CellFracture cell;
+  cell.solutions = batch.solutions;
+  cell.reports = batch.reports;
+
+  const std::string key = cellFractureKey(shapes, config);
+  ASSERT_TRUE(cache.store(key, cell).ok());
+
+  CellFracture back;
+  ASSERT_EQ(cache.load(key, back), CellFractureCache::Lookup::kHit);
+  // Bitwise equality including runtimeSeconds: the cache reuses the
+  // journal's bit-exact double serialization.
+  EXPECT_EQ(back.solutions, cell.solutions);
+  ASSERT_EQ(back.reports.size(), cell.reports.size());
+  EXPECT_EQ(cache.stats().hits, 1);
+  EXPECT_EQ(cache.stats().stored, 1);
+
+  CellFracture missOut;
+  EXPECT_EQ(cache.load(std::string(64, 'a'), missOut),
+            CellFractureCache::Lookup::kMiss);
+}
+
+TEST(CellCacheTest, TamperedEntryIsRejectedNeverReused) {
+  TempCacheDir dir("tamper");
+  CellFractureCache cache(dir.path);
+  ASSERT_TRUE(cache.prepare().ok());
+
+  const std::vector<LayoutShape> shapes = cellShapes();
+  const BatchConfig config;
+  const BatchResult batch = fractureLayout(shapes, config);
+  CellFracture cell{batch.solutions, batch.reports};
+  const std::string key = cellFractureKey(shapes, config);
+  ASSERT_TRUE(cache.store(key, cell).ok());
+  const std::string path = cache.pathFor(key);
+
+  // Flip one byte deep in the payload (past the header).
+  std::string bytes;
+  ASSERT_TRUE(readFileToString(path, bytes).ok());
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x01);
+  {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  CellFracture out;
+  EXPECT_EQ(cache.load(key, out), CellFractureCache::Lookup::kRejected);
+
+  // A matching sidecar does not save a lying header: rewrite the entry
+  // under the WRONG key with a fresh (valid) sidecar.
+  CellFractureCache other(dir.path);
+  const std::string wrongKey = std::string(64, 'b');
+  ASSERT_TRUE(other.store(wrongKey, cell).ok());
+  CellFracture aliased;
+  EXPECT_EQ(other.load(key, aliased), CellFractureCache::Lookup::kRejected);
+
+  // Deleting the sidecar alone must also reject.
+  std::remove(sidecarPathFor(other.pathFor(wrongKey)).c_str());
+  EXPECT_EQ(other.load(wrongKey, aliased),
+            CellFractureCache::Lookup::kRejected);
+}
+
+TEST(CellCacheTest, WarmHierRunIsBitIdenticalWithZeroFractures) {
+  TempCacheDir dir("warm");
+  GdsLibrary lib = arrayLib(4);
+  // A second unique cell so the warm run proves multi-entry reuse.
+  GdsPolygon sq;
+  sq.polygon = Polygon({{0, 0}, {50, 0}, {50, 50}, {0, 50}});
+  lib.structures.push_back(GdsStructure{"SQ", {sq}, {}, {}});
+  lib.structures[0].srefs.push_back({"SQ", {-300, 0}});
+
+  BatchConfig config;
+  HierOptions options;
+  options.topStruct = "TOP";
+  options.cellCacheDir = dir.path;
+
+  HierarchicalResult cold;
+  ASSERT_TRUE(fractureGdsHierarchical(lib, config, options, cold).ok());
+  EXPECT_EQ(cold.cellCacheHits, 0);
+  EXPECT_EQ(cold.cellCacheMisses, 2);
+  EXPECT_EQ(cold.uniqueCellsFractured, 2);
+  EXPECT_EQ(cold.uniqueShapesFractured, 2);
+
+  HierarchicalResult warm;
+  ASSERT_TRUE(fractureGdsHierarchical(lib, config, options, warm).ok());
+  EXPECT_EQ(warm.cellCacheHits, 2);
+  EXPECT_EQ(warm.cellCacheMisses, 0);
+  EXPECT_EQ(warm.uniqueCellsFractured, 0);   // zero fractures performed
+  EXPECT_EQ(warm.uniqueShapesFractured, 0);
+  // Bitwise identity, runtimeSeconds included: warm solutions are
+  // replayed bytes, not recomputations.
+  EXPECT_EQ(warm.batch.solutions, cold.batch.solutions);
+  EXPECT_EQ(warm.flatShotCount(), cold.flatShotCount());
+
+  // Changing any parameter misses (and re-populates under the new key).
+  BatchConfig changed = config;
+  changed.params.gamma = 3.0;
+  HierarchicalResult invalidated;
+  ASSERT_TRUE(
+      fractureGdsHierarchical(lib, changed, options, invalidated).ok());
+  EXPECT_EQ(invalidated.cellCacheHits, 0);
+  EXPECT_EQ(invalidated.uniqueCellsFractured, 2);
 }
 
 }  // namespace

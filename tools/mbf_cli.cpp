@@ -59,6 +59,23 @@
 //   --inject-every=<kind>@<n>    arm <kind> on every nth shape
 //   --inject-seed=<s>            seed for the injector
 //
+// Hierarchical production path (DESIGN.md section 17):
+//   --hier                       fracture the .gds hierarchically: each
+//                                unique cell is fractured once and its
+//                                shot list instantiated at every
+//                                SREF/AREF placement (requires a .gds
+//                                input; incompatible with --journal/
+//                                --resume/--isolate)
+//   --cell-cache=<dir>           persistent content-addressed cell
+//                                cache: cells keyed by SHA-256 over
+//                                geometry + fracture parameters are
+//                                reused across runs; a warm run
+//                                fractures only misses
+//   --top-cell=<name>            top structure (default: the unique
+//                                structure no SREF/AREF references);
+//                                also applies to flat .gds runs, whose
+//                                flatten starts at the same root
+//
 // Output integrity (DESIGN.md section 16):
 //   --verify <target>            acceptance gate: re-hash every artifact
 //                                a finished run's manifest lists and
@@ -125,6 +142,7 @@
 #include "io/svg.h"
 #include "io/table.h"
 #include "mdp/checkpoint.h"
+#include "mdp/hierarchy.h"
 #include "mdp/layout.h"
 #include "mdp/ordering.h"
 #include "mdp/supervisor.h"
@@ -164,6 +182,7 @@ int usage() {
                "[--journal=path] [--resume] [--fsync=none|each] "
                "[--isolate] [--jobs=n] [--worker-timeout-ms=ms] "
                "[--retries=n] [--backoff-ms=ms] [--selfcheck] "
+               "[--hier] [--cell-cache=dir] [--top-cell=name] "
                "[--inject=kind@i,...] [--inject-every=kind@n]\n"
                "       mbf_cli --verify <run-dir-or-manifest.json> "
                "[--threads=n]\n";
@@ -257,6 +276,11 @@ int main(int argc, char** argv) {
   bool orderForWriter = false;
   bool selfcheck = false;
 
+  // Hierarchical production path (DESIGN.md section 17).
+  bool hier = false;
+  std::string cellCacheDir;
+  std::string topCell;
+
   // Crash-recovery mode flags.
   std::string journalPath;
   bool resume = false;
@@ -342,6 +366,14 @@ int main(int argc, char** argv) {
       orderForWriter = true;
     } else if (key == "--selfcheck") {
       selfcheck = true;
+    } else if (key == "--hier") {
+      hier = true;
+    } else if (key == "--cell-cache") {
+      cellCacheDir = value;
+      if (cellCacheDir.empty()) error = "must be a directory path";
+    } else if (key == "--top-cell") {
+      topCell = value;
+      if (topCell.empty()) error = "must be a structure name";
     } else if (key == "--gds-out") {
       gdsOutPath = value;
       if (gdsOutPath.empty()) error = "must be a path";
@@ -472,6 +504,26 @@ int main(int argc, char** argv) {
                  "(spawned by --isolate)\n";
     return usage();
   }
+  const bool gdsInput = inputPath.size() > 4 &&
+                        inputPath.substr(inputPath.size() - 4) == ".gds";
+  if (hier && !gdsInput) {
+    std::cerr << "--hier requires a .gds input (hierarchy lives in the "
+                 "GDS structure tree)\n";
+    return usage();
+  }
+  if (!hier && !cellCacheDir.empty()) {
+    std::cerr << "--cell-cache requires --hier\n";
+    return usage();
+  }
+  if (!gdsInput && !topCell.empty()) {
+    std::cerr << "--top-cell requires a .gds input\n";
+    return usage();
+  }
+  if (hier && (!journalPath.empty() || isolate || workerMode)) {
+    std::cerr << "--hier is incompatible with --journal/--resume/--isolate/"
+                 "--worker (cells already dedupe and parallelize the run)\n";
+    return usage();
+  }
   if (injectorArmed) config.params.faultInjector = &injector;
 
   // Graceful drain: SIGTERM/SIGINT set a flag that fractureShapeGuarded
@@ -488,17 +540,27 @@ int main(int argc, char** argv) {
   }
 
   std::vector<Polygon> rings;
-  if (inputPath.size() > 4 &&
-      inputPath.substr(inputPath.size() - 4) == ".gds") {
-    GdsLibrary lib;
-    const Status st = parseGdsFile(inputPath, lib);
+  GdsLibrary gdsLib;
+  if (gdsInput) {
+    const Status st = parseGdsFile(inputPath, gdsLib);
     if (!st.ok()) {
       std::cerr << "cannot parse GDSII " << inputPath << ": " << st.str()
                 << "\n";
       return 3;
     }
-    for (GdsPolygon& gp : flattenGds(lib)) {
-      rings.push_back(std::move(gp.polygon));
+    if (!hier) {
+      // Checked flatten: a cycle, depth overflow or out-of-range
+      // placement is a hard input error, never silently fewer shots.
+      std::vector<GdsPolygon> flat;
+      const Status fs = flattenGdsChecked(gdsLib, topCell, flat);
+      if (!fs.ok()) {
+        std::cerr << "cannot flatten GDSII " << inputPath << ": " << fs.str()
+                  << "\n";
+        return 3;
+      }
+      for (GdsPolygon& gp : flat) {
+        rings.push_back(std::move(gp.polygon));
+      }
     }
   } else {
     PolyReadStats stats;
@@ -514,7 +576,7 @@ int main(int argc, char** argv) {
                 << " skipped ring(s))\n";
     }
   }
-  if (rings.empty()) {
+  if (!hier && rings.empty()) {
     std::cerr << "no polygons in " << inputPath << "\n";
     return 3;
   }
@@ -533,15 +595,51 @@ int main(int argc, char** argv) {
     shapes = std::vector<LayoutShape>(
         shapes.begin() + rangeBegin, shapes.begin() + rangeEnd);
   }
-  std::cerr << "fracturing " << shapes.size() << " shape(s) with method '"
-            << toString(config.method) << "'...\n";
+  if (!hier) {
+    std::cerr << "fracturing " << shapes.size() << " shape(s) with method '"
+              << toString(config.method) << "'...\n";
+  }
 
   BatchResult result;
   RunCounters counters;
   bool haveCounters = false;
   std::vector<int> isolatedShapes;
+  RunManifestInfo::HierInfo hierInfo;
+  // Record the flatten/expansion root even for flat .gds runs, so
+  // --verify re-derives the layout from the same structure (an explicit
+  // --top-cell may disambiguate roots the auto-detection would refuse).
+  hierInfo.topCell = topCell;
 
-  if (isolate) {
+  if (hier) {
+    HierOptions hierOptions;
+    hierOptions.topStruct = topCell;
+    hierOptions.cellCacheDir = cellCacheDir;
+    HierarchicalResult hierResult;
+    const Status st =
+        fractureGdsHierarchical(gdsLib, config, hierOptions, hierResult);
+    if (!st.ok()) {
+      std::cerr << "hier: " << st.str() << "\n";
+      return 3;
+    }
+    shapes = std::move(hierResult.instanceShapes);
+    result = std::move(hierResult.batch);
+    hierInfo.enabled = true;
+    hierInfo.topCell = hierResult.topStruct;
+    hierInfo.cacheDir = cellCacheDir;
+    hierInfo.reachableCells = hierResult.reachableCells;
+    hierInfo.uniqueCellsFractured = hierResult.uniqueCellsFractured;
+    hierInfo.uniqueShapesFractured = hierResult.uniqueShapesFractured;
+    hierInfo.cacheHits = hierResult.cellCacheHits;
+    hierInfo.cacheMisses = hierResult.cellCacheMisses;
+    hierInfo.cacheRejected = hierResult.cellCacheRejected;
+    hierInfo.instancesExpanded = hierResult.instancesExpanded;
+    std::cerr << "hier: top '" << hierResult.topStruct << "', "
+              << hierResult.reachableCells << " reachable cell(s), "
+              << hierResult.cellCacheHits << " cache hit(s), "
+              << hierResult.uniqueCellsFractured << " fractured, "
+              << hierResult.instancesExpanded << " instance(s), "
+              << shapes.size() << " instantiated shape(s)\n";
+  } else if (isolate) {
     // Supervised multi-process mode: this process never fractures; it
     // shards, watches, retries, bisects, and merges worker journals.
     SupervisorConfig sup;
@@ -856,6 +954,7 @@ int main(int argc, char** argv) {
     info.interrupted = interrupted;
     info.repairedShapes = repairedShapes;
     info.ordered = orderForWriter;
+    info.hier = hierInfo;
     const std::string manifest = buildRunManifest(
         info, config, result, counters, computeShotStats(allShots));
     std::string manifestHex;
