@@ -1,6 +1,8 @@
 #include "io/atomic_file.h"
 
+#include <dirent.h>
 #include <fcntl.h>
+#include <signal.h>
 #include <sys/stat.h>
 #include <time.h>
 #include <unistd.h>
@@ -8,7 +10,10 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+
+#include "support/sysio.h"
 
 namespace mbf {
 namespace {
@@ -44,7 +49,7 @@ int openRetry(const char* path, int flags, mode_t mode = 0) {
   int fd = -1;
   int attempt = 0;
   do {
-    fd = ::open(path, flags, mode);
+    fd = sysio::open(path, flags, mode);
     if (fd < 0 && errno == EINTR) eintrBackoff(attempt++);
   } while (fd < 0 && errno == EINTR);
   return fd;
@@ -52,7 +57,7 @@ int openRetry(const char* path, int flags, mode_t mode = 0) {
 
 Status fsyncRetry(int fd, const char* what) {
   int attempt = 0;
-  while (::fsync(fd) != 0) {
+  while (sysio::fsync(fd) != 0) {
     if (errno == EINTR) {
       eintrBackoff(attempt++);
       continue;
@@ -199,7 +204,8 @@ Status sha256File(const std::string& path, std::string& hexOut) {
   hexOut.clear();
   const int fd = openRetry(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
-    return Status(StatusCode::kIoError,
+    return Status(errno == ENOENT ? StatusCode::kNotFound
+                                  : StatusCode::kIoError,
                   "cannot open '" + path + "' for hashing: " +
                       errnoText("open", errno));
   }
@@ -207,7 +213,7 @@ Status sha256File(const std::string& path, std::string& hexOut) {
   std::uint8_t buf[1 << 16];
   int attempt = 0;
   for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    const ssize_t n = sysio::read(fd, buf, sizeof(buf));
     if (n < 0) {
       if (errno == EINTR) {
         eintrBackoff(attempt++);
@@ -215,13 +221,13 @@ Status sha256File(const std::string& path, std::string& hexOut) {
       }
       const Status st(StatusCode::kIoError,
                       "read '" + path + "': " + errnoText("read", errno));
-      ::close(fd);
+      sysio::close(fd);
       return st;
     }
     if (n == 0) break;
     h.update(buf, static_cast<std::size_t>(n));
   }
-  ::close(fd);
+  sysio::close(fd);
   hexOut = h.hexDigest();
   return Status();
 }
@@ -231,7 +237,7 @@ Status writeAllBytes(int fd, const void* data, std::size_t size) {
   std::size_t done = 0;
   int attempt = 0;
   while (done < size) {
-    const ssize_t n = ::write(fd, p + done, size - done);
+    const ssize_t n = sysio::write(fd, p + done, size - done);
     if (n < 0) {
       if (errno == EINTR) {
         eintrBackoff(attempt++);
@@ -266,7 +272,7 @@ Status fsyncParentDir(const std::string& path) {
                       errnoText("open", errno));
   }
   Status st = fsyncRetry(fd, "fsync(parent dir)");
-  ::close(fd);
+  sysio::close(fd);
   return st;
 }
 
@@ -285,16 +291,16 @@ Status atomicWriteFile(const std::string& path, std::string_view data,
   }
   Status st = writeAllBytes(fd, data.data(), data.size());
   if (st.ok()) st = fsyncRetry(fd, "fsync(file)");
-  if (::close(fd) != 0 && st.ok()) {
+  if (sysio::close(fd) != 0 && st.ok()) {
     st = Status(StatusCode::kIoError, errnoText("close", errno));
   }
-  if (st.ok() && ::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (st.ok() && sysio::rename(tmp.c_str(), path.c_str()) != 0) {
     st = Status(StatusCode::kIoError,
                 "rename '" + tmp + "' -> '" + path + "': " +
                     errnoText("rename", errno));
   }
   if (!st.ok()) {
-    ::unlink(tmp.c_str());
+    sysio::unlink(tmp.c_str());
     return Status(st.code(), "atomic write of '" + path + "' failed: " +
                                  st.message());
   }
@@ -308,13 +314,14 @@ Status readFileToString(const std::string& path, std::string& out) {
   out.clear();
   const int fd = openRetry(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) {
-    return Status(StatusCode::kIoError,
+    return Status(errno == ENOENT ? StatusCode::kNotFound
+                                  : StatusCode::kIoError,
                   "cannot open '" + path + "': " + errnoText("open", errno));
   }
   char buf[1 << 16];
   int attempt = 0;
   for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    const ssize_t n = sysio::read(fd, buf, sizeof(buf));
     if (n < 0) {
       if (errno == EINTR) {
         eintrBackoff(attempt++);
@@ -322,15 +329,41 @@ Status readFileToString(const std::string& path, std::string& out) {
       }
       const Status st(StatusCode::kIoError,
                       "read '" + path + "': " + errnoText("read", errno));
-      ::close(fd);
+      sysio::close(fd);
       out.clear();
       return st;
     }
     if (n == 0) break;
     out.append(buf, static_cast<std::size_t>(n));
   }
-  ::close(fd);
+  sysio::close(fd);
   return Status();
+}
+
+int sweepStaleTempFiles(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  int removed = 0;
+  for (struct dirent* ent = ::readdir(d); ent != nullptr;
+       ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    const std::size_t tag = name.rfind(".tmp.");
+    if (tag == std::string::npos || tag == 0) continue;
+    const std::string pidText = name.substr(tag + 5);
+    if (pidText.empty() ||
+        pidText.find_first_not_of("0123456789") != std::string::npos) {
+      continue;
+    }
+    const long pid = std::strtol(pidText.c_str(), nullptr, 10);
+    if (pid <= 0) continue;
+    // kill(pid, 0) probes existence without signaling. EPERM means the
+    // pid exists but belongs to someone else — leave its temp alone.
+    if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH) continue;
+    const std::string path = dir + "/" + name;
+    if (sysio::unlink(path.c_str()) == 0) ++removed;
+  }
+  ::closedir(d);
+  return removed;
 }
 
 std::string sidecarPathFor(const std::string& artifactPath) {

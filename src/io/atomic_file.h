@@ -72,9 +72,20 @@ Status fsyncParentDir(const std::string& path);
 Status atomicWriteFile(const std::string& path, std::string_view data,
                        std::string* hexOut = nullptr);
 
-/// Reads the whole file into `out`. kIoError with errno context on
-/// open/read failure (out is left empty).
+/// Reads the whole file into `out`. kNotFound when the file does not
+/// exist; kIoError with errno context on any other open/read failure
+/// (out is left empty either way). Callers that treat "absent" as an
+/// expected state (cache misses, optional sidecars) branch on the code;
+/// a genuine EIO or short read never masquerades as a missing file.
 Status readFileToString(const std::string& path, std::string& out);
+
+/// Removes orphaned `<artifact>.tmp.<pid>` files in `dir` whose pid no
+/// longer exists — debris from writers that died between open and
+/// rename. Temp files of live processes are left alone (a concurrent
+/// run may be mid-write). Returns the number removed; enumeration or
+/// unlink errors are best-effort-skipped (the sweep is hygiene, not
+/// correctness: an unremoved temp is invisible to readers).
+int sweepStaleTempFiles(const std::string& dir);
 
 /// Sidecar convention: `<artifact>.sha256` holds "<hex>  <basename>\n"
 /// (the sha256sum(1) format). Written atomically.

@@ -1,12 +1,15 @@
 #include "mdp/cell_cache.h"
 
+#include <dirent.h>
 #include <sys/stat.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
 #include "io/atomic_file.h"
 #include "mdp/checkpoint.h"
+#include "support/sysio.h"
 
 namespace mbf {
 namespace {
@@ -52,7 +55,7 @@ Status makeDirs(const std::string& dir) {
     prefix = slash == std::string::npos ? dir : dir.substr(0, slash);
     at = slash == std::string::npos ? dir.size() + 1 : slash + 1;
     if (prefix.empty()) continue;  // leading '/'
-    if (mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+    if (sysio::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
       return Status(StatusCode::kIoError,
                     "cannot create cache directory '" + prefix +
                         "': " + std::strerror(errno));
@@ -121,9 +124,19 @@ std::string CellFractureCache::pathFor(const std::string& key) const {
   return dir_ + "/" + key + ".cell";
 }
 
+void CellFractureCache::disable(Status cause) {
+  if (disabled_) return;
+  disabled_ = true;
+  disableCause_ = std::move(cause);
+}
+
 CellFractureCache::Lookup CellFractureCache::load(const std::string& key,
                                                   CellFracture& out) {
   out = CellFracture{};
+  if (disabled_) {
+    ++stats_.misses;
+    return Lookup::kMiss;
+  }
   const std::string path = pathFor(key);
   struct stat st{};
   if (stat(path.c_str(), &st) != 0) {
@@ -134,14 +147,31 @@ CellFractureCache::Lookup CellFractureCache::load(const std::string& key,
   // Never trust a cache entry on file-name match alone: the sidecar
   // digest must verify and the embedded key must equal the requested
   // one before a single record is decoded.
-  if (!verifyHashSidecar(path).ok()) {
-    ++stats_.rejected;
-    return Lookup::kRejected;
+  {
+    Status side = verifyHashSidecar(path);
+    if (!side.ok()) {
+      if (side.code() == StatusCode::kIoError) {
+        ++stats_.ioErrors;
+        disable(side);
+      }
+      ++stats_.rejected;
+      return Lookup::kRejected;
+    }
   }
   std::string bytes;
-  if (!readFileToString(path, bytes).ok()) {
-    ++stats_.rejected;
-    return Lookup::kRejected;
+  {
+    Status rd = readFileToString(path, bytes);
+    if (!rd.ok()) {
+      // A real read fault (EIO, not tamper) on a file stat() just saw:
+      // the filesystem under the cache is sick. Stop talking to it —
+      // every cell still fractures from scratch.
+      if (rd.code() == StatusCode::kIoError) {
+        ++stats_.ioErrors;
+        disable(rd);
+      }
+      ++stats_.rejected;
+      return Lookup::kRejected;
+    }
   }
 
   const std::string header = std::string(kMagic) + "\n" + key + "\n";
@@ -182,6 +212,7 @@ CellFractureCache::Lookup CellFractureCache::load(const std::string& key,
   }
   out = std::move(cell);
   ++stats_.hits;
+  touchedKeys_.push_back(key);  // a hit must survive the quota sweep
   return Lookup::kHit;
 }
 
@@ -206,13 +237,79 @@ Status CellFractureCache::store(const std::string& key,
     bytes += encoded;
   }
   const std::string path = pathFor(key);
+  if (disabled_) return {};  // degraded: results still ship, just uncached
   std::string hex;
   Status status = atomicWriteFile(path, bytes, &hex);
-  if (!status.ok()) return status;
-  status = writeHashSidecar(path, hex);
-  if (!status.ok()) return status;
+  if (status.ok()) status = writeHashSidecar(path, hex);
+  if (!status.ok()) {
+    // Degrade, don't die: one failed store (full filer, dead disk)
+    // disables the cache for the rest of the run. The fracture result
+    // being stored is already in memory and ships with the batch; only
+    // the cross-run reuse is lost. Remove the halves that did land so a
+    // later run never sees an entry without its sidecar.
+    sysio::unlink(path.c_str());
+    sysio::unlink(sidecarPathFor(path).c_str());
+    ++stats_.ioErrors;
+    disable(status);
+    return status;
+  }
   ++stats_.stored;
+  touchedKeys_.push_back(key);  // this run's own entries are never evicted
+  if (quotaBytes_ > 0) enforceQuota();
   return {};
+}
+
+void CellFractureCache::enforceQuota() {
+  struct Entry {
+    std::string key;
+    std::int64_t bytes = 0;   // .cell + .sha256
+    std::int64_t mtime = 0;
+  };
+  DIR* d = ::opendir(dir_.c_str());
+  if (d == nullptr) return;  // best-effort: an unlistable dir evicts nothing
+  std::vector<Entry> entries;
+  std::int64_t total = 0;
+  for (struct dirent* ent = ::readdir(d); ent != nullptr;
+       ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (name.size() <= 5 || name.compare(name.size() - 5, 5, ".cell") != 0) {
+      continue;
+    }
+    Entry e;
+    e.key = name.substr(0, name.size() - 5);
+    const std::string cellPath = dir_ + "/" + name;
+    struct stat st{};
+    if (stat(cellPath.c_str(), &st) != 0) continue;
+    e.bytes = static_cast<std::int64_t>(st.st_size);
+    e.mtime = static_cast<std::int64_t>(st.st_mtime);
+    struct stat sideSt{};
+    if (stat(sidecarPathFor(cellPath).c_str(), &sideSt) == 0) {
+      e.bytes += static_cast<std::int64_t>(sideSt.st_size);
+    }
+    total += e.bytes;
+    entries.push_back(std::move(e));
+  }
+  ::closedir(d);
+  if (total <= quotaBytes_) return;
+
+  // LRU by mtime, never evicting a key this run touched: those entries
+  // back results a --verify may re-derive minutes from now. If the
+  // current run alone exceeds the quota, the cache simply runs over —
+  // the quota is best-effort hygiene, not a hard reservation.
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  for (const Entry& e : entries) {
+    if (total <= quotaBytes_) break;
+    if (std::find(touchedKeys_.begin(), touchedKeys_.end(), e.key) !=
+        touchedKeys_.end()) {
+      continue;
+    }
+    const std::string cellPath = dir_ + "/" + e.key + ".cell";
+    if (sysio::unlink(cellPath.c_str()) != 0) continue;
+    sysio::unlink(sidecarPathFor(cellPath).c_str());
+    total -= e.bytes;
+    ++stats_.evicted;
+  }
 }
 
 }  // namespace mbf

@@ -68,6 +68,8 @@ class CellFractureCache {
     int misses = 0;
     int rejected = 0;  ///< integrity failures, never silently reused
     int stored = 0;
+    int ioErrors = 0;  ///< store/load I/O failures (each one warns once)
+    int evicted = 0;   ///< entries removed by the quota sweep
   };
 
   explicit CellFractureCache(std::string dir) : dir_(std::move(dir)) {}
@@ -76,19 +78,44 @@ class CellFractureCache {
   Status prepare();
 
   /// Looks up `key`; fills `out` only on kHit. A rejected entry stays on
-  /// disk until the caller store()s a fresh result over it.
+  /// disk until the caller store()s a fresh result over it. When the
+  /// cache is disabled every lookup is a kMiss.
   Lookup load(const std::string& key, CellFracture& out);
 
-  /// Atomically writes the entry and its sidecar.
+  /// Atomically writes the entry and its sidecar. The cache is an
+  /// optimization, never a correctness dependency: a write failure
+  /// disables the cache for the rest of the run (degrade, don't die)
+  /// and is returned once so the caller can log a counted warning; all
+  /// later store()s are silent no-ops. After a successful store the
+  /// quota sweep runs if a quota is set.
   Status store(const std::string& key, const CellFracture& cell);
+
+  /// Best-effort size cap on the cache directory (0 = unlimited).
+  /// After each store, if `.cell` + `.sha256` bytes exceed the quota,
+  /// entries are evicted oldest-mtime-first — skipping every key this
+  /// run touched (hit or stored), which must stay warm for a --verify
+  /// or an immediate re-run.
+  void setQuotaBytes(std::int64_t bytes) { quotaBytes_ = bytes; }
+
+  /// Stops all cache I/O for the rest of the run, remembering the first
+  /// cause. load() degrades to kMiss, store() to a no-op.
+  void disable(Status cause);
+  bool disabled() const { return disabled_; }
+  const Status& disableCause() const { return disableCause_; }
 
   std::string pathFor(const std::string& key) const;
   const std::string& dir() const { return dir_; }
   const Stats& stats() const { return stats_; }
 
  private:
+  void enforceQuota();
+
   std::string dir_;
   Stats stats_;
+  std::int64_t quotaBytes_ = 0;
+  bool disabled_ = false;
+  Status disableCause_;
+  std::vector<std::string> touchedKeys_;
 };
 
 }  // namespace mbf

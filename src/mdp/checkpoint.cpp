@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
 #include <mutex>
@@ -9,6 +10,7 @@
 #include "io/atomic_file.h"
 #include "parallel/parallel_for.h"
 #include "parallel/thread_pool.h"
+#include "support/sysio.h"
 
 namespace mbf {
 namespace {
@@ -182,7 +184,7 @@ Status decodeShapeRecord(std::string_view bytes, ShapeRecord& out) {
     return Status(StatusCode::kParseError,
                   "shape record is truncated or has trailing bytes");
   }
-  if (code > static_cast<std::uint8_t>(StatusCode::kInternal)) {
+  if (code > static_cast<std::uint8_t>(StatusCode::kNotFound)) {
     return Status(StatusCode::kParseError,
                   "shape record carries unknown status code " +
                       std::to_string(code));
@@ -304,6 +306,7 @@ Status fractureLayoutJournaled(const std::vector<LayoutShape>& shapes,
   // since replay installs by index and the merge below is input-ordered.
   std::mutex appendErrorMutex;
   Status appendError;
+  std::atomic<bool> journalBroken{false};
   const int threads = ThreadPool::resolveThreads(config.threads);
   parallelFor(0, static_cast<int>(pending.size()), threads, 1, [&](int k) {
     const auto s = static_cast<std::size_t>(pending[static_cast<std::size_t>(k)]);
@@ -316,19 +319,35 @@ Status fractureLayoutJournaled(const std::vector<LayoutShape>& shapes,
     // An interrupted shape was never attempted: journaling it would make
     // a later --resume replay the empty solution as finished work.
     if (outcome.interrupted) return;
+    // Degrade, don't die: the first append failure downgrades the run to
+    // unjournaled completion. Remaining shapes still fracture — their
+    // results live in `out` and ship with the batch — we just stop
+    // issuing appends that a full filer would fail one by one.
+    if (journalBroken.load(std::memory_order_relaxed)) return;
     ShapeRecord record{base + static_cast<int>(s), out.solutions[s],
                        out.reports[s]};
     const Status appended = journal.append(encodeShapeRecord(record));
     if (!appended.ok()) {
+      journalBroken.store(true, std::memory_order_relaxed);
       std::lock_guard<std::mutex> lock(appendErrorMutex);
       if (appendError.ok()) appendError = appended;
     }
   });
 
+  // Surface a close-time error (satellite of DESIGN.md section 18): under
+  // kEachRecord a failed ::close() can mean the last records never became
+  // durable, which must hold back the seal exactly like an append error.
+  Status closed = journal.closeChecked();
+  if (!closed.ok() && appendError.ok()) {
+    journalBroken.store(true, std::memory_order_relaxed);
+    appendError = closed;
+  }
+
   mergeBatchAggregates(out, shapeStats);
   out.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
+  counters.journalDowngraded = !appendError.ok();
   if (countersOut != nullptr) *countersOut = counters;
 
   // Seal a fully-journaled run with its digest so downstream consumers
@@ -343,12 +362,17 @@ Status fractureLayoutJournaled(const std::vector<LayoutShape>& shapes,
       if (sealed.ok()) sealed = writeHashSidecar(options.journalPath, hex);
       if (!sealed.ok()) return sealed;
     } else {
-      ::unlink(sidecarPathFor(options.journalPath).c_str());
+      sysio::unlink(sidecarPathFor(options.journalPath).c_str());
     }
+  } else {
+    // The journal stopped short of the batch: drop any stale seal from a
+    // previous attempt so --resume/--verify never trust it as complete.
+    sysio::unlink(sidecarPathFor(options.journalPath).c_str());
   }
 
   // An append failure does not invalidate the in-memory batch, but the
-  // journal is no longer a faithful checkpoint — surface it.
+  // journal is no longer a faithful checkpoint — surface it. Callers
+  // read countersOut->journalDowngraded to keep the completed work.
   return appendError;
 }
 

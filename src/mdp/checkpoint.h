@@ -58,6 +58,14 @@ struct RunCounters {
   /// Worker journals rejected (and re-run) because their bytes failed
   /// the SHA-256 seal the worker wrote at clean completion.
   int corruptJournals = 0;
+  /// Orphaned `*.tmp.<pid>` files of dead writers removed by the
+  /// stale-temp sweep (--resume and supervisor harvest).
+  int staleTempsRemoved = 0;
+  /// A journal append (or close under kEachRecord) failed mid-batch and
+  /// the run completed unjournaled: every shape's result is in the
+  /// output, but the journal on disk is not a faithful checkpoint and
+  /// its seal was dropped. A later --resume recomputes what is missing.
+  bool journalDowngraded = false;
 };
 
 struct JournaledRunOptions {

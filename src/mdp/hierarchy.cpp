@@ -254,8 +254,12 @@ Status fractureGdsHierarchical(const GdsLibrary& lib,
   CellFractureCache cache(options.cellCacheDir);
   const bool useCache = !options.cellCacheDir.empty();
   if (useCache) {
-    status = cache.prepare();
-    if (!status.ok()) return status;
+    // Degrade, don't die: an uncreatable cache directory (read-only
+    // filer, quota) costs cross-run reuse, never the run itself. Every
+    // lookup below reads as a miss and every cell fractures fresh.
+    Status prep = cache.prepare();
+    if (!prep.ok()) cache.disable(prep);
+    cache.setQuotaBytes(options.cellCacheQuotaBytes);
   }
   std::vector<int> missEntries;
   for (int i = 0; i < static_cast<int>(entries.size()); ++i) {
@@ -311,8 +315,9 @@ Status fractureGdsHierarchical(const GdsLibrary& lib,
   // Store freshly fractured cells — but only CLEAN ones. A degraded or
   // interrupted result is wall-clock dependent (time budgets) or
   // unfinished; replaying it from the cache would freeze an accident of
-  // this run's scheduling into every future run.
-  Status storeStatus;
+  // this run's scheduling into every future run. A store failure
+  // disables the cache (inside store()) and is NOT a run failure: the
+  // results being stored are already in memory and ship below.
   if (useCache) {
     for (const int index : missEntries) {
       const Entry& entry = entries[index];
@@ -324,8 +329,16 @@ Status fractureGdsHierarchical(const GdsLibrary& lib,
         }
       }
       if (!clean) continue;
-      const Status s = cache.store(entry.key, entry.fracture);
-      if (!s.ok() && storeStatus.ok()) storeStatus = s;
+      (void)cache.store(entry.key, entry.fracture);
+      if (cache.disabled()) break;  // further stores are no-ops anyway
+    }
+  }
+  if (useCache) {
+    out.cellCacheIoErrors = cache.stats().ioErrors;
+    out.cellCacheEvicted = cache.stats().evicted;
+    out.cellCacheDisabled = cache.disabled();
+    if (cache.disabled()) {
+      out.cellCacheDisableCause = cache.disableCause().str();
     }
   }
 
@@ -363,7 +376,7 @@ Status fractureGdsHierarchical(const GdsLibrary& lib,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
   out.batch.wallSeconds = out.wallSeconds;
-  return storeStatus;
+  return {};
 }
 
 }  // namespace mbf

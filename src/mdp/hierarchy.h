@@ -32,6 +32,10 @@ struct HierOptions {
   /// Persistent cell-fracture cache directory; empty = in-memory
   /// dedupe only (each unique cell still fractures once per run).
   std::string cellCacheDir;
+  /// Best-effort byte cap on the cache directory (0 = unlimited): after
+  /// each store, least-recently-modified entries NOT touched by this
+  /// run are evicted until under the cap (--cell-cache-quota-mb).
+  std::int64_t cellCacheQuotaBytes = 0;
 };
 
 struct HierarchicalResult {
@@ -61,6 +65,14 @@ struct HierarchicalResult {
   int cellCacheHits = 0;
   int cellCacheMisses = 0;
   int cellCacheRejected = 0;
+  /// Cache I/O failures and quota evictions this run (section 18: the
+  /// cache degrades — a failure disables it with a counted warning and
+  /// the run completes uncached).
+  int cellCacheIoErrors = 0;
+  int cellCacheEvicted = 0;
+  bool cellCacheDisabled = false;
+  /// First failure that disabled the cache, one line, for the warning.
+  std::string cellCacheDisableCause;
   /// Cell placements materialised during expansion.
   std::int64_t instancesExpanded = 0;
   double wallSeconds = 0.0;
@@ -102,8 +114,9 @@ Status hierarchicalInstanceShapes(const GdsLibrary& lib,
 /// errors (no unique top, reference cycle, depth overflow, placement
 /// outside int32) return a Status naming the cell chain; `out` then
 /// holds whatever was computed and must not be shipped. Cache I/O
-/// failures on store are returned after the result is complete — the
-/// fracture itself is still valid.
+/// failures (prepare, load, store) never fail the run: the cache is
+/// disabled for the remainder with a counted warning surfaced via the
+/// cellCache* result fields (degrade, don't die — section 18).
 Status fractureGdsHierarchical(const GdsLibrary& lib,
                                const BatchConfig& config,
                                const HierOptions& options,

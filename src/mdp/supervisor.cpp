@@ -19,6 +19,7 @@
 #include "io/atomic_file.h"
 #include "support/interrupt.h"
 #include "support/journal.h"
+#include "support/sysio.h"
 
 namespace mbf {
 namespace {
@@ -145,7 +146,7 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
         Status(StatusCode::kInvalidArgument, "supervisor needs numShapes > 0");
     return result;
   }
-  if (::mkdir(config.workDir.c_str(), 0755) != 0 && errno != EEXIST) {
+  if (sysio::mkdir(config.workDir.c_str(), 0755) != 0 && errno != EEXIST) {
     result.status = Status(StatusCode::kIoError,
                            "cannot create supervisor work dir '" +
                                config.workDir + "': " + std::strerror(errno));
@@ -309,8 +310,8 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
               rangeLabel(task) +
               ": journal failed its integrity seal (" + sealed.message() +
               "); discarding and re-running");
-          ::unlink(worker.journalPath.c_str());
-          ::unlink(sidecarPathFor(worker.journalPath).c_str());
+          sysio::unlink(worker.journalPath.c_str());
+          sysio::unlink(sidecarPathFor(worker.journalPath).c_str());
           if (traceEnabled()) {
             TraceRecorder::instance().instant("journal-seal-reject " +
                                               rangeLabel(task));
@@ -340,18 +341,50 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
       }
 
       // Config-level failures poison every future worker identically;
-      // retrying or bisecting them would only spin.
+      // retrying or bisecting them would only spin. Within that class,
+      // ENOSPC gets its own treatment (section 18): a full filer fails
+      // every future worker AND every retry, so the run ABORTS — stop
+      // spawning, terminate the rest, keep everything already journaled,
+      // and name the cause so the manifest reports why the run is
+      // partial instead of grinding the backoff/bisect ladder against a
+      // disk that cannot take another byte.
       if (exited && (exitCode == 2 || exitCode == 3 || exitCode == 127)) {
+        const std::string tail = logTail(worker.logPath);
+        const bool enospc =
+            exitCode == 3 &&
+            (tail.find("No space left on device") != std::string::npos ||
+             tail.find("ENOSPC") != std::string::npos ||
+             tail.find("Disk quota exceeded") != std::string::npos);
+        if (enospc) {
+          result.abortCause =
+              "worker for shapes [" + std::to_string(task.begin) + ", " +
+              std::to_string(task.end) +
+              ") hit ENOSPC; aborting instead of retrying: " + tail;
+          log("ENOSPC abort: " + result.abortCause);
+          if (traceEnabled()) {
+            TraceRecorder::instance().instant("enospc-abort " +
+                                              rangeLabel(task));
+          }
+          queue.clear();
+          for (const RunningWorker& rw : running) ::kill(rw.pid, SIGTERM);
+          // Not `fatal`: the harvested records are good and ship as a
+          // partial result. The loop drains the remaining workers.
+          draining = true;
+          continue;
+        }
         fatal = Status(StatusCode::kInternal,
                        "worker for shapes [" + std::to_string(task.begin) +
                            ", " + std::to_string(task.end) + ") exited " +
                            std::to_string(exitCode) +
-                           " (bad arguments / unrunnable): " +
-                           logTail(worker.logPath));
+                           " (bad arguments / unrunnable): " + tail);
         break;
       }
 
       ++result.counters.crashedWorkers;
+      // A worker died abnormally somewhere in its range: its atomic
+      // writes may have left `.tmp.<pid>` debris in the work dir. The
+      // pid is reaped, so the sweep can prove the files orphaned.
+      result.counters.staleTempsRemoved += sweepStaleTempFiles(config.workDir);
       const std::string why =
           !journalTrusted
               ? "wrote a journal failing its integrity seal"
@@ -469,6 +502,10 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
     ::waitpid(w.pid, &wstatus, 0);
   }
 
+  // Final hygiene pass: every worker pid is reaped by now, so any
+  // `.tmp.<pid>` left by a killed or crashed worker is provably orphaned.
+  result.counters.staleTempsRemoved += sweepStaleTempFiles(config.workDir);
+
   if (fatal.ok()) {
     // From the batch's viewpoint every shape was produced this run (the
     // resume machinery workers use internally only avoids re-work
@@ -483,7 +520,15 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
       ShapeRecord record;
       record.shapeIndex = i;
       record.solution.method = "empty";
-      if (result.interrupted) {
+      if (!result.abortCause.empty()) {
+        record.solution.degraded = true;
+        record.report.degraded = true;
+        record.report.status =
+            Status(StatusCode::kResourceExhausted,
+                   "run aborted before any worker fractured this shape (" +
+                       result.abortCause + ")")
+                .withShape(i);
+      } else if (result.interrupted) {
         record.report.interrupted = true;
         record.report.status =
             Status(StatusCode::kBudgetExceeded,

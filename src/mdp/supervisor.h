@@ -89,6 +89,15 @@ struct SupervisorResult {
   /// Each keeps its recording worker's pid; a worker that died before
   /// writing its file simply contributes nothing.
   std::vector<TraceSpan> workerSpans;
+  /// Non-empty when the run was ABORTED rather than retried to
+  /// completion: a worker hit a condition every future worker would hit
+  /// identically (today: ENOSPC on the shared filer). No new workers
+  /// were spawned, running ones were terminated, and every unjournaled
+  /// shape carries a degraded record naming this cause. The caller
+  /// reports the partial result (exit 5) with this string in the
+  /// manifest instead of burning the retry/bisect ladder against a full
+  /// disk.
+  std::string abortCause;
 };
 
 SupervisorResult superviseFracture(const SupervisorConfig& config);

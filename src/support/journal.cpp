@@ -11,6 +11,7 @@
 #include <limits>
 
 #include "io/atomic_file.h"
+#include "support/sysio.h"
 #include "support/telemetry.h"
 
 namespace mbf {
@@ -54,7 +55,7 @@ Status ioError(const std::string& what, const std::string& path) {
 /// write() in full, retrying short writes and EINTR.
 bool writeAll(int fd, const char* data, std::size_t size) {
   while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
+    const ssize_t n = sysio::write(fd, data, size);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;
@@ -81,11 +82,19 @@ Status recoverJournal(const std::string& path, std::string& metaOut,
                       JournalRecoveryStats* statsOut) {
   TraceScope traceReplay("journal-replay");
   JournalRecoveryStats stats;
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return ioError("cannot open journal", path);
-  std::string bytes((std::istreambuf_iterator<char>(is)),
-                    std::istreambuf_iterator<char>());
-  is.close();
+  std::string bytes;
+  {
+    // Through the sysio-routed reader so recovery itself is drillable —
+    // an EIO mid-replay must surface, not truncate silently. A missing
+    // journal keeps the historical kIoError contract.
+    Status rd = readFileToString(path, bytes);
+    if (!rd.ok()) {
+      if (rd.code() == StatusCode::kNotFound) {
+        return Status(StatusCode::kIoError, rd.message());
+      }
+      return rd;
+    }
+  }
   stats.fileBytes = static_cast<std::int64_t>(bytes.size());
 
   // Header. A journal too short for the fixed header, or with the wrong
@@ -136,16 +145,30 @@ JournalWriter::~JournalWriter() { close(); }
 
 void JournalWriter::close() {
   if (fd_ >= 0) {
-    ::close(fd_);
+    sysio::close(fd_);
     fd_ = -1;
   }
+}
+
+Status JournalWriter::closeChecked() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (fd_ < 0) return {};
+  const int rc = sysio::close(fd_);
+  const int err = errno;
+  fd_ = -1;
+  if (rc != 0 && fsync_ == JournalFsync::kEachRecord) {
+    return Status(StatusCode::kIoError,
+                  std::string("journal close failed: ") + std::strerror(err));
+  }
+  return {};
 }
 
 Status JournalWriter::create(const std::string& path, std::string_view meta,
                              JournalFsync fsync) {
   close();
   fsync_ = fsync;
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  fd_ = sysio::open(path.c_str(),
+                    O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd_ < 0) return ioError("cannot create journal", path);
   std::string header(kMagic, sizeof(kMagic));
   putU32(header, kVersion);
@@ -188,9 +211,8 @@ Status JournalWriter::openForAppend(const std::string& path,
     // it is just a fresh run. Only when the on-disk bytes are a strict
     // prefix of the header this run would write, though; anything else
     // is a foreign file and keeps the recovery error.
-    std::ifstream is(path, std::ios::binary);
-    const std::string bytes((std::istreambuf_iterator<char>(is)),
-                            std::istreambuf_iterator<char>());
+    std::string bytes;
+    (void)readFileToString(path, bytes);  // unreadable reads as empty
     std::string header(kMagic, sizeof(kMagic));
     putU32(header, kVersion);
     putU32(header, static_cast<std::uint32_t>(meta.size()));
@@ -212,7 +234,7 @@ Status JournalWriter::openForAppend(const std::string& path,
                       storedMeta + "', expected '" + std::string(meta) + "')");
   }
   fsync_ = fsync;
-  fd_ = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  fd_ = sysio::open(path.c_str(), O_WRONLY | O_CLOEXEC);
   if (fd_ < 0) return ioError("cannot reopen journal", path);
   // Drop the torn tail so new records never follow garbage.
   if (::ftruncate(fd_, static_cast<off_t>(stats.validBytes)) != 0) {
@@ -250,7 +272,7 @@ Status JournalWriter::append(std::string_view payload) {
                   std::string("journal append failed: ") +
                       std::strerror(errno));
   }
-  if (fsync_ == JournalFsync::kEachRecord && ::fsync(fd_) != 0) {
+  if (fsync_ == JournalFsync::kEachRecord && sysio::fsync(fd_) != 0) {
     return Status(StatusCode::kIoError,
                   std::string("journal fsync failed: ") +
                       std::strerror(errno));
@@ -261,7 +283,7 @@ Status JournalWriter::append(std::string_view payload) {
 Status JournalWriter::sync() {
   std::lock_guard<std::mutex> lock(mutex_);
   if (fd_ < 0) return {};
-  if (::fsync(fd_) != 0) {
+  if (sysio::fsync(fd_) != 0) {
     return Status(StatusCode::kIoError,
                   std::string("journal fsync failed: ") +
                       std::strerror(errno));

@@ -98,6 +98,14 @@ class JournalWriter {
   bool isOpen() const { return fd_ >= 0; }
   void close();
 
+  /// close() that checks the ::close(2) return. Under kEachRecord a
+  /// failed close can mean dirty metadata never reached disk, so it
+  /// surfaces as kIoError (the seal path must not stamp a journal whose
+  /// close reported EIO); under kNone we only ever promised page-cache
+  /// durability, so the error is swallowed like close() always did.
+  /// kOk on an already-closed writer.
+  Status closeChecked();
+
  private:
   int fd_ = -1;
   JournalFsync fsync_ = JournalFsync::kNone;

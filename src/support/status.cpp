@@ -18,6 +18,7 @@ const char* toString(StatusCode code) {
     case StatusCode::kExecFault: return "EXEC_FAULT";
     case StatusCode::kInfeasible: return "INFEASIBLE";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kNotFound: return "NOT_FOUND";
   }
   return "?";
 }

@@ -33,6 +33,7 @@ enum class StatusCode : std::uint8_t {
   kExecFault,          ///< exception escaped a fracture stage
   kInfeasible,         ///< completed but the Eq. 4 constraints fail
   kInternal,           ///< invariant violation (a bug, not bad input)
+  kNotFound,           ///< file/entry absent (distinct from an I/O fault)
 };
 
 const char* toString(StatusCode code);

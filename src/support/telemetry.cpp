@@ -646,8 +646,12 @@ std::string buildRunManifest(const RunManifestInfo& info,
   w.key("version").value(1);
   // "interrupted" = a SIGTERM/SIGINT drain ended the run early; every
   // record present is still valid, shapes never started are reported
-  // with a BUDGET_EXCEEDED interruption status.
-  w.key("status").value(info.interrupted ? "interrupted" : "completed");
+  // with a BUDGET_EXCEEDED interruption status. "aborted" = the
+  // supervisor stopped the run on a condition retries cannot fix
+  // (ENOSPC); the cause is in recovery.abort_cause.
+  w.key("status").value(!info.abortCause.empty()
+                            ? "aborted"
+                            : info.interrupted ? "interrupted" : "completed");
 
   w.key("input").beginObject();
   w.key("path").value(info.inputPath);
@@ -746,6 +750,15 @@ std::string buildRunManifest(const RunManifestInfo& info,
   w.key("cache_hits").value(info.hier.cacheHits);
   w.key("cache_misses").value(info.hier.cacheMisses);
   w.key("cache_rejected").value(info.hier.cacheRejected);
+  if (info.hier.cacheIoErrors > 0) {
+    w.key("cache_io_errors").value(info.hier.cacheIoErrors);
+  }
+  if (info.hier.cacheEvicted > 0) {
+    w.key("cache_evicted").value(info.hier.cacheEvicted);
+  }
+  if (info.hier.cacheDisabled) {
+    w.key("cache_disabled").value(true);
+  }
   w.key("instances_expanded").value(info.hier.instancesExpanded);
   w.key("instantiated_shapes")
       .value(info.hier.enabled
@@ -769,6 +782,18 @@ std::string buildRunManifest(const RunManifestInfo& info,
   w.key("hung_workers").value(counters.hungWorkers);
   w.key("crashed_shapes").value(counters.crashedShapes);
   w.key("corrupt_journals").value(counters.corruptJournals);
+  // Degradation fields (section 18) are emitted only when set: a clean
+  // run's manifest stays byte-identical across binary versions, which
+  // the disarmed-vs-pre-PR identity check depends on.
+  if (counters.journalDowngraded) {
+    w.key("journal_downgraded").value(true);
+  }
+  if (counters.staleTempsRemoved > 0) {
+    w.key("stale_temps_removed").value(counters.staleTempsRemoved);
+  }
+  if (!info.abortCause.empty()) {
+    w.key("abort_cause").value(info.abortCause);
+  }
   w.key("isolated_shapes").beginArray();
   for (const int s : info.isolatedShapes) w.value(s);
   w.endArray();

@@ -284,6 +284,12 @@ struct RunManifestInfo {
   /// SIGTERM/SIGINT graceful drain: the run is partial by design and the
   /// manifest is stamped "interrupted".
   bool interrupted = false;
+  /// Non-empty when a supervised run ABORTED (e.g. worker ENOSPC — see
+  /// SupervisorResult::abortCause): the manifest is stamped "aborted"
+  /// and carries the cause in recovery.abort_cause. Both are emitted
+  /// only when set, so a clean run's manifest is byte-identical to one
+  /// built before this field existed.
+  std::string abortCause;
   /// Original indices of shapes re-fractured by the --selfcheck repair
   /// ladder after failing the inline audit.
   std::vector<int> repairedShapes;
@@ -305,6 +311,11 @@ struct RunManifestInfo {
     int cacheMisses = 0;
     int cacheRejected = 0;
     std::int64_t instancesExpanded = 0;
+    /// Section-18 degradation counters, emitted only when non-zero so
+    /// clean manifests stay byte-identical across binary versions.
+    int cacheIoErrors = 0;
+    int cacheEvicted = 0;
+    bool cacheDisabled = false;
   };
   HierInfo hier;
 };

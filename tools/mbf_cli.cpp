@@ -71,6 +71,11 @@
 //                                geometry + fracture parameters are
 //                                reused across runs; a warm run
 //                                fractures only misses
+//   --cell-cache-quota-mb=<n>    soft size cap on the cell cache:
+//                                after each store, least-recently-
+//                                modified entries are evicted until
+//                                the cache fits, never evicting an
+//                                entry this run touched
 //   --top-cell=<name>            top structure (default: the unique
 //                                structure no SREF/AREF references);
 //                                also applies to flat .gds runs, whose
@@ -113,7 +118,9 @@
 //   0  every shape fractured by the primary method, Eq. 4 feasible
 //   1  completed, but some shapes degraded to rect-partition fracturing
 //   2  usage / bad argument, or an auxiliary output (--svg, --gds-out,
-//      --metrics-json, --trace-json) could not be written
+//      --metrics-json, --trace-json) could not be written, or a journal
+//      append failed mid-batch and the run completed unjournaled (the
+//      .shots artifact is intact; the journal artifact was dropped)
 //   3  input or output I/O error (unreadable, unparseable, empty input),
 //      or a fatal journal/supervisor error
 //   4  completed without degradation but with failing pixels — or, with
@@ -121,7 +128,9 @@
 //   5  partial success: completed, but one or more shapes crashed their
 //      worker and were crash-isolated (bisected to the culprit and
 //      degraded via the fallback ladder) — or the run was interrupted
-//      (SIGTERM/SIGINT) and drained gracefully
+//      (SIGTERM/SIGINT) and drained gracefully — or a supervised run
+//      aborted early (a worker hit ENOSPC every future worker would hit
+//      too; the manifest names the cause in recovery.abort_cause)
 //   6  integrity failure: --verify found a hash/claim discrepancy, or a
 //      --selfcheck shape still failed its audit after repair
 #include <sys/stat.h>
@@ -182,7 +191,8 @@ int usage() {
                "[--journal=path] [--resume] [--fsync=none|each] "
                "[--isolate] [--jobs=n] [--worker-timeout-ms=ms] "
                "[--retries=n] [--backoff-ms=ms] [--selfcheck] "
-               "[--hier] [--cell-cache=dir] [--top-cell=name] "
+               "[--hier] [--cell-cache=dir] [--cell-cache-quota-mb=n] "
+               "[--top-cell=name] "
                "[--inject=kind@i,...] [--inject-every=kind@n]\n"
                "       mbf_cli --verify <run-dir-or-manifest.json> "
                "[--threads=n]\n";
@@ -279,6 +289,7 @@ int main(int argc, char** argv) {
   // Hierarchical production path (DESIGN.md section 17).
   bool hier = false;
   std::string cellCacheDir;
+  int cellCacheQuotaMb = 0;
   std::string topCell;
 
   // Crash-recovery mode flags.
@@ -371,6 +382,10 @@ int main(int argc, char** argv) {
     } else if (key == "--cell-cache") {
       cellCacheDir = value;
       if (cellCacheDir.empty()) error = "must be a directory path";
+    } else if (key == "--cell-cache-quota-mb") {
+      if (!parseInt(value, cellCacheQuotaMb) || cellCacheQuotaMb < 1) {
+        error = "must be an integer >= 1 (megabytes)";
+      }
     } else if (key == "--top-cell") {
       topCell = value;
       if (topCell.empty()) error = "must be a structure name";
@@ -515,6 +530,10 @@ int main(int argc, char** argv) {
     std::cerr << "--cell-cache requires --hier\n";
     return usage();
   }
+  if (cellCacheQuotaMb > 0 && cellCacheDir.empty()) {
+    std::cerr << "--cell-cache-quota-mb requires --cell-cache=<dir>\n";
+    return usage();
+  }
   if (!gdsInput && !topCell.empty()) {
     std::cerr << "--top-cell requires a .gds input\n";
     return usage();
@@ -525,6 +544,26 @@ int main(int argc, char** argv) {
     return usage();
   }
   if (injectorArmed) config.params.faultInjector = &injector;
+
+  // --resume cleanup: an earlier writer of the output or journal may
+  // have died inside atomicWriteFile, leaving `<name>.tmp.<pid>`
+  // orphans. Sweep the ones whose writer is provably dead so retries of
+  // a failing run do not accumulate temps (DESIGN.md section 18).
+  int sweptTemps = 0;
+  if (resume) {
+    const auto dirOf = [](const std::string& p) {
+      const std::size_t slash = p.find_last_of('/');
+      return slash == std::string::npos ? std::string(".") : p.substr(0, slash);
+    };
+    const std::string outDir = dirOf(outputPath);
+    const std::string jrnDir = dirOf(journalPath);
+    sweptTemps = sweepStaleTempFiles(outDir);
+    if (jrnDir != outDir) sweptTemps += sweepStaleTempFiles(jrnDir);
+    if (sweptTemps > 0) {
+      std::cerr << "resume: removed " << sweptTemps
+                << " stale temp file(s) left by dead writers\n";
+    }
+  }
 
   // Graceful drain: SIGTERM/SIGINT set a flag that fractureShapeGuarded
   // checks on entry, so started shapes finish (and are journaled) while
@@ -604,6 +643,7 @@ int main(int argc, char** argv) {
   RunCounters counters;
   bool haveCounters = false;
   std::vector<int> isolatedShapes;
+  std::string abortCause;
   RunManifestInfo::HierInfo hierInfo;
   // Record the flatten/expansion root even for flat .gds runs, so
   // --verify re-derives the layout from the same structure (an explicit
@@ -614,6 +654,8 @@ int main(int argc, char** argv) {
     HierOptions hierOptions;
     hierOptions.topStruct = topCell;
     hierOptions.cellCacheDir = cellCacheDir;
+    hierOptions.cellCacheQuotaBytes =
+        static_cast<std::int64_t>(cellCacheQuotaMb) * 1024 * 1024;
     HierarchicalResult hierResult;
     const Status st =
         fractureGdsHierarchical(gdsLib, config, hierOptions, hierResult);
@@ -633,6 +675,17 @@ int main(int argc, char** argv) {
     hierInfo.cacheMisses = hierResult.cellCacheMisses;
     hierInfo.cacheRejected = hierResult.cellCacheRejected;
     hierInfo.instancesExpanded = hierResult.instancesExpanded;
+    hierInfo.cacheIoErrors = hierResult.cellCacheIoErrors;
+    hierInfo.cacheEvicted = hierResult.cellCacheEvicted;
+    hierInfo.cacheDisabled = hierResult.cellCacheDisabled;
+    if (hierResult.cellCacheDisabled) {
+      // Degrade-don't-die: the cache is an accelerator, never a
+      // correctness dependency; a sick cache filesystem costs speed on
+      // the NEXT run, not this run's shots.
+      std::cerr << "cell-cache: disabled for the rest of the run after "
+                << hierResult.cellCacheIoErrors << " I/O error(s): "
+                << hierResult.cellCacheDisableCause << "\n";
+    }
     std::cerr << "hier: top '" << hierResult.topStruct << "', "
               << hierResult.reachableCells << " reachable cell(s), "
               << hierResult.cellCacheHits << " cache hit(s), "
@@ -659,6 +712,14 @@ int main(int argc, char** argv) {
       std::cerr << "supervisor: " << supResult.status.str() << "\n";
       return 3;
     }
+    if (!supResult.abortCause.empty()) {
+      // ENOSPC-style abort: every unjournaled shape carries a degraded
+      // record naming the cause; the harvested prefix still ships, the
+      // run exits 5 and the manifest is stamped "aborted".
+      std::cerr << "supervisor: run aborted: " << supResult.abortCause
+                << "\n";
+      abortCause = supResult.abortCause;
+    }
     for (TraceSpan& span : supResult.workerSpans) {
       TraceRecorder::instance().addForeign(std::move(span));
     }
@@ -681,9 +742,20 @@ int main(int argc, char** argv) {
     options.fsync = fsyncPolicy;
     const Status st =
         fractureLayoutJournaled(shapes, config, options, result, &counters);
+    counters.staleTempsRemoved += sweptTemps;
     if (!st.ok()) {
-      std::cerr << "journal: " << st.str() << "\n";
-      return 3;
+      if (counters.journalDowngraded && !workerMode) {
+        // Degrade-don't-die: the batch completed in memory; ship the
+        // shots and drop the (unsealed) journal artifact. The exit
+        // ladder reports 2 — an artifact the run was asked for is
+        // missing — not 3. Workers stay strict: their journal IS the
+        // product the supervisor harvests.
+        std::cerr << "journal: append failed mid-batch; completing "
+                     "unjournaled: " << st.str() << "\n";
+      } else {
+        std::cerr << "journal: " << st.str() << "\n";
+        return 3;
+      }
     }
     haveCounters = true;
   } else {
@@ -866,7 +938,9 @@ int main(int argc, char** argv) {
     artifacts.push_back(std::move(entry));
   };
   addArtifact("shots", outputPath, shotsSha256);
-  if (!journalPath.empty()) addArtifact("journal", journalPath, "");
+  if (!journalPath.empty() && !counters.journalDowngraded) {
+    addArtifact("journal", journalPath, "");
+  }
 
   if (!svgPath.empty()) {
     Rect view;
@@ -952,6 +1026,7 @@ int main(int argc, char** argv) {
     info.isolatedShapes = isolatedShapes;
     info.artifacts = artifacts;
     info.interrupted = interrupted;
+    info.abortCause = abortCause;
     info.repairedShapes = repairedShapes;
     info.ordered = orderForWriter;
     info.hier = hierInfo;
@@ -985,7 +1060,14 @@ int main(int argc, char** argv) {
               << counters.bisectedRanges << " bisected, "
               << counters.crashedWorkers << " crashed worker(s) ("
               << counters.hungWorkers << " hung), " << counters.crashedShapes
-              << " crash-isolated shape(s)\n";
+              << " crash-isolated shape(s)"
+              << (counters.staleTempsRemoved > 0
+                      ? ", " + std::to_string(counters.staleTempsRemoved) +
+                            " stale temp(s) swept"
+                      : std::string{})
+              << (counters.journalDowngraded ? " [journal downgraded]"
+                                             : "")
+              << "\n";
   }
 
   // A missing requested artifact outranks the quality ladder: the run
@@ -994,9 +1076,16 @@ int main(int argc, char** argv) {
   // An artifact that failed its own audit even after repair outranks
   // everything below: the output cannot be trusted.
   if (selfcheckFailed) return 6;
+  // The journal artifact was dropped mid-batch (degrade-don't-die):
+  // the shots are good, but an artifact the run was asked for is
+  // missing — same rank as a failed auxiliary output.
+  if (counters.journalDowngraded) return 2;
   // Graceful drain: the run is partial by design; the manifest says
   // "interrupted" and a --resume finishes it.
   if (interrupted) return 5;
+  // Supervised abort (e.g. ENOSPC): partial by design, like an
+  // interrupt, with the cause named in the manifest.
+  if (!abortCause.empty()) return 5;
 
   if (!config.allowDegradation) {
     // Strict mode: a shape that would have degraded is a failure.
