@@ -3,6 +3,7 @@
 #include <dirent.h>
 #include <fcntl.h>
 #include <signal.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <time.h>
 #include <unistd.h>
@@ -282,8 +283,17 @@ Status atomicWriteFile(const std::string& path, std::string_view data,
   // filesystem; pid-qualified so concurrent writers never collide.
   const std::string tmp =
       path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
-  const int fd = openRetry(tmp.c_str(),
-                           O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  // O_EXCL: the temp name embeds our pid, so an existing file can only
+  // be debris from a dead writer whose pid was recycled into ours —
+  // unlink it and retry once. Never silently O_TRUNC a name we did not
+  // create in this call.
+  int fd = openRetry(tmp.c_str(),
+                     O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (fd < 0 && errno == EEXIST) {
+    sysio::unlink(tmp.c_str());
+    fd = openRetry(tmp.c_str(),
+                   O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  }
   if (fd < 0) {
     return Status(StatusCode::kIoError,
                   "cannot create temp file '" + tmp + "': " +
@@ -340,6 +350,169 @@ Status readFileToString(const std::string& path, std::string& out) {
   return Status();
 }
 
+// --- Advisory liveness-lock protocol (DESIGN.md section 19) -----------
+//
+// Lock files are named `.mbf-live.<pid>.lck`. The flock(2) calls below
+// are deliberately raw (not routed through sysio): the protocol is
+// advisory hygiene, and a misreported probe must degrade toward "keep
+// the file", which the fallbacks below already do.
+
+namespace {
+
+std::string livenessLockPath(const std::string& dir, long pid) {
+  return dir + "/.mbf-live." + std::to_string(pid) + ".lck";
+}
+
+/// Parses `.mbf-live.<pid>.lck`; returns the pid or -1 on no match.
+long livenessLockPid(const std::string& name) {
+  constexpr std::string_view kPrefix = ".mbf-live.";
+  constexpr std::string_view kSuffix = ".lck";
+  if (name.size() <= kPrefix.size() + kSuffix.size()) return -1;
+  if (name.compare(0, kPrefix.size(), kPrefix) != 0) return -1;
+  if (name.compare(name.size() - kSuffix.size(), kSuffix.size(), kSuffix) !=
+      0) {
+    return -1;
+  }
+  const std::string pidText = name.substr(
+      kPrefix.size(), name.size() - kPrefix.size() - kSuffix.size());
+  if (pidText.empty() ||
+      pidText.find_first_not_of("0123456789") != std::string::npos) {
+    return -1;
+  }
+  const long pid = std::strtol(pidText.c_str(), nullptr, 10);
+  return pid > 0 ? pid : -1;
+}
+
+int flockRetry(int fd, int operation) {
+  int attempt = 0;
+  int rc;
+  do {
+    rc = ::flock(fd, operation);
+    if (rc != 0 && errno == EINTR) eintrBackoff(attempt++);
+  } while (rc != 0 && errno == EINTR);
+  return rc;
+}
+
+/// Probes the lock file at `path`. Returns kUnknown when the file does
+/// not exist (or cannot be opened), kLive when some process holds its
+/// flock, kDead when the file exists but nobody holds it.
+WriterLiveness probeLockFile(const std::string& path) {
+  const int fd = openRetry(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return WriterLiveness::kUnknown;
+  const int rc = flockRetry(fd, LOCK_SH | LOCK_NB);
+  if (rc == 0) {
+    // Nobody held the exclusive lock: the writer is provably dead.
+    sysio::close(fd);  // close releases our shared lock
+    return WriterLiveness::kDead;
+  }
+  sysio::close(fd);
+  if (errno == EWOULDBLOCK || errno == EAGAIN) return WriterLiveness::kLive;
+  // flock unsupported or failed oddly: refuse to condemn the writer.
+  return WriterLiveness::kLive;
+}
+
+}  // namespace
+
+DirLivenessLock::~DirLivenessLock() { release(); }
+
+void DirLivenessLock::acquire(const std::string& dir) {
+  if (held()) return;
+  path_ = livenessLockPath(dir, static_cast<long>(::getpid()));
+  // O_TRUNC discards tokens noted by a dead writer whose pid was
+  // recycled into ours (its lock cannot be held: pids are unique among
+  // live processes). The loop closes a small race with a concurrent
+  // sweeper: it may probe between our open and flock, see the file
+  // unheld, and unlink it — leaving us locked onto an orphaned inode.
+  // After locking, verify the path still names our inode; retry if not.
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    const int fd =
+        openRetry(path_.c_str(),
+                  O_WRONLY | O_CREAT | O_TRUNC | O_APPEND | O_CLOEXEC, 0644);
+    if (fd < 0) break;
+    if (flockRetry(fd, LOCK_EX | LOCK_NB) != 0) {
+      sysio::close(fd);
+      break;
+    }
+    struct stat byFd{}, byPath{};
+    if (::fstat(fd, &byFd) == 0 && ::stat(path_.c_str(), &byPath) == 0 &&
+        byFd.st_dev == byPath.st_dev && byFd.st_ino == byPath.st_ino) {
+      fd_ = fd;
+      return;
+    }
+    sysio::close(fd);
+  }
+  path_.clear();
+}
+
+void DirLivenessLock::note(const std::string& token) {
+  if (!held() || token.empty()) return;
+  const std::string line = token + "\n";
+  // Best-effort: a failed note only weakens eviction protection for
+  // this key, which the conservative probes tolerate.
+  (void)writeAllBytes(fd_, line.data(), line.size());
+}
+
+void DirLivenessLock::release() {
+  if (!held()) return;
+  // Unlink before close: a prober that already opened the file still
+  // holds an fd, and after our close its flock attempt succeeds — it
+  // correctly reads "dead". A prober arriving after the unlink sees no
+  // file at all (kUnknown), which is also safe.
+  sysio::unlink(path_.c_str());
+  sysio::close(fd_);  // drops the flock
+  fd_ = -1;
+  path_.clear();
+}
+
+WriterLiveness probeWriterLiveness(const std::string& dir, long pid) {
+  return probeLockFile(livenessLockPath(dir, pid));
+}
+
+std::vector<std::string> liveNotedTokens(const std::string& dir) {
+  std::vector<std::string> tokens;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return tokens;
+  for (struct dirent* ent = ::readdir(d); ent != nullptr;
+       ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (livenessLockPid(name) < 0) continue;
+    const std::string path = dir + "/" + name;
+    const WriterLiveness liveness = probeLockFile(path);
+    if (liveness == WriterLiveness::kDead) {
+      sysio::unlink(path.c_str());
+      continue;
+    }
+    if (liveness == WriterLiveness::kUnknown) continue;  // vanished
+    std::string content;
+    if (!readFileToString(path, content).ok()) continue;
+    std::size_t start = 0;
+    while (start < content.size()) {
+      std::size_t end = content.find('\n', start);
+      if (end == std::string::npos) end = content.size();
+      if (end > start) tokens.push_back(content.substr(start, end - start));
+      start = end + 1;
+    }
+  }
+  ::closedir(d);
+  return tokens;
+}
+
+int sweepStaleLivenessLocks(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return 0;
+  int removed = 0;
+  for (struct dirent* ent = ::readdir(d); ent != nullptr;
+       ent = ::readdir(d)) {
+    const std::string name = ent->d_name;
+    if (livenessLockPid(name) < 0) continue;
+    const std::string path = dir + "/" + name;
+    if (probeLockFile(path) != WriterLiveness::kDead) continue;
+    if (sysio::unlink(path.c_str()) == 0) ++removed;
+  }
+  ::closedir(d);
+  return removed;
+}
+
 int sweepStaleTempFiles(const std::string& dir) {
   DIR* d = ::opendir(dir.c_str());
   if (d == nullptr) return 0;
@@ -356,13 +529,27 @@ int sweepStaleTempFiles(const std::string& dir) {
     }
     const long pid = std::strtol(pidText.c_str(), nullptr, 10);
     if (pid <= 0) continue;
-    // kill(pid, 0) probes existence without signaling. EPERM means the
-    // pid exists but belongs to someone else — leave its temp alone.
-    if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH) continue;
+    switch (probeWriterLiveness(dir, pid)) {
+      case WriterLiveness::kLive:
+        continue;  // held flock beats any pid-based guess
+      case WriterLiveness::kDead:
+        break;  // provably dead even if the pid was recycled
+      case WriterLiveness::kUnknown:
+        // Pre-protocol writer: fall back to the conservative pid probe.
+        // kill(pid, 0) probes existence without signaling; EPERM means
+        // the pid exists but belongs to someone else — leave its temp
+        // alone (this can spare recycled-pid debris, never deletes a
+        // live writer's temp).
+        if (::kill(static_cast<pid_t>(pid), 0) == 0 || errno != ESRCH) {
+          continue;
+        }
+        break;
+    }
     const std::string path = dir + "/" + name;
     if (sysio::unlink(path.c_str()) == 0) ++removed;
   }
   ::closedir(d);
+  sweepStaleLivenessLocks(dir);
   return removed;
 }
 

@@ -21,6 +21,7 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "support/status.h"
 
@@ -79,12 +80,75 @@ Status atomicWriteFile(const std::string& path, std::string_view data,
 /// a genuine EIO or short read never masquerades as a missing file.
 Status readFileToString(const std::string& path, std::string& out);
 
-/// Removes orphaned `<artifact>.tmp.<pid>` files in `dir` whose pid no
-/// longer exists — debris from writers that died between open and
-/// rename. Temp files of live processes are left alone (a concurrent
-/// run may be mid-write). Returns the number removed; enumeration or
-/// unlink errors are best-effort-skipped (the sweep is hygiene, not
-/// correctness: an unremoved temp is invisible to readers).
+/// Advisory per-process liveness lock (DESIGN.md section 19). A process
+/// that writes into a shared directory acquires one of these: it creates
+/// `<dir>/.mbf-live.<pid>.lck` and holds an exclusive flock(2) on it for
+/// the object's lifetime. Sweepers and evictors probe the lock instead
+/// of guessing from the pid: a held flock proves the writer is alive
+/// even if its pid was recycled, and an unheld lock file proves it dead
+/// even if kill(pid, 0) says some (recycled) pid exists. The lock file
+/// doubles as a protection manifest: note() appends one token (a cache
+/// key, for the cell cache) per line, and liveNotedTokens() returns the
+/// union of tokens noted by every LIVE lock in the directory — the set
+/// a quota eviction must not touch. Lock acquisition is best-effort: on
+/// a filesystem without flock the object reports !held() and callers
+/// fall back to the conservative pre-lock behavior.
+class DirLivenessLock {
+ public:
+  DirLivenessLock() = default;
+  ~DirLivenessLock();
+  DirLivenessLock(const DirLivenessLock&) = delete;
+  DirLivenessLock& operator=(const DirLivenessLock&) = delete;
+
+  /// Creates and flocks `<dir>/.mbf-live.<pid>.lck`. Failure is not an
+  /// error Status — liveness protection simply degrades — but held()
+  /// reports it. Re-acquiring an already-held lock is a no-op.
+  void acquire(const std::string& dir);
+
+  /// Appends `token` + '\n' to the lock file (O_APPEND: atomic for
+  /// tokens far under PIPE_BUF). No-op when the lock is not held.
+  void note(const std::string& token);
+
+  /// Drops the flock and unlinks the lock file (clean shutdown leaves
+  /// no debris; a crashed process leaves an unheld file for sweepers).
+  void release();
+
+  bool held() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// What the liveness protocol can prove about the process that created
+/// `pid`-tagged files in `dir`.
+enum class WriterLiveness {
+  kLive,     ///< lock file exists and is flocked: the writer is alive
+  kDead,     ///< lock file exists but is NOT flocked: provably dead
+  kUnknown,  ///< no lock file: a pre-protocol or foreign writer
+};
+WriterLiveness probeWriterLiveness(const std::string& dir, long pid);
+
+/// Union of tokens noted by every LIVE liveness lock in `dir` (see
+/// DirLivenessLock::note). Unheld lock files contribute nothing and are
+/// unlinked in passing; enumeration errors return an empty set.
+std::vector<std::string> liveNotedTokens(const std::string& dir);
+
+/// Unlinks every `.mbf-live.<pid>.lck` in `dir` whose lock is no longer
+/// held. Hygiene only; returns the number removed.
+int sweepStaleLivenessLocks(const std::string& dir);
+
+/// Removes orphaned `<artifact>.tmp.<pid>` files in `dir` — debris from
+/// writers that died between open and rename. Liveness comes from the
+/// advisory-lock protocol first (a held lock spares the temp, an unheld
+/// lock file condemns it even when the pid was recycled by another
+/// process); only writers that never acquired a lock fall back to the
+/// conservative kill(pid, 0) probe, which can spare recycled-pid debris
+/// but never deletes a live writer's temp. Stale liveness locks are
+/// swept in the same pass. Returns the number of temp files removed;
+/// enumeration or unlink errors are best-effort-skipped (the sweep is
+/// hygiene, not correctness: an unremoved temp is invisible to readers).
 int sweepStaleTempFiles(const std::string& dir);
 
 /// Sidecar convention: `<artifact>.sha256` holds "<hex>  <basename>\n"

@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <unordered_set>
 
 #include "io/atomic_file.h"
 #include "mdp/checkpoint.h"
@@ -118,7 +119,19 @@ std::string cellFractureKey(const std::vector<LayoutShape>& shapes,
   return h.hexDigest();
 }
 
-Status CellFractureCache::prepare() { return makeDirs(dir_); }
+Status CellFractureCache::prepare() {
+  Status st = makeDirs(dir_);
+  if (!st.ok()) return st;
+  // Advisory liveness lock: announces this process to concurrent
+  // sharers of the directory so their quota sweeps spare our keys.
+  // Acquisition failure (no flock support) degrades protection, not
+  // correctness.
+  liveLock_.acquire(dir_);
+  // Debris of provably dead writers (crashed mid-store) is hygiene this
+  // run can do for free; live writers' temps are spared by their locks.
+  sweepStaleTempFiles(dir_);
+  return {};
+}
 
 std::string CellFractureCache::pathFor(const std::string& key) const {
   return dir_ + "/" + key + ".cell";
@@ -150,6 +163,15 @@ CellFractureCache::Lookup CellFractureCache::load(const std::string& key,
   {
     Status side = verifyHashSidecar(path);
     if (!side.ok()) {
+      // A `.cell` without its sidecar is an UNPUBLISHED entry, not a
+      // corrupt one: publication is two-phase (.cell, then .sha256) and
+      // we raced a concurrent writer between the renames — or a writer
+      // died there. Report a miss; the caller re-fractures and its
+      // store() completes the publication with identical bytes.
+      if (side.code() == StatusCode::kNotFound) {
+        ++stats_.misses;
+        return Lookup::kMiss;
+      }
       if (side.code() == StatusCode::kIoError) {
         ++stats_.ioErrors;
         disable(side);
@@ -213,6 +235,7 @@ CellFractureCache::Lookup CellFractureCache::load(const std::string& key,
   out = std::move(cell);
   ++stats_.hits;
   touchedKeys_.push_back(key);  // a hit must survive the quota sweep
+  liveLock_.note(key);  // ...including sweeps run by OTHER processes
   return Lookup::kHit;
 }
 
@@ -231,6 +254,15 @@ Status CellFractureCache::store(const std::string& key,
     ShapeRecord record;
     record.shapeIndex = static_cast<int>(i);  // cell-local index
     record.solution = cell.solutions[i];
+    // Canonical bytes: runtimeSeconds is the one wall-clock field in a
+    // Solution, so with it zeroed the entry's bytes are a pure function
+    // of the key. That is what makes concurrent publication races
+    // benign — two processes fracturing the same cell rename
+    // BIT-IDENTICAL payloads, so any interleaving of their `.cell` and
+    // `.sha256` renames leaves a self-consistent pair. With the wall
+    // clock left in, an interleaving can pair one writer's sidecar with
+    // the other's payload and the entry verifies as corrupt forever.
+    record.solution.runtimeSeconds = 0.0;
     record.report = cell.reports[i];
     const std::string encoded = encodeShapeRecord(record);
     putU32le(bytes, static_cast<std::uint32_t>(encoded.size()));
@@ -255,6 +287,7 @@ Status CellFractureCache::store(const std::string& key,
   }
   ++stats_.stored;
   touchedKeys_.push_back(key);  // this run's own entries are never evicted
+  liveLock_.note(key);          // ...nor evicted by a concurrent run
   if (quotaBytes_ > 0) enforceQuota();
   return {};
 }
@@ -293,15 +326,25 @@ void CellFractureCache::enforceQuota() {
   if (total <= quotaBytes_) return;
 
   // LRU by mtime, never evicting a key this run touched: those entries
-  // back results a --verify may re-derive minutes from now. If the
+  // back results a --verify may re-derive minutes from now. Keys noted
+  // by any concurrently LIVE process (its flock-held liveness lock in
+  // this directory) are equally protected — run A must not evict an
+  // entry run B stored seconds ago and is about to reload. If the
   // current run alone exceeds the quota, the cache simply runs over —
   // the quota is best-effort hygiene, not a hard reservation.
+  const std::vector<std::string> liveTokens = liveNotedTokens(dir_);
+  std::unordered_set<std::string> liveKeys(liveTokens.begin(),
+                                           liveTokens.end());
   std::sort(entries.begin(), entries.end(),
             [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
   for (const Entry& e : entries) {
     if (total <= quotaBytes_) break;
     if (std::find(touchedKeys_.begin(), touchedKeys_.end(), e.key) !=
         touchedKeys_.end()) {
+      continue;
+    }
+    if (liveKeys.count(e.key) != 0) {
+      ++stats_.evictionsSkippedLive;
       continue;
     }
     const std::string cellPath = dir_ + "/" + e.key + ".cell";

@@ -17,7 +17,12 @@
 // Determinism: solutions round trip bit-exactly (the cache reuses the
 // journal's binary ShapeRecord encoding — memcpy'd doubles, no text
 // formatting), so a warm run's output is byte-identical to the cold
-// run that populated the cache. The key deliberately EXCLUDES the
+// run that populated the cache. The one exception is deliberate:
+// Solution::runtimeSeconds — the only wall-clock field — is stored as
+// 0.0, making an entry's bytes a pure function of its key. A replayed
+// runtime would be a lie anyway (no fracture happened this run), and
+// canonical bytes are what make concurrent publication races benign
+// (below). The key deliberately EXCLUDES the
 // thread counts (results are byte-identical at any thread count, a
 // tested contract) and INCLUDES every other FractureParams field plus
 // method / strictness, so changing any result-relevant knob invalidates
@@ -25,11 +30,32 @@
 // a non-ok report are never stored — a time-budget degradation is
 // wall-clock dependent and must not be replayed as if it were the
 // shape's true result.
+//
+// Concurrency (DESIGN.md section 19): the cache directory is safe to
+// SHARE between simultaneously running processes. Publication is
+// two-phase (`.cell` rename, then `.sha256` rename) and a lookup that
+// observes the window between them — or a concurrent writer's
+// half-published entry — reports kMiss, not kRejected: the entry simply
+// is not published yet, and the caller re-fractures. Rename races on
+// one key are benign because the key addresses the content — every
+// writer of `<key>.cell` produces bit-identical bytes (wall-clock
+// runtime canonicalized to zero, see above), so last-writer-wins
+// replaces a file with itself and any interleaving of two writers'
+// `.cell`/`.sha256` renames leaves a self-consistent pair. Each process holds an advisory
+// flock-based liveness lock (`.mbf-live.<pid>.lck`, io/atomic_file) in
+// the cache directory and notes every key it loads or stores there;
+// quota eviction skips keys noted by any LIVE process (counted in
+// `evictionsSkippedLive`), and the stale-temp sweep never removes a
+// live writer's temp files. Within one process the class is still
+// single-threaded: the hierarchy driver does all cache I/O from the
+// coordinating thread (fracturing, not cache I/O, is the parallel
+// part).
 #pragma once
 
 #include <string>
 #include <vector>
 
+#include "io/atomic_file.h"
 #include "mdp/layout.h"
 #include "support/status.h"
 
@@ -52,14 +78,15 @@ std::string cellFractureKey(const std::vector<LayoutShape>& shapes,
                             const BatchConfig& config);
 
 /// On-disk cache: one `<dir>/<key>.cell` artifact per cell plus its
-/// `.sha256` sidecar. Not thread-safe; the hierarchy driver does all
+/// `.sha256` sidecar. Safe to share between processes (see the header
+/// comment); not thread-safe within one — the hierarchy driver does all
 /// cache I/O from the coordinating thread (fracturing, not cache I/O,
 /// is the parallel part).
 class CellFractureCache {
  public:
   enum class Lookup {
     kHit,       ///< verified entry decoded; `out` is filled
-    kMiss,      ///< no entry on disk
+    kMiss,      ///< no (fully published) entry on disk
     kRejected,  ///< entry failed sidecar/key/decode checks; re-fracture
   };
 
@@ -70,11 +97,16 @@ class CellFractureCache {
     int stored = 0;
     int ioErrors = 0;  ///< store/load I/O failures (each one warns once)
     int evicted = 0;   ///< entries removed by the quota sweep
+    /// Quota-sweep candidates spared because a concurrently LIVE
+    /// process noted the key in its liveness lock.
+    int evictionsSkippedLive = 0;
   };
 
   explicit CellFractureCache(std::string dir) : dir_(std::move(dir)) {}
 
-  /// Creates the cache directory (and parents) if absent.
+  /// Creates the cache directory (and parents) if absent, acquires this
+  /// process's liveness lock in it, and sweeps temp debris of provably
+  /// dead writers.
   Status prepare();
 
   /// Looks up `key`; fills `out` only on kHit. A rejected entry stays on
@@ -116,6 +148,7 @@ class CellFractureCache {
   bool disabled_ = false;
   Status disableCause_;
   std::vector<std::string> touchedKeys_;
+  DirLivenessLock liveLock_;
 };
 
 }  // namespace mbf

@@ -88,6 +88,13 @@ struct Reader {
 };
 
 constexpr std::uint8_t kRecordVersion = 1;
+// CellRecord frames lead with a different version byte so the two
+// record kinds never decode as each other (see checkpoint.h).
+constexpr std::uint8_t kCellRecordVersion = 2;
+// A cell-cache key is a 64-char sha256 hex digest; anything much longer
+// in a CellRecord frame is corruption, not a future format.
+constexpr std::int32_t kMaxCellKeyBytes = 256;
+constexpr std::int32_t kMaxCellShapes = 1 << 24;
 
 std::uint64_t fnv1a(std::uint64_t h, const void* data, std::size_t n) {
   const auto* p = static_cast<const unsigned char*>(data);
@@ -197,6 +204,89 @@ Status decodeShapeRecord(std::string_view bytes, ShapeRecord& out) {
   if (shapeIndex >= 0) out.report.status.withShape(shapeIndex);
   if (byteOffset >= 0) out.report.status.withOffset(byteOffset);
   return {};
+}
+
+std::string encodeCellRecord(const CellRecord& record) {
+  std::string out;
+  putU8(out, kCellRecordVersion);
+  putI32(out, record.cellIndex);
+  putString(out, record.key);
+  putI32(out, static_cast<std::int32_t>(record.solutions.size()));
+  for (std::size_t i = 0; i < record.solutions.size(); ++i) {
+    // Each cell-local result rides as a nested ShapeRecord frame with
+    // the cell-local index, reusing the tested shape codec verbatim.
+    ShapeRecord shape{static_cast<int>(i), record.solutions[i],
+                      i < record.reports.size() ? record.reports[i]
+                                                : ShapeReport{}};
+    putString(out, encodeShapeRecord(shape));
+  }
+  return out;
+}
+
+Status decodeCellRecord(std::string_view bytes, CellRecord& out) {
+  Reader r{bytes};
+  const std::uint8_t version = r.u8();
+  if (r.ok && version != kCellRecordVersion) {
+    return Status(StatusCode::kParseError,
+                  "unknown cell-record version " + std::to_string(version));
+  }
+  out = {};
+  out.cellIndex = r.i32();
+  out.key = r.str();
+  if (r.ok && static_cast<std::int32_t>(out.key.size()) > kMaxCellKeyBytes) {
+    return Status(StatusCode::kParseError,
+                  "cell record key is implausibly long (" +
+                      std::to_string(out.key.size()) + " bytes)");
+  }
+  const std::int32_t shapeCount = r.i32();
+  if (r.ok && (shapeCount < 0 || shapeCount > kMaxCellShapes)) {
+    return Status(StatusCode::kParseError,
+                  "cell record claims " + std::to_string(shapeCount) +
+                      " shapes");
+  }
+  if (r.ok) {
+    out.solutions.reserve(static_cast<std::size_t>(shapeCount));
+    out.reports.reserve(static_cast<std::size_t>(shapeCount));
+    for (std::int32_t i = 0; i < shapeCount && r.ok; ++i) {
+      const std::string frame = r.str();
+      if (!r.ok) break;
+      ShapeRecord shape;
+      Status dec = decodeShapeRecord(frame, shape);
+      if (!dec.ok()) {
+        return Status(StatusCode::kParseError,
+                      "cell record shape " + std::to_string(i) + ": " +
+                          dec.message());
+      }
+      if (shape.shapeIndex != i) {
+        return Status(StatusCode::kParseError,
+                      "cell record shape " + std::to_string(i) +
+                          " carries index " +
+                          std::to_string(shape.shapeIndex));
+      }
+      out.solutions.push_back(std::move(shape.solution));
+      out.reports.push_back(std::move(shape.report));
+    }
+  }
+  if (!r.ok || r.at != bytes.size()) {
+    return Status(StatusCode::kParseError,
+                  "cell record is truncated or has trailing bytes");
+  }
+  return {};
+}
+
+std::string cellJournalMetaFor(const std::string& topStruct,
+                               const std::vector<std::string>& cellKeys,
+                               int cellBegin, int cellEnd) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV offset basis
+  h = fnv1a(h, topStruct.data(), topStruct.size());
+  for (const std::string& key : cellKeys) {
+    h = fnv1a(h, key.data(), key.size());
+    const char sep = '\n';
+    h = fnv1a(h, &sep, 1);
+  }
+  return "mbf-cell-journal v1 cells=" + std::to_string(cellKeys.size()) +
+         " range=" + std::to_string(cellBegin) + ":" +
+         std::to_string(cellEnd) + " top=" + topStruct + " fp=" + hex(h);
 }
 
 std::string journalMetaFor(const std::vector<LayoutShape>& shapes,

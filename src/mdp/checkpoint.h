@@ -43,12 +43,45 @@ Status decodeShapeRecord(std::string_view bytes, ShapeRecord& out);
 std::string journalMetaFor(const std::vector<LayoutShape>& shapes,
                            const BatchConfig& config);
 
+/// One journaled unit of hierarchical work: a unique cell's complete
+/// fracture result, addressed by its index in the hierarchy plan (the
+/// first-visit order of unique cells under the top structure) and
+/// stamped with the cell-cache content key so replay can prove the
+/// record still describes the cell it claims to. Reports carry
+/// cell-local shape indices; instantiation re-stamps them.
+struct CellRecord {
+  int cellIndex = -1;
+  std::string key;  ///< cellFractureKey of the cell's shapes + config
+  std::vector<Solution> solutions;
+  std::vector<ShapeReport> reports;
+};
+
+/// Binary serialization of a CellRecord. The frame starts with version
+/// byte 2 where ShapeRecord frames start with 1, so the two record
+/// kinds are self-discriminating inside one journal stream: decoding a
+/// frame with the wrong decoder fails cleanly instead of misreading.
+std::string encodeCellRecord(const CellRecord& record);
+Status decodeCellRecord(std::string_view bytes, CellRecord& out);
+
+/// Header meta for a cell-level journal: cell count, the [begin, end)
+/// cell range this journal covers (workers journal a shard; the parent
+/// journal covers 0:n), the top structure, and an FNV-1a hash over the
+/// top name and every cell's content key in plan order. The keys
+/// already commit to the cell geometry and the result-relevant
+/// FractureParams, so a parameter or layout change reshapes the
+/// fingerprint exactly like journalMetaFor does for flat runs.
+std::string cellJournalMetaFor(const std::string& topStruct,
+                               const std::vector<std::string>& cellKeys,
+                               int cellBegin, int cellEnd);
+
 /// Crash-recovery bookkeeping surfaced in the mbf_cli degradation
 /// report. The journal layer fills the first three; the supervisor
 /// (mdp/supervisor) fills the rest.
 struct RunCounters {
   int resumedShapes = 0;   ///< replayed from the journal, not recomputed
   int freshShapes = 0;     ///< fractured by this process
+  int resumedCells = 0;    ///< hier: unique cells replayed from the journal
+  int freshCells = 0;      ///< hier: unique cells fractured this run
   bool tornTail = false;   ///< recovery truncated a partial record
   int retriedRanges = 0;   ///< worker ranges relaunched after a failure
   int bisectedRanges = 0;  ///< failing ranges split to localize a culprit

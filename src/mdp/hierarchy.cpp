@@ -1,11 +1,18 @@
 #include "mdp/hierarchy.h"
 
+#include <atomic>
 #include <chrono>
 #include <limits>
+#include <mutex>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
+#include "io/atomic_file.h"
 #include "mdp/cell_cache.h"
+#include "parallel/parallel_for.h"
+#include "parallel/thread_pool.h"
+#include "support/sysio.h"
 
 namespace mbf {
 namespace {
@@ -171,6 +178,96 @@ LayoutShape translatedShape(const LayoutShape& shape, Point offset) {
   return t;
 }
 
+/// Fallback-config content key of plan cell `i`, computed lazily and
+/// cached (only replays of a --degrade-only worker's records need one:
+/// such workers journal under a fallbackOnly=true key, which the parent
+/// — planning with fallbackOnly=false — must still accept as this
+/// cell's result).
+const std::string& fallbackKeyFor(const HierPlan& plan,
+                                  const BatchConfig& config, int i,
+                                  std::vector<std::string>& cache) {
+  if (cache.empty()) cache.resize(plan.cells.size());
+  std::string& slot = cache[static_cast<std::size_t>(i)];
+  if (slot.empty()) {
+    BatchConfig fallback = config;
+    fallback.fallbackOnly = true;
+    slot = cellFractureKey(plan.cells[static_cast<std::size_t>(i)].shapes,
+                           fallback);
+  }
+  return slot;
+}
+
+/// A journaled CellRecord is only installed if it provably describes
+/// the plan cell it claims: in-range index, the cell's content key
+/// (primary or fallback-only), and one solution per cell shape.
+Status validateCellRecord(const HierPlan& plan, const BatchConfig& config,
+                          const CellRecord& record,
+                          std::vector<std::string>& fallbackKeys) {
+  if (record.cellIndex < 0 ||
+      record.cellIndex >= static_cast<int>(plan.cells.size())) {
+    return Status(StatusCode::kInvalidArgument,
+                  "journal cell record for cell " +
+                      std::to_string(record.cellIndex) +
+                      " is outside this plan's " +
+                      std::to_string(plan.cells.size()) + " unique cells");
+  }
+  const HierPlan::Cell& cell =
+      plan.cells[static_cast<std::size_t>(record.cellIndex)];
+  if (record.key != cell.key &&
+      record.key != fallbackKeyFor(plan, config, record.cellIndex,
+                                   fallbackKeys)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "journal cell record for cell " +
+                      std::to_string(record.cellIndex) +
+                      " carries key " + record.key +
+                      " but the plan expects " + cell.key);
+  }
+  if (record.solutions.size() != cell.shapes.size()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "journal cell record for cell " +
+                      std::to_string(record.cellIndex) + " has " +
+                      std::to_string(record.solutions.size()) +
+                      " solutions but the cell has " +
+                      std::to_string(cell.shapes.size()) + " shapes");
+  }
+  return {};
+}
+
+/// Expands the plan: translates each instance's cell-local shapes and
+/// solutions into top coordinates in DFS order — the order a flat run
+/// sees — re-stamping non-ok statuses with the global instance index,
+/// then recomputes the batch aggregates. (mergeBatchAggregates resets
+/// refinerStats; callers restore the stats of what THEY fractured.)
+void instantiatePlan(const HierPlan& plan,
+                     const std::vector<CellFracture>& fractures,
+                     const BatchConfig& config, HierarchicalResult& out) {
+  for (const HierPlan::Instance& inst : plan.instances) {
+    const HierPlan::Cell& cell =
+        plan.cells[static_cast<std::size_t>(inst.cell)];
+    const CellFracture& fracture =
+        fractures[static_cast<std::size_t>(inst.cell)];
+    for (std::size_t i = 0; i < cell.shapes.size(); ++i) {
+      out.instanceShapes.push_back(translatedShape(cell.shapes[i],
+                                                   inst.offset));
+      Solution sol =
+          fracture.solutions.size() > i ? fracture.solutions[i] : Solution{};
+      for (Rect& shot : sol.shots) shot = shot.translated(inst.offset);
+      ShapeReport report =
+          fracture.reports.size() > i ? fracture.reports[i] : ShapeReport{};
+      if (!report.status.ok()) {
+        // Cell-local batch indices mean nothing in the expanded layout;
+        // re-stamp with the instance shape's global index.
+        report.status.withShape(
+            static_cast<int>(out.batch.solutions.size()) +
+            config.shapeIndexBase);
+      }
+      out.batch.solutions.push_back(std::move(sol));
+      out.batch.reports.push_back(std::move(report));
+    }
+  }
+  mergeBatchAggregates(out.batch, {});
+}
+
 }  // namespace
 
 Status hierarchicalInstanceShapes(const GdsLibrary& lib,
@@ -202,55 +299,149 @@ Status hierarchicalInstanceShapes(const GdsLibrary& lib,
   return {};
 }
 
-Status fractureGdsHierarchical(const GdsLibrary& lib,
-                               const BatchConfig& config,
-                               const HierOptions& options,
-                               HierarchicalResult& out) {
-  const auto start = std::chrono::steady_clock::now();
-  out = HierarchicalResult{};
-
+Status planGdsHierarchy(const GdsLibrary& lib, const BatchConfig& config,
+                        const std::string& topStruct, HierPlan& out) {
+  out = HierPlan{};
   Expansion expansion;
-  Status status = expandGds(lib, options.topStruct, expansion);
+  Status status = expandGds(lib, topStruct, expansion);
   if (!status.ok()) return status;
   out.topStruct = expansion.top;
   out.reachableCells = static_cast<int>(expansion.reachable.size());
   out.instancesExpanded = expansion.visits;
 
-  // One entry per CONTENT key: two cells with identical geometry (under
-  // identical parameters) share one fracture and one cache slot.
-  struct Entry {
-    std::vector<LayoutShape> shapes;  ///< cell-local, groupRings order
-    std::string key;
-    CellFracture fracture;
-    bool fractured = false;  ///< filled by this run's miss batch
-  };
-  std::vector<Entry> entries;
+  // One plan cell per CONTENT key, in first-visit order: two GDS cells
+  // with identical geometry (under identical parameters) share one
+  // fracture, one cache slot and one plan index.
   std::unordered_map<const GdsStructure*, int> cellToEntry;
   std::unordered_map<std::string, int> keyToEntry;
   for (const CellInstance& inst : expansion.instances) {
-    if (cellToEntry.count(inst.cell) != 0) continue;
-    std::vector<Polygon> rings;
-    rings.reserve(inst.cell->polygons.size());
-    for (const GdsPolygon& gp : inst.cell->polygons) {
-      rings.push_back(gp.polygon);
+    auto it = cellToEntry.find(inst.cell);
+    if (it == cellToEntry.end()) {
+      std::vector<Polygon> rings;
+      rings.reserve(inst.cell->polygons.size());
+      for (const GdsPolygon& gp : inst.cell->polygons) {
+        rings.push_back(gp.polygon);
+      }
+      std::vector<LayoutShape> shapes = groupRings(std::move(rings));
+      std::string key = cellFractureKey(shapes, config);
+      const auto known = keyToEntry.find(key);
+      int index;
+      if (known != keyToEntry.end()) {
+        index = known->second;
+      } else {
+        index = static_cast<int>(out.cells.size());
+        out.cells.push_back(HierPlan::Cell{std::move(shapes),
+                                           std::move(key)});
+        keyToEntry.emplace(out.cells.back().key, index);
+      }
+      it = cellToEntry.emplace(inst.cell, index).first;
     }
-    std::vector<LayoutShape> shapes = groupRings(std::move(rings));
-    const std::string key = cellFractureKey(shapes, config);
-    const auto known = keyToEntry.find(key);
-    if (known != keyToEntry.end()) {
-      cellToEntry.emplace(inst.cell, known->second);
-      continue;
-    }
-    Entry entry;
-    entry.shapes = std::move(shapes);
-    entry.key = key;
-    const int index = static_cast<int>(entries.size());
-    entries.push_back(std::move(entry));
-    keyToEntry.emplace(key, index);
-    cellToEntry.emplace(inst.cell, index);
+    out.instances.push_back(HierPlan::Instance{it->second, inst.offset});
+  }
+  return {};
+}
+
+Status fractureGdsHierarchical(const GdsLibrary& lib,
+                               const BatchConfig& config,
+                               const HierOptions& options,
+                               HierarchicalResult& out,
+                               RunCounters* countersOut) {
+  const auto start = std::chrono::steady_clock::now();
+  out = HierarchicalResult{};
+  RunCounters counters;
+
+  HierPlan plan;
+  Status status = planGdsHierarchy(lib, config, options.topStruct, plan);
+  if (!status.ok()) return status;
+  out.topStruct = plan.topStruct;
+  out.reachableCells = plan.reachableCells;
+  out.instancesExpanded = plan.instancesExpanded;
+
+  const int numCells = static_cast<int>(plan.cells.size());
+  const bool workerShard = options.cellBegin >= 0;
+  const int shardBegin = workerShard ? options.cellBegin : 0;
+  const int shardEnd = workerShard ? options.cellEnd : numCells;
+  if (workerShard &&
+      (shardBegin > shardEnd || shardEnd > numCells)) {
+    return Status(StatusCode::kInvalidArgument,
+                  "cell range " + std::to_string(shardBegin) + ":" +
+                      std::to_string(shardEnd) + " is outside the plan's " +
+                      std::to_string(numCells) + " unique cells");
   }
 
-  // Persistent-cache lookups (hits fill entries directly).
+  std::vector<CellFracture> fractures(static_cast<std::size_t>(numCells));
+  std::vector<char> done(static_cast<std::size_t>(numCells), 0);
+  std::vector<std::string> fallbackKeys;
+
+  // Cell-level journal: open/replay before any fracturing, so a resumed
+  // run knows which cells are already finished work.
+  const bool journaled = !options.journalPath.empty();
+  JournalWriter journal;
+  if (journaled) {
+    std::vector<std::string> keys;
+    keys.reserve(plan.cells.size());
+    for (const HierPlan::Cell& cell : plan.cells) keys.push_back(cell.key);
+    const std::string meta =
+        cellJournalMetaFor(plan.topStruct, keys, shardBegin, shardEnd);
+    std::vector<std::string> replayed;
+    if (options.resume) {
+      JournalRecoveryStats rstats;
+      status = journal.openForAppend(options.journalPath, meta,
+                                     options.fsync, replayed, &rstats);
+      counters.tornTail = rstats.tornTail;
+    } else {
+      status = journal.create(options.journalPath, meta, options.fsync);
+    }
+    if (!status.ok()) return status;
+
+    // Replay. Records address cells by plan index; duplicates keep the
+    // first copy — both are results of the same deterministic
+    // computation. CRC framing already passed; a record that then fails
+    // decoding or plan validation is not ours and fails the resume.
+    for (const std::string& bytes : replayed) {
+      CellRecord record;
+      Status dec = decodeCellRecord(bytes, record);
+      if (!dec.ok()) return dec;
+      Status valid = validateCellRecord(plan, config, record, fallbackKeys);
+      if (!valid.ok()) return valid;
+      const auto c = static_cast<std::size_t>(record.cellIndex);
+      if (done[c] != 0) continue;
+      fractures[c].solutions = std::move(record.solutions);
+      fractures[c].reports = std::move(record.reports);
+      done[c] = 1;
+      ++counters.resumedCells;
+      counters.resumedShapes += static_cast<int>(plan.cells[c].shapes.size());
+    }
+  }
+
+  // Journal appends come from the coordinating thread (cache hits) AND
+  // from pool threads (the last shape of a fracturing cell); append()
+  // itself is thread-safe, the degrade ladder mirrors
+  // fractureLayoutJournaled: the first failed append downgrades the run
+  // to unjournaled completion.
+  std::mutex appendErrorMutex;
+  Status appendError;
+  std::atomic<bool> journalBroken{false};
+  auto appendCellRecord = [&](int cellIdx) {
+    if (!journaled || journalBroken.load(std::memory_order_relaxed)) return;
+    const auto c = static_cast<std::size_t>(cellIdx);
+    CellRecord record;
+    record.cellIndex = cellIdx;
+    record.key = plan.cells[c].key;
+    record.solutions = fractures[c].solutions;
+    record.reports = fractures[c].reports;
+    const Status appended = journal.append(encodeCellRecord(record));
+    if (!appended.ok()) {
+      journalBroken.store(true, std::memory_order_relaxed);
+      std::lock_guard<std::mutex> lock(appendErrorMutex);
+      if (appendError.ok()) appendError = appended;
+    }
+  };
+
+  // Persistent-cache lookups (hits fill their cell directly). A
+  // journaled cache hit is appended like a fractured cell: the journal
+  // must be self-contained — a resume (or the supervisor harvesting a
+  // worker journal) replays it without consulting the cache.
   CellFractureCache cache(options.cellCacheDir);
   const bool useCache = !options.cellCacheDir.empty();
   if (useCache) {
@@ -261,53 +452,126 @@ Status fractureGdsHierarchical(const GdsLibrary& lib,
     if (!prep.ok()) cache.disable(prep);
     cache.setQuotaBytes(options.cellCacheQuotaBytes);
   }
-  std::vector<int> missEntries;
-  for (int i = 0; i < static_cast<int>(entries.size()); ++i) {
+  std::vector<int> missCells;
+  for (int i = shardBegin; i < shardEnd; ++i) {
+    const auto c = static_cast<std::size_t>(i);
+    if (done[c] != 0) continue;
     if (useCache &&
-        cache.load(entries[i].key, entries[i].fracture) ==
+        cache.load(plan.cells[c].key, fractures[c]) ==
             CellFractureCache::Lookup::kHit) {
+      done[c] = 1;
+      appendCellRecord(i);
       continue;
     }
-    missEntries.push_back(i);
+    missCells.push_back(i);
   }
 
   // Fracture every missing cell's shapes as ONE batch on the
-  // work-stealing pool: cells are independent, so their shapes schedule
-  // like any flat layout, and the per-shape budgets / degradation
-  // ladder in fractureShapeGuarded act as per-cell budgets here.
-  BatchResult missBatch;
-  if (!missEntries.empty()) {
-    std::vector<LayoutShape> missShapes;
-    for (const int index : missEntries) {
-      missShapes.insert(missShapes.end(), entries[index].shapes.begin(),
-                        entries[index].shapes.end());
+  // work-stealing pool, mirroring fractureLayoutParallel exactly (same
+  // guarded path, same shapeIndexBase + position indices — which is
+  // what keeps hierarchical output byte-identical to the unjournaled
+  // driver). A cell's CellRecord is appended the moment its LAST shape
+  // completes; interrupted cells are never journaled — a later resume
+  // re-fractures them instead of replaying unfinished work.
+  std::vector<LayoutShape> missShapes;
+  std::vector<std::pair<int, int>> missSlot;  // (cell, cell-local shape)
+  for (const int cellIdx : missCells) {
+    const auto c = static_cast<std::size_t>(cellIdx);
+    const std::size_t n = plan.cells[c].shapes.size();
+    fractures[c].solutions.resize(n);
+    fractures[c].reports.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      missShapes.push_back(plan.cells[c].shapes[i]);
+      missSlot.emplace_back(cellIdx, static_cast<int>(i));
     }
-    missBatch = fractureLayout(missShapes, config);
-    std::size_t at = 0;
-    for (const int index : missEntries) {
-      Entry& entry = entries[index];
-      const std::size_t n = entry.shapes.size();
-      entry.fracture.solutions.assign(
-          missBatch.solutions.begin() + static_cast<std::ptrdiff_t>(at),
-          missBatch.solutions.begin() + static_cast<std::ptrdiff_t>(at + n));
-      entry.fracture.reports.assign(
-          missBatch.reports.begin() + static_cast<std::ptrdiff_t>(at),
-          missBatch.reports.begin() + static_cast<std::ptrdiff_t>(at + n));
-      entry.fractured = true;
-      at += n;
-    }
-    out.uniqueShapesFractured = static_cast<int>(missShapes.size());
   }
-  out.uniqueCellsFractured = static_cast<int>(missEntries.size());
+  std::vector<RefinerStats> shapeStats(missShapes.size());
+  std::vector<std::atomic<int>> cellRemaining(
+      static_cast<std::size_t>(numCells));
+  std::vector<std::atomic<bool>> cellInterrupted(
+      static_cast<std::size_t>(numCells));
+  for (const int cellIdx : missCells) {
+    const auto c = static_cast<std::size_t>(cellIdx);
+    cellRemaining[c].store(static_cast<int>(plan.cells[c].shapes.size()),
+                           std::memory_order_relaxed);
+    cellInterrupted[c].store(false, std::memory_order_relaxed);
+  }
+  if (!missShapes.empty()) {
+    const int threads = ThreadPool::resolveThreads(config.threads);
+    parallelFor(0, static_cast<int>(missShapes.size()), threads, 1,
+                [&](int k) {
+      const auto s = static_cast<std::size_t>(k);
+      ShapeOutcome outcome = fractureShapeGuarded(
+          missShapes[s], config.params, config.method,
+          config.shapeIndexBase + k, config.allowDegradation,
+          &shapeStats[s], config.fallbackOnly);
+      const int cellIdx = missSlot[s].first;
+      const auto c = static_cast<std::size_t>(cellIdx);
+      const auto local = static_cast<std::size_t>(missSlot[s].second);
+      if (outcome.interrupted) {
+        cellInterrupted[c].store(true, std::memory_order_relaxed);
+      }
+      fractures[c].solutions[local] = std::move(outcome.solution);
+      fractures[c].reports[local] = {std::move(outcome.status),
+                                     outcome.degraded, outcome.interrupted};
+      // acq_rel: the thread finishing the cell's last shape observes
+      // every sibling slot written before their decrements.
+      if (cellRemaining[c].fetch_sub(1, std::memory_order_acq_rel) == 1 &&
+          !cellInterrupted[c].load(std::memory_order_relaxed)) {
+        appendCellRecord(cellIdx);
+      }
+    });
+    for (const int cellIdx : missCells) {
+      done[static_cast<std::size_t>(cellIdx)] = 1;
+    }
+  }
+
+  bool anyInterrupted = false;
+  for (const int cellIdx : missCells) {
+    if (cellInterrupted[static_cast<std::size_t>(cellIdx)].load(
+            std::memory_order_relaxed)) {
+      anyInterrupted = true;
+    }
+  }
+
+  if (journaled) {
+    // A failed ::close() under kEachRecord can mean the last records
+    // never became durable — it holds back the seal like an append
+    // error (same contract as fractureLayoutJournaled).
+    Status closed = journal.closeChecked();
+    if (!closed.ok() && appendError.ok()) {
+      journalBroken.store(true, std::memory_order_relaxed);
+      appendError = closed;
+    }
+    counters.journalDowngraded = !appendError.ok();
+    if (appendError.ok() && !anyInterrupted) {
+      std::string hexDigest;
+      Status sealed = sha256File(options.journalPath, hexDigest);
+      if (sealed.ok()) {
+        sealed = writeHashSidecar(options.journalPath, hexDigest);
+      }
+      if (!sealed.ok()) return sealed;
+    } else {
+      // Incomplete or downgraded: drop any stale seal so nothing ever
+      // trusts this journal as a finished run.
+      sysio::unlink(sidecarPathFor(options.journalPath).c_str());
+    }
+  }
+
+  out.uniqueCellsFractured = static_cast<int>(missCells.size());
+  out.uniqueShapesFractured = static_cast<int>(missShapes.size());
+  counters.freshCells = static_cast<int>(missCells.size());
+  counters.freshShapes = static_cast<int>(missShapes.size());
   if (useCache) {
     out.cellCacheHits = cache.stats().hits;
     out.cellCacheMisses = cache.stats().misses;
     out.cellCacheRejected = cache.stats().rejected;
   } else {
-    out.cellCacheMisses = static_cast<int>(missEntries.size());
+    out.cellCacheMisses = static_cast<int>(missCells.size());
   }
-  for (const Entry& entry : entries) {
-    for (const Solution& sol : entry.fracture.solutions) {
+  for (int i = shardBegin; i < shardEnd; ++i) {
+    for (const Solution& sol :
+         fractures[static_cast<std::size_t>(i)].solutions) {
       out.uniqueFailingPixels += sol.failingPixels();
     }
   }
@@ -319,59 +583,270 @@ Status fractureGdsHierarchical(const GdsLibrary& lib,
   // disables the cache (inside store()) and is NOT a run failure: the
   // results being stored are already in memory and ship below.
   if (useCache) {
-    for (const int index : missEntries) {
-      const Entry& entry = entries[index];
+    for (const int cellIdx : missCells) {
+      const CellFracture& fracture =
+          fractures[static_cast<std::size_t>(cellIdx)];
       bool clean = true;
-      for (const ShapeReport& report : entry.fracture.reports) {
+      for (const ShapeReport& report : fracture.reports) {
         if (!report.status.ok() || report.degraded || report.interrupted) {
           clean = false;
           break;
         }
       }
       if (!clean) continue;
-      (void)cache.store(entry.key, entry.fracture);
+      (void)cache.store(plan.cells[static_cast<std::size_t>(cellIdx)].key,
+                        fracture);
       if (cache.disabled()) break;  // further stores are no-ops anyway
     }
   }
   if (useCache) {
     out.cellCacheIoErrors = cache.stats().ioErrors;
     out.cellCacheEvicted = cache.stats().evicted;
+    out.cellCacheEvictionsSkippedLive = cache.stats().evictionsSkippedLive;
     out.cellCacheDisabled = cache.disabled();
     if (cache.disabled()) {
       out.cellCacheDisableCause = cache.disableCause().str();
     }
   }
 
-  // Expand: translate each instance's cell-local shapes and solutions
-  // into top coordinates, in DFS order — the order a flat run sees.
-  for (const CellInstance& inst : expansion.instances) {
-    const Entry& entry = entries[static_cast<std::size_t>(
-        cellToEntry.at(inst.cell))];
-    for (std::size_t i = 0; i < entry.shapes.size(); ++i) {
-      out.instanceShapes.push_back(
-          translatedShape(entry.shapes[i], inst.offset));
-      Solution sol = entry.fracture.solutions.size() > i
-                         ? entry.fracture.solutions[i]
-                         : Solution{};
-      for (Rect& shot : sol.shots) shot = shot.translated(inst.offset);
-      ShapeReport report = entry.fracture.reports.size() > i
-                               ? entry.fracture.reports[i]
-                               : ShapeReport{};
-      if (!report.status.ok()) {
-        // Cell-local batch indices mean nothing in the expanded layout;
-        // re-stamp with the instance shape's global index.
-        report.status.withShape(
-            static_cast<int>(out.batch.solutions.size()) +
-            config.shapeIndexBase);
+  if (workerShard) {
+    // Worker mode: no instantiation — the supervising parent owns it.
+    // The batch concatenates the shard's cell-local results (scratch
+    // output; the supervisor harvests the journal, not the .shots).
+    for (int i = shardBegin; i < shardEnd; ++i) {
+      const auto c = static_cast<std::size_t>(i);
+      const HierPlan::Cell& cell = plan.cells[c];
+      for (std::size_t j = 0; j < cell.shapes.size(); ++j) {
+        out.instanceShapes.push_back(cell.shapes[j]);
+        out.batch.solutions.push_back(fractures[c].solutions.size() > j
+                                          ? fractures[c].solutions[j]
+                                          : Solution{});
+        out.batch.reports.push_back(fractures[c].reports.size() > j
+                                        ? fractures[c].reports[j]
+                                        : ShapeReport{});
       }
-      out.batch.solutions.push_back(std::move(sol));
-      out.batch.reports.push_back(std::move(report));
+    }
+    mergeBatchAggregates(out.batch, {});
+  } else {
+    instantiatePlan(plan, fractures, config, out);
+  }
+  // mergeBatchAggregates resets refinerStats (per-instance stats don't
+  // exist); the run's true profiling is what THIS process fractured.
+  RefinerStats fresh{};
+  for (const RefinerStats& st : shapeStats) fresh += st;
+  out.batch.refinerStats = fresh;
+  out.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  out.batch.wallSeconds = out.wallSeconds;
+  if (countersOut != nullptr) *countersOut = counters;
+
+  // An append failure does not invalidate the in-memory batch, but the
+  // journal is no longer a faithful checkpoint — surface it exactly
+  // like fractureLayoutJournaled does.
+  return appendError;
+}
+
+Status fractureGdsHierarchicalSupervised(
+    const GdsLibrary& lib, const BatchConfig& config,
+    const HierOptions& options, SupervisorConfig supervisor,
+    HierarchicalResult& out, RunCounters& counters, bool& interrupted,
+    std::string& abortCause, std::vector<int>& isolatedCells) {
+  const auto start = std::chrono::steady_clock::now();
+  out = HierarchicalResult{};
+  counters = RunCounters{};
+  interrupted = false;
+  abortCause.clear();
+  isolatedCells.clear();
+
+  HierPlan plan;
+  Status status = planGdsHierarchy(lib, config, options.topStruct, plan);
+  if (!status.ok()) return status;
+  out.topStruct = plan.topStruct;
+  out.reachableCells = plan.reachableCells;
+  out.instancesExpanded = plan.instancesExpanded;
+
+  const int numCells = static_cast<int>(plan.cells.size());
+  std::vector<CellFracture> fractures(static_cast<std::size_t>(numCells));
+  std::vector<char> done(static_cast<std::size_t>(numCells), 0);
+  std::vector<std::string> fallbackKeys;
+
+  // Parent journal: replayed before sharding so the supervisor is
+  // handed only the MISSING cell ranges.
+  const bool journaled = !options.journalPath.empty();
+  JournalWriter journal;
+  if (journaled) {
+    std::vector<std::string> keys;
+    keys.reserve(plan.cells.size());
+    for (const HierPlan::Cell& cell : plan.cells) keys.push_back(cell.key);
+    const std::string meta =
+        cellJournalMetaFor(plan.topStruct, keys, 0, numCells);
+    std::vector<std::string> replayed;
+    if (options.resume) {
+      JournalRecoveryStats rstats;
+      status = journal.openForAppend(options.journalPath, meta,
+                                     options.fsync, replayed, &rstats);
+      counters.tornTail = rstats.tornTail;
+    } else {
+      status = journal.create(options.journalPath, meta, options.fsync);
+    }
+    if (!status.ok()) return status;
+    for (const std::string& bytes : replayed) {
+      CellRecord record;
+      Status dec = decodeCellRecord(bytes, record);
+      if (!dec.ok()) return dec;
+      Status valid = validateCellRecord(plan, config, record, fallbackKeys);
+      if (!valid.ok()) return valid;
+      const auto c = static_cast<std::size_t>(record.cellIndex);
+      if (done[c] != 0) continue;
+      fractures[c].solutions = std::move(record.solutions);
+      fractures[c].reports = std::move(record.reports);
+      done[c] = 1;
+      ++counters.resumedCells;
+      counters.resumedShapes += static_cast<int>(plan.cells[c].shapes.size());
     }
   }
-  mergeBatchAggregates(out.batch, {});
-  // mergeBatchAggregates resets refinerStats (per-instance stats don't
-  // exist); the run's true profiling is the miss batch's.
-  out.batch.refinerStats = missBatch.refinerStats;
+
+  // Contiguous runs of missing plan cells become the supervised ranges.
+  std::vector<std::pair<int, int>> missingRanges;
+  int missingCells = 0;
+  for (int i = 0; i < numCells;) {
+    if (done[static_cast<std::size_t>(i)] != 0) {
+      ++i;
+      continue;
+    }
+    int j = i;
+    while (j < numCells && done[static_cast<std::size_t>(j)] == 0) ++j;
+    missingRanges.emplace_back(i, j);
+    missingCells += j - i;
+    i = j;
+  }
+
+  bool journalDowngraded = false;
+  if (missingCells > 0) {
+    supervisor.numShapes = numCells;
+    supervisor.hierCells = true;
+    supervisor.initialRanges = missingRanges;
+    // Workers replan the identical hierarchy (the resolved top rides
+    // along so auto-detection cannot diverge) and own ALL cell-cache
+    // I/O — the parent never opens the cache, so its cache stats stay
+    // zero by design.
+    supervisor.workerArgs.push_back("--hier");
+    supervisor.workerArgs.push_back("--top-cell=" + plan.topStruct);
+    if (!options.cellCacheDir.empty()) {
+      supervisor.workerArgs.push_back("--cell-cache=" +
+                                      options.cellCacheDir);
+      if (options.cellCacheQuotaBytes > 0) {
+        supervisor.workerArgs.push_back(
+            "--cell-cache-quota-mb=" +
+            std::to_string(options.cellCacheQuotaBytes / (1024 * 1024)));
+      }
+    }
+    SupervisorResult sres = superviseFracture(supervisor);
+    if (!sres.status.ok()) return sres.status;
+    counters.retriedRanges = sres.counters.retriedRanges;
+    counters.bisectedRanges = sres.counters.bisectedRanges;
+    counters.crashedWorkers = sres.counters.crashedWorkers;
+    counters.hungWorkers = sres.counters.hungWorkers;
+    counters.crashedShapes = sres.counters.crashedShapes;
+    counters.corruptJournals = sres.counters.corruptJournals;
+    counters.staleTempsRemoved = sres.counters.staleTempsRemoved;
+    interrupted = sres.interrupted;
+    abortCause = sres.abortCause;
+    isolatedCells = sres.isolatedShapes;  // plan cell indices in hier mode
+    out.workerSpans = std::move(sres.workerSpans);
+
+    // Install every harvested record that provably matches the plan
+    // (primary or fallback-only key, right shape count); an invalid one
+    // is dropped and its cell hole-filled below. Fresh records are
+    // appended to the parent journal in plan order so a later resume
+    // needs only this one file.
+    for (auto& kv : sres.cellRecords) {
+      const auto c = static_cast<std::size_t>(kv.first);
+      if (kv.first < 0 || kv.first >= numCells || done[c] != 0) continue;
+      if (!validateCellRecord(plan, config, kv.second, fallbackKeys).ok()) {
+        continue;
+      }
+      if (journaled && !journalDowngraded) {
+        const Status appended = journal.append(encodeCellRecord(kv.second));
+        if (!appended.ok()) journalDowngraded = true;
+      }
+      fractures[c].solutions = std::move(kv.second.solutions);
+      fractures[c].reports = std::move(kv.second.reports);
+      done[c] = 1;
+      ++counters.freshCells;
+      counters.freshShapes += static_cast<int>(plan.cells[c].shapes.size());
+    }
+  }
+
+  bool allDone = true;
+  for (int i = 0; i < numCells; ++i) {
+    if (done[static_cast<std::size_t>(i)] == 0) allDone = false;
+  }
+
+  if (journaled) {
+    Status closed = journal.closeChecked();
+    if (!closed.ok()) journalDowngraded = true;
+    counters.journalDowngraded = journalDowngraded;
+    if (!journalDowngraded && !interrupted && abortCause.empty() &&
+        allDone) {
+      std::string hexDigest;
+      Status sealed = sha256File(options.journalPath, hexDigest);
+      if (sealed.ok()) {
+        sealed = writeHashSidecar(options.journalPath, hexDigest);
+      }
+      if (!sealed.ok()) return sealed;
+    } else {
+      sysio::unlink(sidecarPathFor(options.journalPath).c_str());
+    }
+  }
+
+  // Hole-fill missing cells so every INSTANCE still gets a record,
+  // classified exactly like the flat supervisor classifies unjournaled
+  // shapes: abort cause, graceful drain, or supervisor bug.
+  for (int i = 0; i < numCells; ++i) {
+    const auto c = static_cast<std::size_t>(i);
+    if (done[c] != 0) continue;
+    const std::size_t n = plan.cells[c].shapes.size();
+    fractures[c].solutions.assign(n, Solution{});
+    fractures[c].reports.assign(n, ShapeReport{});
+    for (std::size_t j = 0; j < n; ++j) {
+      Solution& sol = fractures[c].solutions[j];
+      ShapeReport& report = fractures[c].reports[j];
+      sol.method = "empty";
+      if (!abortCause.empty()) {
+        sol.degraded = true;
+        report.degraded = true;
+        report.status = Status(
+            StatusCode::kResourceExhausted,
+            "run aborted before any worker fractured this cell (" +
+                abortCause + ")");
+      } else if (interrupted) {
+        report.interrupted = true;
+        report.status = Status(
+            StatusCode::kBudgetExceeded,
+            "interrupted before any worker fractured this cell (graceful "
+            "drain); resume the run to finish it");
+      } else {
+        sol.degraded = true;
+        report.degraded = true;
+        report.status = Status(StatusCode::kInternal,
+                               "cell was never journaled by any worker");
+      }
+    }
+  }
+
+  out.uniqueCellsFractured = counters.freshCells;
+  int freshShapeCount = counters.freshShapes;
+  out.uniqueShapesFractured = freshShapeCount;
+  for (int i = 0; i < numCells; ++i) {
+    for (const Solution& sol :
+         fractures[static_cast<std::size_t>(i)].solutions) {
+      out.uniqueFailingPixels += sol.failingPixels();
+    }
+  }
+
+  instantiatePlan(plan, fractures, config, out);
   out.wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();

@@ -21,10 +21,44 @@
 #include <vector>
 
 #include "io/gdsii.h"
+#include "mdp/checkpoint.h"
 #include "mdp/layout.h"
+#include "mdp/supervisor.h"
 #include "support/status.h"
 
 namespace mbf {
+
+/// The deterministic skeleton of a hierarchical run: unique cells in
+/// first-visit (DFS) order — the PLAN CELL INDEX every journal record,
+/// worker shard and supervisor range refers to — plus every instance
+/// placement. Two processes planning the same GDS under the same config
+/// produce identical plans, which is what lets a worker shard cells by
+/// index and a resumed run trust journaled indices.
+struct HierPlan {
+  std::string topStruct;
+  int reachableCells = 0;
+  std::int64_t instancesExpanded = 0;
+
+  struct Cell {
+    std::vector<LayoutShape> shapes;  ///< cell-local, groupRings order
+    std::string key;                  ///< cellFractureKey under the config
+  };
+  /// One entry per CONTENT key, in first-visit order.
+  std::vector<Cell> cells;
+
+  struct Instance {
+    int cell = -1;  ///< index into `cells`
+    Point offset;
+  };
+  /// Every placement carrying geometry, in DFS (flat-equivalent) order.
+  std::vector<Instance> instances;
+};
+
+/// Expands and dedupes the hierarchy without fracturing anything.
+/// Errors match fractureGdsHierarchical (unresolvable top, cycles,
+/// depth, out-of-range placements, AREF caps).
+Status planGdsHierarchy(const GdsLibrary& lib, const BatchConfig& config,
+                        const std::string& topStruct, HierPlan& out);
 
 struct HierOptions {
   /// Top structure; empty auto-detects via findGdsTopStructure.
@@ -36,6 +70,19 @@ struct HierOptions {
   /// each store, least-recently-modified entries NOT touched by this
   /// run are evicted until under the cap (--cell-cache-quota-mb).
   std::int64_t cellCacheQuotaBytes = 0;
+  /// Cell-level result journal (DESIGN.md section 19): every completed
+  /// unique cell appends one CellRecord the moment its last shape
+  /// finishes; `resume` replays intact records and fractures only the
+  /// missing cells, converging byte-identically to an uninterrupted
+  /// run. Empty = unjournaled.
+  std::string journalPath;
+  bool resume = false;
+  JournalFsync fsync = JournalFsync::kNone;
+  /// Worker shard: fracture only plan cells [cellBegin, cellEnd) and
+  /// skip instantiation (the batch concatenates the shard's cell-local
+  /// results; the supervising parent instantiates). Both -1 = full run.
+  int cellBegin = -1;
+  int cellEnd = -1;
 };
 
 struct HierarchicalResult {
@@ -61,10 +108,14 @@ struct HierarchicalResult {
   /// Failing pixels summed over unique fractures (each instance prints
   /// identically, so per-instance violations scale by instance count).
   std::int64_t uniqueFailingPixels = 0;
-  /// Persistent-cache outcome counts (all zero when no cache dir).
+  /// Persistent-cache outcome counts (all zero when no cache dir, and
+  /// zero in the supervised parent — workers own all cache I/O there).
   int cellCacheHits = 0;
   int cellCacheMisses = 0;
   int cellCacheRejected = 0;
+  /// Quota-eviction candidates spared because a concurrently live
+  /// process had noted the key (multi-process cache sharing).
+  int cellCacheEvictionsSkippedLive = 0;
   /// Cache I/O failures and quota evictions this run (section 18: the
   /// cache degrades — a failure disables it with a counted warning and
   /// the run completes uncached).
@@ -76,6 +127,9 @@ struct HierarchicalResult {
   /// Cell placements materialised during expansion.
   std::int64_t instancesExpanded = 0;
   double wallSeconds = 0.0;
+  /// Supervised runs only: trace spans harvested from worker span files
+  /// (SupervisorConfig::collectTraceSpans), merged into --trace-json.
+  std::vector<TraceSpan> workerSpans;
 
   std::int64_t instantiatedShapes() const {
     return static_cast<std::int64_t>(instanceShapes.size());
@@ -120,6 +174,25 @@ Status hierarchicalInstanceShapes(const GdsLibrary& lib,
 Status fractureGdsHierarchical(const GdsLibrary& lib,
                                const BatchConfig& config,
                                const HierOptions& options,
-                               HierarchicalResult& out);
+                               HierarchicalResult& out,
+                               RunCounters* countersOut = nullptr);
+
+/// Supervised hierarchical fracturing (mbf_cli --hier --isolate): plans
+/// the hierarchy, replays the parent cell journal when resuming, shards
+/// the MISSING unique cells across --isolate worker processes via
+/// mdp/supervisor (workers run the journaled hierarchical driver above
+/// with --cell-range, sharing the watchdog/retry/bisect/ENOSPC-abort
+/// ladder), validates every harvested CellRecord against the plan keys,
+/// appends fresh records to the parent journal, then performs
+/// instantiation and hole-filling in the parent. `interrupted`,
+/// `abortCause` and `isolatedCells` (PLAN CELL indices, not shape
+/// indices) mirror the flat supervised run's reporting. The returned
+/// Status is only non-ok for supervisor-fatal conditions; per-cell
+/// failures degrade records instead.
+Status fractureGdsHierarchicalSupervised(
+    const GdsLibrary& lib, const BatchConfig& config,
+    const HierOptions& options, SupervisorConfig supervisor,
+    HierarchicalResult& out, RunCounters& counters, bool& interrupted,
+    std::string& abortCause, std::vector<int>& isolatedCells);
 
 }  // namespace mbf

@@ -87,7 +87,10 @@ pid_t spawnWorker(const SupervisorConfig& config, const RangeTask& task,
   args.push_back(config.inputPath);
   args.push_back(config.workDir + "/w_" + rangeTag(task) + ".shots");
   args.push_back("--worker");
-  args.push_back("--shape-range=" + std::to_string(task.begin) + ":" +
+  // Hierarchical workers shard plan cells; flat workers shard shapes.
+  args.push_back(std::string(config.hierCells ? "--cell-range="
+                                              : "--shape-range=") +
+                 std::to_string(task.begin) + ":" +
                  std::to_string(task.end));
   args.push_back("--journal=" + journalPath);
   // Always resume: a retried range skips its already-journaled prefix.
@@ -154,15 +157,23 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
   }
 
   const int jobs = std::max(1, config.jobs);
+  // A resumed run supervises only the ranges its parent journal is
+  // missing; the default is the whole index space.
+  std::vector<std::pair<int, int>> ranges = config.initialRanges;
+  if (ranges.empty()) ranges.emplace_back(0, n);
+  int work = 0;
+  for (const auto& r : ranges) work += std::max(0, r.second - r.first);
   // Several chunks per worker slot: small enough that a crash forfeits
   // little work and bisection starts close to the culprit, large enough
   // that process spawn cost stays amortized.
   int chunk = config.chunkShapes;
-  if (chunk <= 0) chunk = std::max(1, (n + jobs * 4 - 1) / (jobs * 4));
+  if (chunk <= 0) chunk = std::max(1, (work + jobs * 4 - 1) / (jobs * 4));
 
   std::deque<RangeTask> queue;
-  for (int b = 0; b < n; b += chunk) {
-    queue.push_back(RangeTask{b, std::min(n, b + chunk)});
+  for (const auto& r : ranges) {
+    for (int b = r.first; b < r.second; b += chunk) {
+      queue.push_back(RangeTask{b, std::min(r.second, b + chunk)});
+    }
   }
   std::vector<RunningWorker> running;
   // Span files ever handed to a worker; retries of one tag overwrite the
@@ -174,21 +185,35 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
   };
 
   // Harvest every intact record of a (possibly dead) worker's journal.
+  // Hierarchical workers journal CellRecord frames; key validation
+  // against the plan is the caller's (it owns the plan), bounds are ours.
   auto harvest = [&](const std::string& journalPath) {
     std::string meta;
     std::vector<std::string> payloads;
     if (!recoverJournal(journalPath, meta, payloads).ok()) return;
     for (const std::string& bytes : payloads) {
-      ShapeRecord record;
-      if (!decodeShapeRecord(bytes, record).ok()) continue;
-      if (record.shapeIndex < 0 || record.shapeIndex >= n) continue;
-      result.records.emplace(record.shapeIndex, std::move(record));
+      if (config.hierCells) {
+        CellRecord record;
+        if (!decodeCellRecord(bytes, record).ok()) continue;
+        if (record.cellIndex < 0 || record.cellIndex >= n) continue;
+        result.cellRecords.emplace(record.cellIndex, std::move(record));
+      } else {
+        ShapeRecord record;
+        if (!decodeShapeRecord(bytes, record).ok()) continue;
+        if (record.shapeIndex < 0 || record.shapeIndex >= n) continue;
+        result.records.emplace(record.shapeIndex, std::move(record));
+      }
     }
   };
 
+  auto haveRecord = [&](int i) {
+    return config.hierCells
+               ? result.cellRecords.find(i) != result.cellRecords.end()
+               : result.records.find(i) != result.records.end();
+  };
   auto firstMissing = [&](int begin, int end) {
     for (int i = begin; i < end; ++i) {
-      if (result.records.find(i) == result.records.end()) return i;
+      if (!haveRecord(i)) return i;
     }
     return end;
   };
@@ -399,6 +424,15 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
         // Even the fallback-only worker died. Synthesize an empty
         // degraded record so the batch still accounts for the shape.
         if (task.attempts >= config.maxRetries) {
+          if (config.hierCells) {
+            // The caller owns hierarchical hole-filling (one degraded
+            // record per INSTANCE of the cell, which it can count and
+            // we cannot); leaving the index unharvested is the signal.
+            log("fallback-only worker for cell " +
+                std::to_string(task.begin) + " " + why +
+                "; leaving the hole for the caller to fill");
+            continue;
+          }
           log("fallback-only worker for shape " + std::to_string(task.begin) +
               " " + why + "; recording an empty degraded result");
           ShapeRecord record;
@@ -507,14 +541,18 @@ SupervisorResult superviseFracture(const SupervisorConfig& config) {
   result.counters.staleTempsRemoved += sweepStaleTempFiles(config.workDir);
 
   if (fatal.ok()) {
+    std::sort(result.isolatedShapes.begin(), result.isolatedShapes.end());
+  }
+  if (fatal.ok() && !config.hierCells) {
     // From the batch's viewpoint every shape was produced this run (the
     // resume machinery workers use internally only avoids re-work
     // across retries of one range).
     result.counters.freshShapes = n;
-    std::sort(result.isolatedShapes.begin(), result.isolatedShapes.end());
     // Fill the holes: after a drain they are the shapes the interrupt
     // legitimately left unfinished; otherwise a hole is a supervisor bug,
-    // but the batch must still account for every shape.
+    // but the batch must still account for every shape. (Hierarchical
+    // holes are the caller's: it fills per-INSTANCE records during
+    // instantiation.)
     for (int i = 0; i < n; ++i) {
       if (result.records.find(i) != result.records.end()) continue;
       ShapeRecord record;

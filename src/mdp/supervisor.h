@@ -32,6 +32,7 @@
 
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "mdp/checkpoint.h"
@@ -67,6 +68,18 @@ struct SupervisorConfig {
   /// worker processes. Lifecycle events (spawn/retry/bisect/isolate/
   /// watchdog kills) are recorded by the supervisor itself.
   bool collectTraceSpans = false;
+  /// Hierarchical mode: the supervised units are UNIQUE CELLS, not flat
+  /// shapes. numShapes counts plan cells, workers get `--cell-range`
+  /// instead of `--shape-range`, harvested frames decode as CellRecords
+  /// into SupervisorResult::cellRecords, and the caller — who knows the
+  /// hierarchy — performs instantiation and hole-filling itself (the
+  /// supervisor synthesizes nothing).
+  bool hierCells = false;
+  /// Restrict the supervised work to these [begin, end) unit ranges
+  /// (still chunked across workers). Empty = the whole [0, numShapes).
+  /// A resumed hierarchical run passes only the cell ranges its parent
+  /// journal is missing.
+  std::vector<std::pair<int, int>> initialRanges;
 };
 
 struct SupervisorResult {
@@ -75,9 +88,13 @@ struct SupervisorResult {
   /// failures never land here — they become degraded records.
   Status status;
   /// Harvested per-shape records, keyed by original shape index. On a
-  /// clean supervisor run every index in [0, numShapes) is present
+  /// clean flat supervisor run every index in [0, numShapes) is present
   /// (culprits included, as fallback-only or synthesized records).
   std::map<int, ShapeRecord> records;
+  /// Hierarchical mode only: harvested per-cell records keyed by plan
+  /// cell index. Holes (crashed-even-in-fallback cells, drained or
+  /// aborted ranges) are the CALLER's to fill — it owns instantiation.
+  std::map<int, CellRecord> cellRecords;
   RunCounters counters;
   /// Original indices of crash-isolated culprit shapes.
   std::vector<int> isolatedShapes;

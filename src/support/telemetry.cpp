@@ -756,6 +756,10 @@ std::string buildRunManifest(const RunManifestInfo& info,
   if (info.hier.cacheEvicted > 0) {
     w.key("cache_evicted").value(info.hier.cacheEvicted);
   }
+  if (info.hier.cacheEvictionsSkippedLive > 0) {
+    w.key("cache_evictions_skipped_live")
+        .value(info.hier.cacheEvictionsSkippedLive);
+  }
   if (info.hier.cacheDisabled) {
     w.key("cache_disabled").value(true);
   }
@@ -775,6 +779,12 @@ std::string buildRunManifest(const RunManifestInfo& info,
   w.key("enabled").value(info.haveRecovery);
   w.key("resumed_shapes").value(counters.resumedShapes);
   w.key("fresh_shapes").value(counters.freshShapes);
+  // Cell-granular recovery (hier journals): emitted only for journaled
+  // hierarchical runs, keeping flat manifests byte-identical.
+  if (info.hier.enabled && info.haveRecovery) {
+    w.key("resumed_cells").value(counters.resumedCells);
+    w.key("fresh_cells").value(counters.freshCells);
+  }
   w.key("torn_tail").value(counters.tornTail);
   w.key("retried_ranges").value(counters.retriedRanges);
   w.key("bisected_ranges").value(counters.bisectedRanges);

@@ -315,6 +315,9 @@ struct RunManifestInfo {
     /// clean manifests stay byte-identical across binary versions.
     int cacheIoErrors = 0;
     int cacheEvicted = 0;
+    /// Quota-eviction candidates spared because a concurrently live run
+    /// had noted the key (emitted only when non-zero, like the others).
+    int cacheEvictionsSkippedLive = 0;
     bool cacheDisabled = false;
   };
   HierInfo hier;

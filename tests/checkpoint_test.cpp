@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -131,6 +132,136 @@ TEST(ShapeRecordTest, RejectsTruncatedAndTrailingBytes) {
         << "cut=" << cut;
   }
   EXPECT_FALSE(decodeShapeRecord(bytes + "x", out).ok());
+}
+
+// --- CellRecord serialization -------------------------------------------
+
+CellRecord sampleCellRecord() {
+  CellRecord rec;
+  rec.cellIndex = 7;
+  rec.key = std::string(64, 'a');
+  for (int i = 0; i < 3; ++i) {
+    Solution sol;
+    sol.shots = {Rect(i, 0, i + 10, 10), Rect(-5, i, 7, i + 9)};
+    sol.failOn = i;
+    sol.cost = 0.1 + 0.2 * i;  // inexact doubles: bitwise must hold
+    sol.runtimeSeconds = 1.25e-3 * (i + 1);
+    sol.method = i == 1 ? "fallback" : "ours";
+    sol.degraded = i == 1;
+    rec.solutions.push_back(std::move(sol));
+    ShapeReport rep;
+    rep.degraded = i == 1;
+    if (i == 1) {
+      rep.status = Status(StatusCode::kBudgetExceeded, "budget").withShape(i);
+    }
+    rec.reports.push_back(std::move(rep));
+  }
+  return rec;
+}
+
+TEST(CellRecordTest, RoundTripsBitwise) {
+  const CellRecord rec = sampleCellRecord();
+  CellRecord out;
+  ASSERT_TRUE(decodeCellRecord(encodeCellRecord(rec), out).ok());
+  EXPECT_EQ(out.cellIndex, rec.cellIndex);
+  EXPECT_EQ(out.key, rec.key);
+  ASSERT_EQ(out.solutions.size(), rec.solutions.size());
+  ASSERT_EQ(out.reports.size(), rec.reports.size());
+  for (std::size_t i = 0; i < rec.solutions.size(); ++i) {
+    EXPECT_EQ(out.solutions[i], rec.solutions[i]) << "shape " << i;
+    EXPECT_EQ(out.reports[i].degraded, rec.reports[i].degraded);
+    EXPECT_EQ(out.reports[i].status.code(), rec.reports[i].status.code());
+    EXPECT_EQ(out.reports[i].status.message(),
+              rec.reports[i].status.message());
+  }
+}
+
+TEST(CellRecordTest, VersionByteDiscriminatesFromShapeRecord) {
+  // The two frame kinds share one journal stream; each decoder must
+  // refuse the other's frames instead of misreading them.
+  ShapeRecord shape;
+  shape.shapeIndex = 3;
+  shape.solution.shots = {Rect(0, 0, 4, 4)};
+  CellRecord cellOut;
+  EXPECT_FALSE(decodeCellRecord(encodeShapeRecord(shape), cellOut).ok());
+
+  ShapeRecord shapeOut;
+  EXPECT_FALSE(
+      decodeShapeRecord(encodeCellRecord(sampleCellRecord()), shapeOut).ok());
+}
+
+TEST(CellRecordTest, RejectsTruncatedAndTrailingBytes) {
+  const std::string bytes = encodeCellRecord(sampleCellRecord());
+  CellRecord out;
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(
+        decodeCellRecord(std::string_view(bytes).substr(0, cut), out).ok())
+        << "cut=" << cut;
+  }
+  EXPECT_FALSE(decodeCellRecord(bytes + "x", out).ok());
+}
+
+TEST(CellRecordTest, RejectsOversizedKeyAndShapeCount) {
+  CellRecord rec = sampleCellRecord();
+  rec.key = std::string(300, 'k');  // > kMaxCellKeyBytes
+  CellRecord out;
+  EXPECT_FALSE(decodeCellRecord(encodeCellRecord(rec), out).ok());
+}
+
+TEST(CellRecordTest, TornTailRecoveryThroughJournal) {
+  // CellRecord frames ride the CRC32 journal like ShapeRecords: a torn
+  // write loses only the torn frame, every intact prefix record replays.
+  TempFile journal("cell_torn");
+  const std::string meta =
+      cellJournalMetaFor("TOP", {std::string(64, 'a'), std::string(64, 'b')},
+                         0, 2);
+  std::vector<std::string> frames;
+  for (int i = 0; i < 2; ++i) {
+    CellRecord rec = sampleCellRecord();
+    rec.cellIndex = i;
+    rec.key = std::string(64, static_cast<char>('a' + i));
+    frames.push_back(encodeCellRecord(rec));
+  }
+  {
+    JournalWriter w;
+    ASSERT_TRUE(w.create(journal.path(), meta, JournalFsync::kNone).ok());
+    ASSERT_TRUE(w.append(frames[0]).ok());
+    ASSERT_TRUE(w.append(frames[1]).ok());
+    ASSERT_TRUE(w.closeChecked().ok());
+  }
+  // Tear the tail: drop the last 3 bytes of the second frame.
+  {
+    std::string bytes;
+    {
+      std::ifstream is(journal.path(), std::ios::binary);
+      bytes.assign((std::istreambuf_iterator<char>(is)),
+                   std::istreambuf_iterator<char>());
+    }
+    std::ofstream os(journal.path(), std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(), static_cast<std::streamsize>(bytes.size() - 3));
+  }
+  std::vector<std::string> replayed;
+  JournalRecoveryStats stats;
+  JournalWriter w;
+  ASSERT_TRUE(w.openForAppend(journal.path(), meta, JournalFsync::kNone,
+                              replayed, &stats)
+                  .ok());
+  EXPECT_TRUE(stats.tornTail);
+  ASSERT_EQ(replayed.size(), 1u);
+  CellRecord out;
+  ASSERT_TRUE(decodeCellRecord(replayed[0], out).ok());
+  EXPECT_EQ(out.cellIndex, 0);
+  ASSERT_TRUE(w.closeChecked().ok());
+}
+
+TEST(CellJournalMetaTest, FingerprintCoversTopKeysAndRange) {
+  const std::vector<std::string> keys = {std::string(64, 'a'),
+                                         std::string(64, 'b')};
+  const std::string base = cellJournalMetaFor("TOP", keys, 0, 2);
+  EXPECT_NE(cellJournalMetaFor("OTHER", keys, 0, 2), base);
+  EXPECT_NE(cellJournalMetaFor("TOP", {keys[1], keys[0]}, 0, 2), base);
+  EXPECT_NE(cellJournalMetaFor("TOP", keys, 0, 1), base);
+  EXPECT_EQ(cellJournalMetaFor("TOP", keys, 0, 2), base);
 }
 
 TEST(JournalMetaTest, FingerprintSeparatesRunsButNotThreadCounts) {

@@ -24,10 +24,22 @@
 //      exit 3 with diagnostics naming the defect; an ambiguous root
 //      without --top-cell names the candidates.
 //   7. --selfcheck audits hierarchically produced shots clean.
+//   8. Crash-at-every-frame: for every prefix k of the cell journal
+//      (the exact state a SIGKILL between frames k and k+1 leaves,
+//      plus a torn-tail variant for a SIGKILL mid-write) a --resume
+//      replays k cells, fractures the rest, and produces byte-identical
+//      .shots that pass --verify — serial AND --isolate --jobs=4.
+//   9. A genuine SIGKILL mid-run (best-effort timing) resumes to
+//      byte-identical output.
+//  10. Clean --hier --isolate --jobs=4 output is byte-identical to
+//      serial --hier and passes --verify.
 //
 // Standalone driver (no gtest), same pattern as mbf_verify_drill: it
 // exercises the CLI process boundary, not library internals.
+#include <fcntl.h>
+#include <signal.h>
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
@@ -42,6 +54,7 @@
 
 #include "io/gdsii.h"
 #include "io/poly_io.h"
+#include "support/journal.h"
 
 namespace {
 
@@ -374,6 +387,162 @@ int main(int argc, char** argv) {
                  &log) == 0 &&
               log.find("0 findings") != std::string::npos,
           "--selfcheck audits hier output clean");
+  }
+
+  // --- Drill 8: crash at every journal frame ----------------------------
+  // A SIGKILL between cell frames k and k+1 leaves a journal holding
+  // exactly the header plus the first k records (write() frames are
+  // atomic into the kernel); a SIGKILL mid-write leaves those plus a
+  // torn tail. Rather than racing a real signal against a fast run,
+  // reconstruct every such state exactly from a completed journal and
+  // prove each one resumes to byte-identical output.
+  {
+    const std::string refShots = dir + "/jref.shots";
+    const std::string refJournal = dir + "/jref.jrnl";
+    check(runCli(cli, {input, refShots, "--hier", "--top-cell=TOP",
+                       "--journal=" + refJournal}) == 0,
+          "journal drill: reference --hier --journal run exits 0");
+    check(readBytes(refShots) == readBytes(hierShots),
+          "journal drill: journaled output matches plain hier");
+
+    std::string meta;
+    std::vector<std::string> records;
+    check(mbf::recoverJournal(refJournal, meta, records).ok() &&
+              records.size() == 5,
+          "journal drill: reference journal holds 5 cell frames");
+
+    for (std::size_t k = 0; k <= records.size(); ++k) {
+      for (const bool torn : {false, true}) {
+        if (k == records.size() && torn) continue;  // sealed run has no tail
+        const std::string tag =
+            "k" + std::to_string(k) + (torn ? "t" : "");
+        const std::string journal = dir + "/crash_" + tag + ".jrnl";
+        {
+          mbf::JournalWriter w;
+          if (!w.create(journal, meta, mbf::JournalFsync::kNone).ok()) {
+            check(false, "journal drill: cannot write " + journal);
+            continue;
+          }
+          for (std::size_t i = 0; i < k; ++i) (void)w.append(records[i]);
+          w.close();
+        }
+        if (torn) {
+          std::ofstream os(journal, std::ios::binary | std::ios::app);
+          os.write("\x13\x37\x00", 3);  // half a frame header
+        }
+        const std::string shots = dir + "/crash_" + tag + ".shots";
+        const std::string json = dir + "/crash_" + tag + ".json";
+        std::string log;
+        const bool ranOk =
+            runCli(cli,
+                   {input, shots, "--hier", "--top-cell=TOP",
+                    "--journal=" + journal, "--resume",
+                    "--metrics-json=" + json, "--report"},
+                   &log) == 0;
+        const std::string want =
+            "(" + std::to_string(k) + " resumed / " +
+            std::to_string(records.size() - k) + " fresh cell(s))";
+        check(ranOk && log.find(want) != std::string::npos,
+              "resume @" + tag + ": exits 0, " + want);
+        check(readBytes(shots) == readBytes(refShots),
+              "resume @" + tag + ": byte-identical .shots");
+        check(runCli(cli, {"--verify", json}) == 0,
+              "resume @" + tag + ": passes --verify");
+      }
+    }
+
+    // The same crash states must also resume under the supervisor: the
+    // parent replays the journal and shards only the missing cells.
+    for (const std::size_t k : {std::size_t{0}, std::size_t{2}}) {
+      const std::string tag = "iso_k" + std::to_string(k);
+      const std::string journal = dir + "/" + tag + ".jrnl";
+      {
+        mbf::JournalWriter w;
+        if (!w.create(journal, meta, mbf::JournalFsync::kNone).ok()) {
+          check(false, "journal drill: cannot write " + journal);
+          continue;
+        }
+        for (std::size_t i = 0; i < k; ++i) (void)w.append(records[i]);
+        w.close();
+      }
+      const std::string shots = dir + "/" + tag + ".shots";
+      const std::string json = dir + "/" + tag + ".json";
+      check(runCli(cli, {input, shots, "--hier", "--top-cell=TOP",
+                         "--isolate", "--jobs=4", "--journal=" + journal,
+                         "--resume", "--metrics-json=" + json}) == 0,
+            "isolate resume @k=" + std::to_string(k) + ": exits 0");
+      check(readBytes(shots) == readBytes(refShots),
+            "isolate resume @k=" + std::to_string(k) +
+                ": byte-identical .shots");
+      check(runCli(cli, {"--verify", json}) == 0,
+            "isolate resume @k=" + std::to_string(k) + ": passes --verify");
+    }
+  }
+
+  // --- Drill 9: genuine SIGKILL mid-run ---------------------------------
+  // Best-effort timing: poll the journal and SIGKILL the process after
+  // its first frame lands. If the run wins the race and finishes, the
+  // resume still must replay a complete journal to identical bytes —
+  // either way the contract holds.
+  {
+    const std::string journal = dir + "/sigkill.jrnl";
+    const std::string shots = dir + "/sigkill.shots";
+    const pid_t pid = ::fork();
+    if (pid == 0) {
+      const int fd = ::open("/dev/null", O_WRONLY);
+      if (fd >= 0) {
+        ::dup2(fd, 1);
+        ::dup2(fd, 2);
+        ::close(fd);
+      }
+      ::execl(cli.c_str(), cli.c_str(), input.c_str(), shots.c_str(),
+              "--hier", "--top-cell=TOP", ("--journal=" + journal).c_str(),
+              static_cast<char*>(nullptr));
+      std::_Exit(127);
+    }
+    bool childExited = false;
+    for (int tries = 0; tries < 5000; ++tries) {
+      std::string meta;
+      std::vector<std::string> records;
+      if (mbf::recoverJournal(journal, meta, records).ok() &&
+          !records.empty()) {
+        break;
+      }
+      int status = 0;
+      if (::waitpid(pid, &status, WNOHANG) == pid) {
+        childExited = true;
+        break;
+      }
+      ::usleep(1000);
+    }
+    if (!childExited) {
+      ::kill(pid, SIGKILL);
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+    const std::string json = dir + "/sigkill.json";
+    check(runCli(cli, {input, shots, "--hier", "--top-cell=TOP",
+                       "--journal=" + journal, "--resume",
+                       "--metrics-json=" + json}) == 0,
+          "SIGKILL mid-run: --resume exits 0");
+    check(readBytes(shots) == readBytes(hierShots),
+          "SIGKILL mid-run: resumed .shots byte-identical");
+    check(runCli(cli, {"--verify", json}) == 0,
+          "SIGKILL mid-run: passes --verify");
+  }
+
+  // --- Drill 10: clean --hier --isolate equivalence ---------------------
+  {
+    const std::string shots = dir + "/iso_clean.shots";
+    const std::string json = dir + "/iso_clean.json";
+    check(runCli(cli, {input, shots, "--hier", "--top-cell=TOP",
+                       "--isolate", "--jobs=4",
+                       "--metrics-json=" + json}) == 0,
+          "clean --hier --isolate --jobs=4 exits 0");
+    check(readBytes(shots) == readBytes(hierShots),
+          "isolate output byte-identical to serial hier");
+    check(runCli(cli, {"--verify", json}) == 0,
+          "isolate run passes --verify");
   }
 
   if (g_failures > 0) {

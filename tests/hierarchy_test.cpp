@@ -3,6 +3,11 @@
 // auto-detection, cycle/depth/overflow diagnostics, and the persistent
 // content-addressed cell-fracture cache (warm-run bitwise identity,
 // key invalidation, tamper rejection).
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -351,9 +356,13 @@ TEST(CellCacheTest, StoreLoadRoundTripIsBitExact) {
 
   CellFracture back;
   ASSERT_EQ(cache.load(key, back), CellFractureCache::Lookup::kHit);
-  // Bitwise equality including runtimeSeconds: the cache reuses the
-  // journal's bit-exact double serialization.
-  EXPECT_EQ(back.solutions, cell.solutions);
+  // Bitwise equality of everything except runtimeSeconds, the one
+  // wall-clock field: the cache stores it canonicalized to zero so
+  // entry bytes are a pure function of the key (concurrent writers
+  // publish bit-identical payloads).
+  std::vector<Solution> expected = cell.solutions;
+  for (Solution& s : expected) s.runtimeSeconds = 0.0;
+  EXPECT_EQ(back.solutions, expected);
   ASSERT_EQ(back.reports.size(), cell.reports.size());
   EXPECT_EQ(cache.stats().hits, 1);
   EXPECT_EQ(cache.stats().stored, 1);
@@ -395,10 +404,127 @@ TEST(CellCacheTest, TamperedEntryIsRejectedNeverReused) {
   CellFracture aliased;
   EXPECT_EQ(other.load(key, aliased), CellFractureCache::Lookup::kRejected);
 
-  // Deleting the sidecar alone must also reject.
+  // A missing sidecar is NOT tampering: it is the two-phase publication
+  // window (`.cell` renamed, `.sha256` not yet) a concurrent writer is
+  // legitimately inside, so the entry reads as an ordinary miss
+  // (DESIGN.md section 19). A PRESENT-but-mismatching sidecar still
+  // rejects, as above.
   std::remove(sidecarPathFor(other.pathFor(wrongKey)).c_str());
   EXPECT_EQ(other.load(wrongKey, aliased),
-            CellFractureCache::Lookup::kRejected);
+            CellFractureCache::Lookup::kMiss);
+}
+
+TEST(CellCacheTest, MissingSidecarIsPublicationWindowMiss) {
+  TempCacheDir dir("pubwindow");
+  CellFractureCache cache(dir.path);
+  ASSERT_TRUE(cache.prepare().ok());
+  const std::vector<LayoutShape> shapes = cellShapes();
+  const BatchConfig config;
+  const BatchResult batch = fractureLayout(shapes, config);
+  CellFracture cell{batch.solutions, batch.reports};
+  const std::string key = cellFractureKey(shapes, config);
+  ASSERT_TRUE(cache.store(key, cell).ok());
+
+  // Simulate a concurrent writer caught between its two publication
+  // renames: `.cell` landed, `.sha256` not yet.
+  ASSERT_EQ(std::remove(sidecarPathFor(cache.pathFor(key)).c_str()), 0);
+  CellFracture out;
+  EXPECT_EQ(cache.load(key, out), CellFractureCache::Lookup::kMiss)
+      << "half-published entry must read as a miss, not an integrity hit";
+  EXPECT_EQ(cache.stats().rejected, 0);
+  EXPECT_EQ(cache.stats().misses, 1);
+
+  // The caller's response to a miss — re-fracture and store — completes
+  // publication and the entry becomes loadable.
+  ASSERT_TRUE(cache.store(key, cell).ok());
+  EXPECT_EQ(cache.load(key, out), CellFractureCache::Lookup::kHit);
+}
+
+TEST(CellCacheTest, StoreOverExistingEntryIsBenignLastWriterWins) {
+  TempCacheDir dir("lastwriter");
+  const std::vector<LayoutShape> shapes = cellShapes();
+  const BatchConfig config;
+  const BatchResult batch = fractureLayout(shapes, config);
+  CellFracture cell{batch.solutions, batch.reports};
+  const std::string key = cellFractureKey(shapes, config);
+
+  // Two cache objects on one directory stand in for two processes that
+  // both missed and both fractured the same cell: the key addresses the
+  // content, so both renames publish bit-identical bytes and the loser
+  // of the race replaces a file with itself.
+  CellFractureCache first(dir.path);
+  ASSERT_TRUE(first.prepare().ok());
+  ASSERT_TRUE(first.store(key, cell).ok());
+  std::string bytesAfterFirst;
+  ASSERT_TRUE(readFileToString(first.pathFor(key), bytesAfterFirst).ok());
+
+  // The second "process" fractured the same cell at a different wall
+  // clock — the one field two independent fractures legitimately differ
+  // in. Canonicalization must erase it from the stored bytes.
+  CellFracture later = cell;
+  for (Solution& s : later.solutions) s.runtimeSeconds += 17.25;
+  CellFractureCache second(dir.path);
+  ASSERT_TRUE(second.prepare().ok());
+  ASSERT_TRUE(second.store(key, later).ok());
+  std::string bytesAfterSecond;
+  ASSERT_TRUE(readFileToString(second.pathFor(key), bytesAfterSecond).ok());
+  EXPECT_EQ(bytesAfterSecond, bytesAfterFirst);
+
+  CellFracture back;
+  ASSERT_EQ(first.load(key, back), CellFractureCache::Lookup::kHit);
+  std::vector<Solution> expected = cell.solutions;
+  for (Solution& s : expected) s.runtimeSeconds = 0.0;
+  EXPECT_EQ(back.solutions, expected);
+}
+
+TEST(CellCacheTest, QuotaEvictionSkipsKeysNotedByLiveProcess) {
+  TempCacheDir dir("quotalive");
+  const std::vector<LayoutShape> shapes = cellShapes();
+  const BatchConfig config;
+  const BatchResult batch = fractureLayout(shapes, config);
+  CellFracture cell{batch.solutions, batch.reports};
+  const std::string k1(64, '1');
+  const std::string k2(64, '2');
+  const std::string k3(64, '3');
+
+  // Run A stores k1 and exits (its liveness lock is released).
+  std::string k1Path;
+  {
+    CellFractureCache a(dir.path);
+    ASSERT_TRUE(a.prepare().ok());
+    ASSERT_TRUE(a.store(k1, cell).ok());
+    k1Path = a.pathFor(k1);
+  }
+
+  // A concurrent run under a fake pid holds its liveness lock and has
+  // noted k1 (it loaded or stored that entry). flock binds to the open
+  // file description, so holding it on a private descriptor makes
+  // probes from this same process read "live".
+  const std::string ghostLock = dir.path + "/.mbf-live.4000001.lck";
+  const int ghostFd = ::open(ghostLock.c_str(), O_WRONLY | O_CREAT, 0644);
+  ASSERT_GE(ghostFd, 0);
+  ASSERT_EQ(::flock(ghostFd, LOCK_EX | LOCK_NB), 0);
+  const std::string line = k1 + "\n";
+  ASSERT_EQ(::write(ghostFd, line.data(), line.size()),
+            static_cast<ssize_t>(line.size()));
+
+  // Run B stores k2 under a 1-byte quota: the sweep wants k1 (oldest,
+  // not B's own) but must spare it — the live process may reload it.
+  CellFractureCache b(dir.path);
+  ASSERT_TRUE(b.prepare().ok());
+  b.setQuotaBytes(1);
+  ASSERT_TRUE(b.store(k2, cell).ok());
+  struct stat st{};
+  EXPECT_EQ(::stat(k1Path.c_str(), &st), 0) << "live-noted entry evicted";
+  EXPECT_GE(b.stats().evictionsSkippedLive, 1);
+  EXPECT_EQ(b.stats().evicted, 0);
+
+  // The ghost process dies (lock released): the next sweep evicts k1.
+  ASSERT_EQ(::close(ghostFd), 0);
+  ASSERT_TRUE(b.store(k3, cell).ok());
+  EXPECT_NE(::stat(k1Path.c_str(), &st), 0)
+      << "entry of a dead process must become evictable";
+  EXPECT_GE(b.stats().evicted, 1);
 }
 
 TEST(CellCacheTest, WarmHierRunIsBitIdenticalWithZeroFractures) {
@@ -428,9 +554,13 @@ TEST(CellCacheTest, WarmHierRunIsBitIdenticalWithZeroFractures) {
   EXPECT_EQ(warm.cellCacheMisses, 0);
   EXPECT_EQ(warm.uniqueCellsFractured, 0);   // zero fractures performed
   EXPECT_EQ(warm.uniqueShapesFractured, 0);
-  // Bitwise identity, runtimeSeconds included: warm solutions are
-  // replayed bytes, not recomputations.
-  EXPECT_EQ(warm.batch.solutions, cold.batch.solutions);
+  // Bitwise identity except runtimeSeconds (stored canonicalized to
+  // zero — no fracture happened in the warm run, so a replayed runtime
+  // would be fiction): warm solutions are replayed bytes, not
+  // recomputations.
+  std::vector<Solution> coldCanonical = cold.batch.solutions;
+  for (Solution& s : coldCanonical) s.runtimeSeconds = 0.0;
+  EXPECT_EQ(warm.batch.solutions, coldCanonical);
   EXPECT_EQ(warm.flatShotCount(), cold.flatShotCount());
 
   // Changing any parameter misses (and re-populates under the new key).

@@ -6,14 +6,17 @@
 // checked close, cell-cache self-disable and quota eviction), and the
 // stale-temp sweeper.
 #include <fcntl.h>
+#include <sys/file.h>
 #include <sys/stat.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -268,6 +271,114 @@ TEST_F(SysioTest, SweepRemovesDeadWriterTempsOnly) {
   EXPECT_TRUE(exists(badPid));     // unparseable pid: kept
 
   EXPECT_EQ(sweepStaleTempFiles(dir + "/no-such-dir"), 0);
+}
+
+// --- Advisory liveness protocol (DESIGN.md section 19) -------------------
+
+/// A fake "concurrent process": a lock file under an arbitrary pid,
+/// flock'd LOCK_EX on its own descriptor. flock attaches to the open
+/// file description, so probes from this same process (which open their
+/// own descriptor) correctly read EWOULDBLOCK -> live.
+class FakeLiveWriter {
+ public:
+  FakeLiveWriter(const std::string& dir, long pid) {
+    path_ = dir + "/.mbf-live." + std::to_string(pid) + ".lck";
+    fd_ = ::open(path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd_ >= 0 && ::flock(fd_, LOCK_EX | LOCK_NB) != 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+  ~FakeLiveWriter() { die(); }
+  bool alive() const { return fd_ >= 0; }
+  void note(const std::string& token) {
+    const std::string line = token + "\n";
+    (void)!::write(fd_, line.data(), line.size());
+  }
+  /// Releases the flock (keeps the file): the "process" crashed.
+  void die() {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+  }
+
+ private:
+  std::string path_;
+  int fd_ = -1;
+};
+
+TEST_F(SysioTest, SweepSparesLockHeldWritersRegardlessOfPid) {
+  const std::string dir = tempDir();
+  // A pid far beyond any real process: the legacy kill(pid, 0) probe
+  // reads ESRCH ("dead") — the held lock must overrule it.
+  const long ghost = 3999999;
+  FakeLiveWriter writer(dir, ghost);
+  ASSERT_TRUE(writer.alive());
+  const std::string temp = dir + "/out.shots.tmp." + std::to_string(ghost);
+  std::ofstream(temp) << "in-flight bytes";
+
+  EXPECT_EQ(sweepStaleTempFiles(dir), 0);
+  EXPECT_TRUE(exists(temp)) << "live-locked writer's temp must survive";
+
+  // The writer dies (lock released, file left behind — a crash never
+  // unlinks): now the temp AND the stale lock file are provably orphaned.
+  writer.die();
+  EXPECT_EQ(sweepStaleTempFiles(dir), 1);
+  EXPECT_FALSE(exists(temp));
+  EXPECT_FALSE(exists(dir + "/.mbf-live." + std::to_string(ghost) + ".lck"));
+}
+
+TEST_F(SysioTest, SweepRemovesTempOfAlivePidWhoseLockIsUnheld) {
+  const std::string dir = tempDir();
+  // The PID-reuse hazard, inverted: OUR pid is alive (kill(pid, 0)
+  // succeeds), but the lock file under it is unheld — so the original
+  // writer of these temps is dead and our pid merely recycled its
+  // number. The protocol must trust the lock, not the pid.
+  const long self = static_cast<long>(::getpid());
+  std::ofstream(dir + "/.mbf-live." + std::to_string(self) + ".lck")
+      << "stale tokens\n";
+  const std::string temp = dir + "/out.shots.tmp." + std::to_string(self);
+  std::ofstream(temp) << "orphan bytes";
+
+  EXPECT_EQ(sweepStaleTempFiles(dir), 1);
+  EXPECT_FALSE(exists(temp))
+      << "unheld lock proves the writer dead even though the pid is live";
+}
+
+TEST_F(SysioTest, ProbeAndNotedTokensFollowTheLockLifecycle) {
+  const std::string dir = tempDir();
+  const long self = static_cast<long>(::getpid());
+  EXPECT_EQ(probeWriterLiveness(dir, self), WriterLiveness::kUnknown);
+
+  DirLivenessLock lock;
+  lock.acquire(dir);
+  ASSERT_TRUE(lock.held());
+  EXPECT_EQ(probeWriterLiveness(dir, self), WriterLiveness::kLive);
+  lock.note("cafe01");
+  lock.note("beef02");
+  const std::vector<std::string> tokens = liveNotedTokens(dir);
+  EXPECT_EQ(tokens.size(), 2u);
+  EXPECT_TRUE(std::find(tokens.begin(), tokens.end(), "cafe01") !=
+              tokens.end());
+  EXPECT_TRUE(std::find(tokens.begin(), tokens.end(), "beef02") !=
+              tokens.end());
+
+  lock.release();
+  EXPECT_FALSE(lock.held());
+  // release() unlinks: a later probe reads "no such writer", not "dead".
+  EXPECT_EQ(probeWriterLiveness(dir, self), WriterLiveness::kUnknown);
+  EXPECT_TRUE(liveNotedTokens(dir).empty());
+}
+
+TEST_F(SysioTest, StaleLivenessLocksAreSweptDeadOnesOnly) {
+  const std::string dir = tempDir();
+  FakeLiveWriter live(dir, 3999998);
+  ASSERT_TRUE(live.alive());
+  std::ofstream(dir + "/.mbf-live.3999997.lck") << "tokens of the dead\n";
+  EXPECT_EQ(probeWriterLiveness(dir, 3999997), WriterLiveness::kDead);
+  EXPECT_EQ(probeWriterLiveness(dir, 3999998), WriterLiveness::kLive);
+  EXPECT_EQ(sweepStaleLivenessLocks(dir), 1);
+  EXPECT_FALSE(exists(dir + "/.mbf-live.3999997.lck"));
+  EXPECT_TRUE(exists(dir + "/.mbf-live.3999998.lck"));
 }
 
 TEST_F(SysioTest, CloseCheckedSurfacesEioUnderEachRecord) {

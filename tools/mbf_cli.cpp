@@ -59,13 +59,18 @@
 //   --inject-every=<kind>@<n>    arm <kind> on every nth shape
 //   --inject-seed=<s>            seed for the injector
 //
-// Hierarchical production path (DESIGN.md section 17):
+// Hierarchical production path (DESIGN.md sections 17 and 19):
 //   --hier                       fracture the .gds hierarchically: each
 //                                unique cell is fractured once and its
 //                                shot list instantiated at every
 //                                SREF/AREF placement (requires a .gds
-//                                input; incompatible with --journal/
-//                                --resume/--isolate)
+//                                input). Composes with --journal/
+//                                --resume (cell-level CellRecord frames:
+//                                a resumed run replays completed cells
+//                                and fractures only the missing ones)
+//                                and with --isolate (unique cells are
+//                                sharded across worker processes; the
+//                                parent instantiates)
 //   --cell-cache=<dir>           persistent content-addressed cell
 //                                cache: cells keyed by SHA-256 over
 //                                geometry + fracture parameters are
@@ -104,6 +109,9 @@
 // Hidden worker plumbing (spawned by --isolate, not for direct use):
 //   --worker --shape-range=a:b   fracture only shapes [a, b), reporting
 //                                original layout indices
+//   --cell-range=a:b             hierarchical worker: fracture only plan
+//                                cells [a, b) and journal CellRecords;
+//                                requires --worker --hier --journal
 //   --degrade-only               fallback-only re-fracture of a
 //                                crash-isolated culprit shape
 //   --trace-raw=<path>           record trace spans and dump them as a
@@ -300,6 +308,8 @@ int main(int argc, char** argv) {
   bool workerMode = false;
   int rangeBegin = -1;
   int rangeEnd = -1;
+  int cellRangeBegin = -1;
+  int cellRangeEnd = -1;
   int jobs = 2;
   double workerTimeoutMs = 0.0;
   int retries = 2;
@@ -455,6 +465,14 @@ int main(int argc, char** argv) {
           rangeEnd < rangeBegin) {
         error = "must be begin:end with 0 <= begin <= end";
       }
+    } else if (key == "--cell-range") {
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos ||
+          !parseInt(value.substr(0, colon), cellRangeBegin) ||
+          !parseInt(value.substr(colon + 1), cellRangeEnd) ||
+          cellRangeBegin < 0 || cellRangeEnd < cellRangeBegin) {
+        error = "must be begin:end with 0 <= begin <= end";
+      }
     } else if (key == "--degrade-only") {
       config.fallbackOnly = true;
     } else if (key == "--inject") {
@@ -514,9 +532,10 @@ int main(int argc, char** argv) {
     std::cerr << "--isolate and --worker are mutually exclusive\n";
     return usage();
   }
-  if ((rangeBegin >= 0 || config.fallbackOnly) && !workerMode) {
-    std::cerr << "--shape-range/--degrade-only are worker-mode plumbing "
-                 "(spawned by --isolate)\n";
+  if ((rangeBegin >= 0 || cellRangeBegin >= 0 || config.fallbackOnly) &&
+      !workerMode) {
+    std::cerr << "--shape-range/--cell-range/--degrade-only are worker-mode "
+                 "plumbing (spawned by --isolate)\n";
     return usage();
   }
   const bool gdsInput = inputPath.size() > 4 &&
@@ -538,12 +557,43 @@ int main(int argc, char** argv) {
     std::cerr << "--top-cell requires a .gds input\n";
     return usage();
   }
-  if (hier && (!journalPath.empty() || isolate || workerMode)) {
-    std::cerr << "--hier is incompatible with --journal/--resume/--isolate/"
-                 "--worker (cells already dedupe and parallelize the run)\n";
+  // Hierarchical crash-safety plumbing (DESIGN.md section 19): the unit
+  // of sharding and journaling under --hier is the PLAN CELL, so the
+  // flat --shape-range never composes with it, and a hierarchical
+  // worker's journal IS the product its supervisor harvests.
+  if (hier && rangeBegin >= 0) {
+    std::cerr << "--shape-range does not compose with --hier (workers "
+                 "shard plan cells via --cell-range)\n";
+    return usage();
+  }
+  if (cellRangeBegin >= 0 && !hier) {
+    std::cerr << "--cell-range requires --hier\n";
+    return usage();
+  }
+  if (workerMode && hier &&
+      (cellRangeBegin < 0 || journalPath.empty())) {
+    std::cerr << "a hierarchical worker needs --cell-range=a:b and "
+                 "--journal=<path> (spawned by --hier --isolate)\n";
     return usage();
   }
   if (injectorArmed) config.params.faultInjector = &injector;
+
+  const auto dirOf = [](const std::string& p) {
+    const std::size_t slash = p.find_last_of('/');
+    return slash == std::string::npos ? std::string(".") : p.substr(0, slash);
+  };
+
+  // Advisory liveness locks (DESIGN.md section 19): while held, a
+  // concurrent run's stale-temp sweep proves this process LIVE and
+  // leaves its in-flight `.tmp.<pid>` files alone, even after pid
+  // reuse. Best effort — on an unlockable filesystem concurrent sweeps
+  // fall back to the conservative kill(pid, 0) probe.
+  DirLivenessLock outputDirLock;
+  DirLivenessLock journalDirLock;
+  (void)outputDirLock.acquire(dirOf(outputPath));
+  if (!journalPath.empty() && dirOf(journalPath) != dirOf(outputPath)) {
+    (void)journalDirLock.acquire(dirOf(journalPath));
+  }
 
   // --resume cleanup: an earlier writer of the output or journal may
   // have died inside atomicWriteFile, leaving `<name>.tmp.<pid>`
@@ -551,10 +601,6 @@ int main(int argc, char** argv) {
   // a failing run do not accumulate temps (DESIGN.md section 18).
   int sweptTemps = 0;
   if (resume) {
-    const auto dirOf = [](const std::string& p) {
-      const std::size_t slash = p.find_last_of('/');
-      return slash == std::string::npos ? std::string(".") : p.substr(0, slash);
-    };
     const std::string outDir = dirOf(outputPath);
     const std::string jrnDir = dirOf(journalPath);
     sweptTemps = sweepStaleTempFiles(outDir);
@@ -656,15 +702,84 @@ int main(int argc, char** argv) {
     hierOptions.cellCacheDir = cellCacheDir;
     hierOptions.cellCacheQuotaBytes =
         static_cast<std::int64_t>(cellCacheQuotaMb) * 1024 * 1024;
+    hierOptions.journalPath = journalPath;
+    hierOptions.resume = resume;
+    hierOptions.fsync = fsyncPolicy;
     HierarchicalResult hierResult;
-    const Status st =
-        fractureGdsHierarchical(gdsLib, config, hierOptions, hierResult);
-    if (!st.ok()) {
-      std::cerr << "hier: " << st.str() << "\n";
-      return 3;
+    std::vector<int> isolatedCells;
+    if (workerMode) {
+      // Hierarchical worker: fracture only plan cells [a, b), journaling
+      // one CellRecord per finished cell. The journal IS the product the
+      // supervisor harvests, so any journal failure is fatal here —
+      // workers never downgrade.
+      hierOptions.cellBegin = cellRangeBegin;
+      hierOptions.cellEnd = cellRangeEnd;
+      const Status st = fractureGdsHierarchical(gdsLib, config, hierOptions,
+                                                hierResult, &counters);
+      if (!st.ok()) {
+        std::cerr << "hier worker: " << st.str() << "\n";
+        return 3;
+      }
+      haveCounters = true;
+    } else if (isolate) {
+      // Supervised hierarchical mode: unique cells are sharded across
+      // worker processes; this parent plans, replays its own journal,
+      // harvests worker CellRecords, instantiates and hole-fills.
+      SupervisorConfig sup;
+      sup.cliPath = selfExePath(argv[0]);
+      sup.inputPath = inputPath;
+      sup.workDir = outputPath + ".workers";
+      sup.workerArgs = forwardArgs;
+      sup.jobs = jobs;
+      sup.workerTimeoutMs = workerTimeoutMs;
+      sup.maxRetries = retries;
+      sup.backoffBaseMs = backoffMs;
+      sup.verbose = report;
+      sup.collectTraceSpans = !traceJsonPath.empty();
+      bool hierInterrupted = false;
+      const Status st = fractureGdsHierarchicalSupervised(
+          gdsLib, config, hierOptions, sup, hierResult, counters,
+          hierInterrupted, abortCause, isolatedCells);
+      if (!st.ok()) {
+        std::cerr << "hier supervisor: " << st.str() << "\n";
+        return 3;
+      }
+      haveCounters = true;
+      if (!abortCause.empty()) {
+        std::cerr << "supervisor: run aborted: " << abortCause << "\n";
+      }
+      if (counters.journalDowngraded) {
+        std::cerr << "journal: append failed mid-run; completing "
+                     "unjournaled (the harvested results are intact)\n";
+      }
+      if (!isolatedCells.empty()) {
+        std::cerr << "hier: crash-isolated plan cell(s):";
+        for (const int c : isolatedCells) std::cerr << " " << c;
+        std::cerr << "\n";
+      }
+      for (TraceSpan& span : hierResult.workerSpans) {
+        TraceRecorder::instance().addForeign(std::move(span));
+      }
+    } else {
+      const Status st = fractureGdsHierarchical(gdsLib, config, hierOptions,
+                                                hierResult, &counters);
+      if (!st.ok()) {
+        if (!journalPath.empty() && counters.journalDowngraded) {
+          // Degrade-don't-die: the run completed in memory; ship the
+          // shots, drop the (unsealed) journal artifact, exit 2 via the
+          // ladder below — same contract as the flat journaled driver.
+          std::cerr << "journal: append failed mid-run; completing "
+                       "unjournaled: " << st.str() << "\n";
+        } else {
+          std::cerr << "hier: " << st.str() << "\n";
+          return 3;
+        }
+      }
+      if (!journalPath.empty()) haveCounters = true;
     }
     shapes = std::move(hierResult.instanceShapes);
     result = std::move(hierResult.batch);
+    if (haveCounters) counters.staleTempsRemoved += sweptTemps;
     hierInfo.enabled = true;
     hierInfo.topCell = hierResult.topStruct;
     hierInfo.cacheDir = cellCacheDir;
@@ -677,6 +792,8 @@ int main(int argc, char** argv) {
     hierInfo.instancesExpanded = hierResult.instancesExpanded;
     hierInfo.cacheIoErrors = hierResult.cellCacheIoErrors;
     hierInfo.cacheEvicted = hierResult.cellCacheEvicted;
+    hierInfo.cacheEvictionsSkippedLive =
+        hierResult.cellCacheEvictionsSkippedLive;
     hierInfo.cacheDisabled = hierResult.cellCacheDisabled;
     if (hierResult.cellCacheDisabled) {
       // Degrade-don't-die: the cache is an accelerator, never a
@@ -1055,6 +1172,12 @@ int main(int argc, char** argv) {
   if (haveCounters) {
     std::cout << "recovery: " << counters.resumedShapes << " resumed, "
               << counters.freshShapes << " fresh"
+              << (hierInfo.enabled
+                      ? " (" + std::to_string(counters.resumedCells) +
+                            " resumed / " +
+                            std::to_string(counters.freshCells) +
+                            " fresh cell(s))"
+                      : std::string{})
               << (counters.tornTail ? " (torn tail truncated)" : "")
               << ", " << counters.retriedRanges << " retried range(s), "
               << counters.bisectedRanges << " bisected, "
